@@ -1,0 +1,31 @@
+# Convenience targets for the TWL reproduction.
+
+.PHONY: install test bench bench-quick examples report clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_QUICK=1 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/attack_anatomy.py
+	python examples/parsec_lifetime.py
+	python examples/design_space.py
+	python examples/custom_scheme.py
+	python examples/wear_timeline.py
+	python examples/figure_gallery.py
+
+report:
+	python -m repro.cli report --output report.md
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,18 @@
+"""E1 — write-energy overhead per scheme (extension bench)."""
+
+from repro.experiments import energy
+
+
+def test_e1_energy_overhead(benchmark, setup, record):
+    table = benchmark.pedantic(energy.run, args=(setup,), rounds=1, iterations=1)
+    record(
+        "extension_e1_energy",
+        table.render(precision=4, title="E1 — write-energy overhead vs NOWL"),
+    )
+    average = table.rows()[-1]
+    assert average["benchmark"] == "average"
+    # Migration writes dominate energy overhead, so the scheme with the
+    # most migrations (BWL here) pays the most energy; all stay modest.
+    assert average["bwl"] > average["sr"]
+    for scheme in ("bwl", "sr", "twl"):
+        assert 0.0 < average[scheme] < 0.6

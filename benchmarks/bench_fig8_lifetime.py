@@ -1,0 +1,31 @@
+"""Figure 8 — normalized lifetime per PARSEC benchmark.
+
+Regenerates the paper's normalized-lifetime bars (BWL ≈ 75.6%, TWL ≈
+79.6%, SR ≈ 44% of ideal on average; NOWL at the 1/concentration floor).
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8_normalized_lifetime(benchmark, setup, record):
+    table = benchmark.pedantic(fig8.run, args=(setup,), rounds=1, iterations=1)
+    record(
+        "fig8_lifetime",
+        table.render(precision=3, title="Figure 8 — lifetime normalized to ideal"),
+    )
+    gmean = table.rows()[-1]
+    assert gmean["benchmark"] == "gmean"
+
+    # The paper's ordering: PV-aware schemes far above SR, SR far above
+    # NOWL; TWL and BWL both reach a large fraction of ideal.
+    assert gmean["twl"] > gmean["sr"] * 1.2
+    assert gmean["bwl"] > gmean["sr"] * 1.2
+    assert gmean["twl"] > 0.45
+    assert gmean["bwl"] > 0.45
+    assert 0.25 < gmean["sr"] < 0.5
+    assert gmean["nowl"] < 0.1
+
+    # Per-benchmark: every scheme must beat no-wear-leveling everywhere.
+    for row in table.rows()[:-1]:
+        for scheme in ("bwl", "sr", "twl"):
+            assert row[scheme] > row["nowl"], row["benchmark"]

@@ -1,0 +1,31 @@
+"""Figure 9 — normalized execution time per benchmark.
+
+Regenerates the timing comparison: BWL pays Bloom probes and a cold/hot
+list on every write and is the slowest; SR and TWL stay within ~2% of
+no-wear-leveling (paper: BWL 6.48%, SR 1.97%, TWL 1.90% on average,
+TWL's maximum on vips).
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_normalized_execution_time(benchmark, setup, record):
+    table = benchmark.pedantic(fig9.run, args=(setup,), rounds=1, iterations=1)
+    record(
+        "fig9_performance",
+        table.render(precision=4, title="Figure 9 — normalized execution time"),
+    )
+    rows = table.rows()
+    average = rows[-1]
+    assert average["benchmark"] == "average"
+
+    # Ordering: BWL is clearly the slowest; SR and TWL are low-percent.
+    assert average["bwl"] > average["twl"]
+    assert average["bwl"] > average["sr"]
+    assert 1.0 < average["twl"] < 1.06
+    assert 1.0 < average["sr"] < 1.06
+    assert average["bwl"] < 1.15
+
+    # TWL's worst benchmark is the most write-intensive one (vips).
+    per_benchmark = {row["benchmark"]: row["twl"] for row in rows[:-1]}
+    assert max(per_benchmark, key=per_benchmark.get) == "vips"

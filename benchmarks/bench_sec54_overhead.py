@@ -1,0 +1,21 @@
+"""Section 5.4 — design overhead (storage bits and logic gates)."""
+
+import pytest
+
+from repro.experiments import overhead
+from repro.hwcost.synthesis import twl_design_overhead
+
+
+def test_sec54_design_overhead(benchmark, setup, record):
+    table = benchmark.pedantic(overhead.run, args=(setup,), rounds=1, iterations=1)
+    record("sec54_overhead", table.render(title="Section 5.4 — design overhead"))
+
+    report = twl_design_overhead()
+    # "80bits/4KB = 2.5e-3" storage overhead.
+    assert report.storage_bits_per_page == 80
+    assert report.storage_overhead == pytest.approx(2.5e-3, rel=0.05)
+    # "less than 128 gates" for the RNG; "718 gates" for the rest;
+    # "840 logic gates ... estimated for the total".
+    assert report.rng_gates < 128
+    assert report.datapath_gates == pytest.approx(718, rel=0.15)
+    assert report.total_gates == pytest.approx(840, rel=0.15)

@@ -1,0 +1,48 @@
+"""A7 — seed sensitivity of the headline comparison (extension bench).
+
+The paper reports single simulation runs.  This bench replicates the
+central Figure-6 comparison (TWL vs SR under the inconsistent attack)
+across independent seeds and checks that the conclusion survives the
+run-to-run variance — i.e. that the reproduction's claims are not
+one-seed flukes.
+"""
+
+from repro.analysis.calibration import attack_ideal_lifetime_years
+from repro.analysis.tables import ResultTable
+from repro.sim.replicates import replicate_attack_lifetime
+
+
+def test_a7_seed_sensitivity(benchmark, setup, record):
+    def run_replications():
+        rows = {}
+        for scheme in ("twl_swp", "sr", "bwl"):
+            rows[scheme] = replicate_attack_lifetime(
+                scheme,
+                "inconsistent",
+                n_replicates=5,
+                scaled=setup.scaled,
+                seed=setup.seed,
+            )
+        return rows
+
+    summaries = benchmark.pedantic(run_replications, rounds=1, iterations=1)
+    ideal = attack_ideal_lifetime_years()
+    table = ResultTable(["scheme", "mean_years", "ci95", "min_years", "max_years"])
+    for scheme, summary in summaries.items():
+        table.add_row(
+            scheme=scheme,
+            mean_years=round(summary.mean * ideal, 2),
+            ci95=round(summary.confidence_halfwidth() * ideal, 2),
+            min_years=round(summary.minimum * ideal, 2),
+            max_years=round(summary.maximum * ideal, 2),
+        )
+    record(
+        "extension_a7_seeds",
+        table.render(precision=2, title="A7 — seed sensitivity (inconsistent attack)"),
+    )
+
+    # The headline conclusion must hold for every seed: even TWL's worst
+    # replicate beats BWL's best by a wide margin.
+    assert summaries["twl_swp"].minimum > 3 * summaries["bwl"].maximum
+    # And TWL's mean beats SR's mean.
+    assert summaries["twl_swp"].mean > summaries["sr"].mean

@@ -1,0 +1,17 @@
+"""Table 1 — prints the simulation setup and asserts its constants."""
+
+from repro.config import PAPER_PCM, TimingConfig, TWLConfig
+from repro.experiments import table1
+
+
+def test_table1_configuration(benchmark, setup, record):
+    table = benchmark.pedantic(table1.run, args=(setup,), rounds=1, iterations=1)
+    record("table1_config", table.render(title="Table 1 — simulation setup"))
+
+    # The constants the rest of the harness depends on.
+    assert PAPER_PCM.capacity_bytes == 32 * 1024**3
+    assert PAPER_PCM.n_pages == 8 * 1024**2
+    assert TimingConfig().set_cycles == 2000
+    assert TWLConfig().toss_up_interval == 32
+    assert TWLConfig().inter_pair_swap_interval == 128
+    assert len(table) >= 12

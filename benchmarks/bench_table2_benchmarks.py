@@ -1,0 +1,30 @@
+"""Table 2 — regenerates the benchmark characterization table.
+
+For every PARSEC profile the harness recomputes the ideal lifetime from
+the paper's write bandwidth and measures the no-wear-leveling lifetime
+on the scaled array, then checks both against the paper's printed
+columns.
+"""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2_benchmark_characterization(benchmark, setup, record):
+    table = benchmark.pedantic(table2.run, args=(setup,), rounds=1, iterations=1)
+    record(
+        "table2_benchmarks",
+        table.render(precision=1, title="Table 2 — reproduced vs paper"),
+    )
+
+    for row in table.rows():
+        name = row["benchmark"]
+        assert row["ideal_years"] == pytest.approx(
+            row["ideal_paper"], rel=0.07
+        ), f"{name}: ideal lifetime off"
+        # The no-WL lifetime is a measured quantity; hold it to a factor
+        # band around the paper's value.
+        assert row["nowl_years"] == pytest.approx(
+            row["nowl_paper"], rel=0.45
+        ), f"{name}: no-WL lifetime off"

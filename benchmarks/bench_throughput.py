@@ -1,0 +1,30 @@
+"""A5 — engine microbenchmarks: demand writes per second per scheme.
+
+These are classic pytest-benchmark timings (multiple rounds) of the
+per-write hot path, useful for tracking simulator performance
+regressions; the absolute numbers are host-dependent.
+"""
+
+import pytest
+
+from repro.pcm.array import PCMArray
+from repro.wearlevel.registry import make_scheme
+
+_SCHEMES = ("nowl", "startgap", "sr", "twl", "bwl", "wrl")
+_N_PAGES = 1024
+_WRITES = 20_000
+
+
+@pytest.mark.parametrize("scheme_name", _SCHEMES)
+def test_scheme_write_throughput(benchmark, scheme_name):
+    def run_writes():
+        array = PCMArray.uniform(_N_PAGES, 10**9)
+        scheme = make_scheme(scheme_name, array, seed=1)
+        limit = scheme.logical_pages
+        write = scheme.write
+        for step in range(_WRITES):
+            write(step % limit)
+        return scheme.demand_writes
+
+    demand = benchmark.pedantic(run_writes, rounds=3, iterations=1)
+    assert demand == _WRITES

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+The harness runs every experiment at the default scale (set
+``REPRO_QUICK=1`` to shrink it for smoke runs) and records each
+reproduced table under ``benchmarks/results/`` so runs can be diffed
+against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.setups import ExperimentSetup, active_setup
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    """The experiment setup for the whole benchmark session."""
+    return active_setup()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return _record

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Anatomy of the inconsistent-write attack.
+
+Walks through the attack against Bloom-filter wear leveling step by
+step, showing what the attacker observes (response-time spikes), how it
+reacts (staircase reversals), and what that does to the memory (wear
+concentrating on the weakest frames).
+
+Run:  python examples/attack_anatomy.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import ascii_bar_chart
+from repro.attacks.inconsistent import InconsistentWriteAttack
+from repro.config import ScaledArrayConfig
+from repro.sim.drivers import AttackDriver
+from repro.sim.runner import build_array
+from repro.wearlevel.registry import make_scheme
+
+
+def main() -> None:
+    scaled = ScaledArrayConfig(n_pages=256, endurance_mean=3072.0)
+    array = build_array(scaled)
+    scheme = make_scheme("bwl", array, seed=2017)
+    attack = InconsistentWriteAttack(scheme.logical_pages, n_targets=32)
+    driver = AttackDriver(attack)
+
+    print("Phase-by-phase view of the attack against BWL:\n")
+    header = f"{'writes':>8}  {'reversals':>9}  {'phase est.':>10}  {'max wear %':>10}"
+    print(header)
+    print("-" * len(header))
+    total = 0
+    while not array.failed and total < 400_000:
+        driver.drive(scheme, 10_000)
+        total += 10_000
+        wear = array.wear_fraction().max() * 100
+        print(
+            f"{total:8d}  {attack.reversals:9d}  "
+            f"{attack.period_estimate:10.0f}  {wear:10.1f}"
+        )
+
+    print()
+    if array.failed:
+        failure = array.first_failure
+        endurance = array.endurance
+        z_score = (failure.page_endurance - endurance.mean()) / endurance.std()
+        print(
+            f"First failure after {scheme.demand_writes} demand writes: "
+            f"frame {failure.physical_page} "
+            f"(endurance {failure.page_endurance}, z = {z_score:+.1f})"
+        )
+        print("The attack ground down one of the weakest frames, exactly")
+        print("as Section 3.2 predicts for prediction-based wear leveling.\n")
+
+    # Where did the wear go?  Show the ten most-worn frames against
+    # their endurance.
+    wear_fraction = array.wear_fraction()
+    order = np.argsort(wear_fraction)[::-1][:10]
+    labels = [f"frame {int(i):4d} (E={int(array.endurance[i])})" for i in order]
+    print(
+        ascii_bar_chart(
+            labels,
+            [float(wear_fraction[i]) for i in order],
+            title="Most-worn frames at failure (wear / endurance)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""TWL design-space exploration: interval tuning and hardware cost.
+
+Reproduces the Figure-7 trade-off (swap overhead vs lifetime as the
+toss-up interval grows) on a reduced scale and prints the Section-5.4
+hardware cost report for the resulting configuration.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis.calibration import attack_ideal_lifetime_years
+from repro.analysis.tables import ResultTable
+from repro.config import ScaledArrayConfig, TWLConfig
+from repro.hwcost.synthesis import twl_design_overhead
+from repro.sim.runner import measure_attack_lifetime
+from repro.units import format_size
+
+
+def main() -> None:
+    scaled = ScaledArrayConfig(n_pages=256, endurance_mean=3072.0)
+    ideal = attack_ideal_lifetime_years()
+
+    print("Toss-up interval trade-off (scan attack, Figure 7 style):\n")
+    table = ResultTable(["interval", "extra_writes", "scan_years", "repeat_years"])
+    for interval in (1, 4, 16, 32, 64):
+        config = TWLConfig(toss_up_interval=interval)
+        scan = measure_attack_lifetime(
+            "twl_swp", "scan", scaled=scaled, scheme_kwargs={"config": config}
+        )
+        repeat = measure_attack_lifetime(
+            "twl_swp", "repeat", scaled=scaled, scheme_kwargs={"config": config}
+        )
+        table.add_row(
+            interval=interval,
+            extra_writes=round(scan.overhead_ratio, 3),
+            scan_years=round(scan.lifetime_fraction * ideal, 2),
+            repeat_years=round(repeat.lifetime_fraction * ideal, 2),
+        )
+    print(table.render())
+
+    print("\nHardware cost of the chosen configuration (Section 5.4):\n")
+    report = twl_design_overhead()
+    print(f"  per-page table bits : {report.storage_bits_per_page}")
+    print(f"  storage overhead    : {report.storage_overhead:.2e} "
+          f"of a {format_size(4096)} page")
+    print(f"  Feistel RNG         : {report.rng_gates} gate equivalents")
+    print(f"  toss-up datapath    : {report.datapath_gates} gate equivalents")
+    print(f"  total logic         : {report.total_gates} gate equivalents")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Benchmark lifetimes: the Figure-8 experiment on a few workloads.
+
+Generates synthetic PARSEC traces calibrated to the paper's Table 2,
+loops them until first page failure under each wear-leveling scheme,
+and charts the normalized lifetimes.
+
+Run:  python examples/parsec_lifetime.py [benchmark ...]
+"""
+
+import sys
+
+from repro.analysis.tables import ResultTable, ascii_bar_chart
+from repro.config import ScaledArrayConfig
+from repro.sim.runner import measure_trace_lifetime
+from repro.traces.parsec import PARSEC_TABLE2, get_profile, make_benchmark_trace
+
+SCHEMES = ("nowl", "sr", "bwl", "twl")
+DEFAULT_BENCHMARKS = ("canneal", "streamcluster", "vips")
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(DEFAULT_BENCHMARKS)
+    unknown = [n for n in names if n not in PARSEC_TABLE2]
+    if unknown:
+        print(f"unknown benchmarks: {', '.join(unknown)}")
+        print(f"available: {', '.join(sorted(PARSEC_TABLE2))}")
+        raise SystemExit(1)
+
+    scaled = ScaledArrayConfig(n_pages=512, endurance_mean=6144.0)
+    table = ResultTable(["benchmark"] + list(SCHEMES))
+    for name in names:
+        profile = get_profile(name)
+        trace = make_benchmark_trace(profile, scaled.n_pages, 150_000, seed=2017)
+        print(f"simulating {name} (concentration {profile.concentration:.1f}) ...")
+        row = {"benchmark": name}
+        for scheme in SCHEMES:
+            result = measure_trace_lifetime(scheme, trace, scaled=scaled)
+            row[scheme] = round(result.lifetime_fraction, 3)
+        table.add_row(**row)
+
+    print()
+    print(table.render(title="Lifetime normalized to ideal (Figure 8 metric)"))
+    print()
+    for row in table.rows():
+        values = [row[scheme] for scheme in SCHEMES]
+        print(ascii_bar_chart(list(SCHEMES), values, title=row["benchmark"], width=30))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Watch wear leveling happen: wear-distribution timelines.
+
+Drives the same scan attack into three schemes and snapshots the wear
+Gini coefficient (0 = perfectly even wear) and the maximum wear fraction
+along the way — the dynamics behind the Figure-6 lifetimes.
+
+Run:  python examples/wear_timeline.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.timeline import WearTimeline
+from repro.attacks.registry import make_attack
+from repro.config import ScaledArrayConfig
+from repro.sim.drivers import AttackDriver
+from repro.sim.runner import build_array
+from repro.wearlevel.registry import make_scheme
+
+SCHEMES = ("nowl", "sr", "twl_swp")
+TOTAL_DEMAND = 200_000
+SNAPSHOTS = 8
+
+
+def main() -> None:
+    scaled = ScaledArrayConfig(n_pages=256, endurance_mean=3072.0)
+    timelines = {}
+    for scheme_name in SCHEMES:
+        array = build_array(scaled)
+        scheme = make_scheme(scheme_name, array, seed=2017)
+        attack = make_attack("repeat", scheme.logical_pages, seed=2017)
+        timeline = WearTimeline(scheme, AttackDriver(attack))
+        timeline.run(TOTAL_DEMAND, snapshots=SNAPSHOTS)
+        timelines[scheme_name] = timeline
+
+    print("Wear Gini over the repeat attack (lower = more even wear):\n")
+    axis = max(timelines.values(), key=lambda t: len(t.points)).demand_axis()
+    rows = []
+    for index, demand in enumerate(axis):
+        row = [demand]
+        for scheme_name in SCHEMES:
+            series = timelines[scheme_name].series("wear_gini")
+            row.append(round(series[index], 3) if index < len(series) else None)
+        rows.append(row)
+    print(format_table(["demand_writes"] + list(SCHEMES), rows, precision=3))
+
+    print("\nMaximum wear fraction (1.0 = first page death):\n")
+    rows = []
+    for index, demand in enumerate(axis):
+        row = [demand]
+        for scheme_name in SCHEMES:
+            series = timelines[scheme_name].series("max_wear_fraction")
+            row.append(round(series[index], 3) if index < len(series) else None)
+        rows.append(row)
+    print(format_table(["demand_writes"] + list(SCHEMES), rows, precision=3))
+
+    print(
+        "\nNOWL's Gini pegs near 1.0 (one page takes everything) and its\n"
+        "max wear hits 1.0 almost immediately; SR flattens wear but cannot\n"
+        "protect weak pages; TWL's toss-up plus inter-pair swaps spread\n"
+        "wear while keeping the weakest frames coolest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""Reproduction of "Toss-up Wear Leveling: Protecting Phase-Change
+Memories from Inconsistent Write Patterns" (Zhang & Sun, DAC 2017).
+
+The package provides the paper's entire evaluation stack: the PCM device
+model with process variation, the wear-leveling schemes it compares
+(NOWL, Start-Gap, Security Refresh, Wear-Rate Leveling, Bloom-filter
+WL), the Toss-up Wear Leveling contribution, the four attack workloads
+including the inconsistent-write attack, synthetic PARSEC workloads
+calibrated to the paper's Table 2, the lifetime simulator, the timing
+model behind Figure 9, and the hardware-cost model behind Section 5.4.
+
+Quickstart::
+
+    from repro import measure_attack_lifetime, attack_ideal_lifetime_years
+
+    result = measure_attack_lifetime("twl_swp", "inconsistent")
+    years = result.lifetime_fraction * attack_ideal_lifetime_years()
+"""
+
+from .version import __version__
+from .config import (
+    PCMConfig,
+    ScaledArrayConfig,
+    TimingConfig,
+    TWLConfig,
+    SecurityRefreshConfig,
+    StartGapConfig,
+    WRLConfig,
+    BWLConfig,
+    SimConfig,
+    PAPER_PCM,
+)
+from .errors import (
+    ReproError,
+    ConfigError,
+    AddressError,
+    PageWornOutError,
+    TableError,
+    TraceError,
+    SimulationError,
+    ExtrapolationError,
+)
+from .pcm import PCMArray, FirstFailure, WearStatistics
+from .core import TossUpWearLeveling
+from .wearlevel import (
+    WearLeveler,
+    NoWearLeveling,
+    StartGap,
+    SecurityRefresh,
+    WearRateLeveling,
+    BloomWearLeveling,
+    make_scheme,
+    scheme_names,
+)
+from .attacks import (
+    AttackWorkload,
+    RepeatWriteAttack,
+    RandomWriteAttack,
+    ScanWriteAttack,
+    InconsistentWriteAttack,
+    make_attack,
+    attack_names,
+)
+from .traces import (
+    Trace,
+    BenchmarkProfile,
+    PARSEC_TABLE2,
+    get_profile,
+    make_benchmark_trace,
+)
+from .sim import (
+    LifetimeResult,
+    run_to_failure,
+    fast_forward_to_failure,
+    FastForwardConfig,
+    TraceDriver,
+    AttackDriver,
+    build_array,
+    measure_attack_lifetime,
+    measure_trace_lifetime,
+)
+from .analysis import (
+    geometric_mean,
+    attack_ideal_lifetime_years,
+    ideal_lifetime_years,
+    PAPER_IDEAL_CALIBRATION,
+)
+from .hwcost import twl_design_overhead
+
+__all__ = [
+    "__version__",
+    # configuration
+    "PCMConfig",
+    "ScaledArrayConfig",
+    "TimingConfig",
+    "TWLConfig",
+    "SecurityRefreshConfig",
+    "StartGapConfig",
+    "WRLConfig",
+    "BWLConfig",
+    "SimConfig",
+    "PAPER_PCM",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "AddressError",
+    "PageWornOutError",
+    "TableError",
+    "TraceError",
+    "SimulationError",
+    "ExtrapolationError",
+    # device
+    "PCMArray",
+    "FirstFailure",
+    "WearStatistics",
+    # schemes
+    "TossUpWearLeveling",
+    "WearLeveler",
+    "NoWearLeveling",
+    "StartGap",
+    "SecurityRefresh",
+    "WearRateLeveling",
+    "BloomWearLeveling",
+    "make_scheme",
+    "scheme_names",
+    # attacks
+    "AttackWorkload",
+    "RepeatWriteAttack",
+    "RandomWriteAttack",
+    "ScanWriteAttack",
+    "InconsistentWriteAttack",
+    "make_attack",
+    "attack_names",
+    # traces
+    "Trace",
+    "BenchmarkProfile",
+    "PARSEC_TABLE2",
+    "get_profile",
+    "make_benchmark_trace",
+    # simulation
+    "LifetimeResult",
+    "run_to_failure",
+    "fast_forward_to_failure",
+    "FastForwardConfig",
+    "TraceDriver",
+    "AttackDriver",
+    "build_array",
+    "measure_attack_lifetime",
+    "measure_trace_lifetime",
+    # analysis
+    "geometric_mean",
+    "attack_ideal_lifetime_years",
+    "ideal_lifetime_years",
+    "PAPER_IDEAL_CALIBRATION",
+    # hardware cost
+    "twl_design_overhead",
+]

@@ -1,0 +1,100 @@
+"""Markdown report generation.
+
+``build_report`` runs a chosen subset of the experiments and assembles a
+single self-contained Markdown document (tables included verbatim) —
+the programmatic counterpart of EXPERIMENTS.md, regenerable on any
+machine with ``twl-repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional, Sequence
+
+from ..experiments import ablations, energy, fig6, fig7, fig8, fig9, overhead, table2
+from ..experiments.setups import ExperimentSetup, default_setup
+from .calibration import attack_ideal_lifetime_years
+from .tables import ResultTable
+
+DEFAULT_SECTIONS: Sequence[str] = (
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "overhead",
+    "energy",
+)
+
+
+def _code_block(table: ResultTable, precision: int = 3) -> str:
+    return "```\n" + table.render(precision=precision) + "\n```\n"
+
+
+def build_report(
+    setup: Optional[ExperimentSetup] = None,
+    sections: Sequence[str] = DEFAULT_SECTIONS,
+) -> str:
+    """Run the selected experiments and return the Markdown report."""
+    setup = setup or default_setup()
+    known = set(DEFAULT_SECTIONS) | {"ablations"}
+    unknown = [s for s in sections if s not in known]
+    if unknown:
+        raise ValueError(f"unknown report sections: {unknown}")
+
+    out = io.StringIO()
+    out.write("# TWL reproduction report\n\n")
+    out.write(
+        f"Scaled array: {setup.scaled.n_pages} pages, mean endurance "
+        f"{setup.scaled.endurance_mean:.0f}; seed {setup.seed}.\n\n"
+    )
+
+    if "table2" in sections:
+        out.write("## Table 2 — benchmark characterization\n\n")
+        out.write(_code_block(table2.run(setup), precision=1))
+        out.write("\n")
+    if "fig6" in sections:
+        ideal = attack_ideal_lifetime_years()
+        out.write(
+            f"## Figure 6 — lifetime under attacks (years; ideal {ideal:.2f})\n\n"
+        )
+        out.write(_code_block(fig6.run(setup), precision=2))
+        out.write("\n")
+        out.write('### "Worn out quickly" cells at full scale\n\n')
+        out.write(_code_block(fig6.quick_death_report(setup), precision=4))
+        out.write("\n")
+    if "fig7" in sections:
+        out.write("## Figure 7 — toss-up interval sweep\n\n")
+        out.write(_code_block(fig7.run(setup), precision=4))
+        out.write("\n")
+    if "fig8" in sections:
+        out.write("## Figure 8 — normalized lifetime\n\n")
+        out.write(_code_block(fig8.run(setup), precision=3))
+        out.write("\n")
+    if "fig9" in sections:
+        out.write("## Figure 9 — normalized execution time\n\n")
+        out.write(_code_block(fig9.run(setup), precision=4))
+        out.write("\n")
+    if "overhead" in sections:
+        out.write("## Section 5.4 — design overhead\n\n")
+        out.write(_code_block(overhead.run(setup)))
+        out.write("\n")
+    if "energy" in sections:
+        out.write("## E1 — write-energy overhead (extension)\n\n")
+        out.write(_code_block(energy.run(setup), precision=4))
+        out.write("\n")
+    if "ablations" in sections:
+        out.write("## Ablations\n\n")
+        for title, table in (
+            ("A1 — pairing policy", ablations.pairing_ablation(setup)),
+            ("A2 — inter-pair interval", ablations.inter_pair_interval_ablation(setup)),
+            ("A3 — endurance sigma", ablations.sigma_ablation(setup)),
+            ("A4 — toss-up endurance mode", ablations.remaining_endurance_ablation(setup)),
+            ("A5 — workload footprint", ablations.footprint_ablation(setup)),
+            ("A6 — SR structure", ablations.sr_level_ablation(setup)),
+            ("A9 — page retirement vs TWL", ablations.retirement_ablation(setup)),
+        ):
+            out.write(f"### {title}\n\n")
+            out.write(_code_block(table, precision=3))
+            out.write("\n")
+    return out.getvalue()

@@ -1,0 +1,262 @@
+"""Dependency-free SVG rendering of the reproduction's figures.
+
+The ASCII charts in `repro.analysis.tables` are for terminals; this
+module writes real vector figures — grouped bar charts (Figures 6/8/9),
+line charts (Figure 7, wear timelines) and wear heatmaps — as plain SVG
+strings, with no plotting library required.  Output is validated as
+well-formed XML in ``tests/test_svg.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+from xml.sax.saxutils import escape
+
+_FONT = "font-family='Helvetica,Arial,sans-serif'"
+
+#: A colorblind-safe categorical palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2",
+    "#E69F00",
+    "#009E73",
+    "#CC79A7",
+    "#56B4E9",
+    "#D55E00",
+    "#F0E442",
+    "#000000",
+)
+
+
+def _header(width: int, height: int, title: Optional[str]) -> List[str]:
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}'>",
+        f"<rect width='{width}' height='{height}' fill='white'/>",
+    ]
+    if title:
+        parts.append(
+            f"<text x='{width / 2}' y='20' text-anchor='middle' "
+            f"font-size='14' {_FONT}>{escape(title)}</text>"
+        )
+    return parts
+
+
+def svg_grouped_bars(
+    group_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    width: int = 720,
+    height: int = 360,
+    y_label: str = "",
+) -> str:
+    """Grouped vertical bars — the shape of the paper's Figures 6/8/9."""
+    if not group_labels or not series:
+        raise ValueError("need at least one group and one series")
+    for name, values in series.items():
+        if len(values) != len(group_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+        if any(v < 0 for v in values):
+            raise ValueError(f"series {name!r} has negative values")
+
+    margin_left, margin_bottom, margin_top = 56, 70, 34
+    plot_w = width - margin_left - 16
+    plot_h = height - margin_top - margin_bottom
+    peak = max(max(values) for values in series.values()) or 1.0
+
+    parts = _header(width, height, title)
+    # Axes.
+    axis_y0 = margin_top + plot_h
+    parts.append(
+        f"<line x1='{margin_left}' y1='{margin_top}' x2='{margin_left}' "
+        f"y2='{axis_y0}' stroke='black'/>"
+    )
+    parts.append(
+        f"<line x1='{margin_left}' y1='{axis_y0}' "
+        f"x2='{margin_left + plot_w}' y2='{axis_y0}' stroke='black'/>"
+    )
+    for tick in range(5):
+        value = peak * tick / 4
+        y = axis_y0 - plot_h * tick / 4
+        parts.append(
+            f"<text x='{margin_left - 6}' y='{y + 4}' text-anchor='end' "
+            f"font-size='10' {_FONT}>{value:.2g}</text>"
+        )
+        parts.append(
+            f"<line x1='{margin_left}' y1='{y}' x2='{margin_left + plot_w}' "
+            f"y2='{y}' stroke='#dddddd'/>"
+        )
+    if y_label:
+        parts.append(
+            f"<text x='14' y='{margin_top + plot_h / 2}' font-size='11' {_FONT} "
+            f"transform='rotate(-90 14 {margin_top + plot_h / 2})' "
+            f"text-anchor='middle'>{escape(y_label)}</text>"
+        )
+
+    n_groups = len(group_labels)
+    n_series = len(series)
+    group_w = plot_w / n_groups
+    bar_w = group_w * 0.8 / n_series
+    for g_index, group in enumerate(group_labels):
+        x0 = margin_left + g_index * group_w + group_w * 0.1
+        for s_index, (name, values) in enumerate(series.items()):
+            value = values[g_index]
+            bar_h = plot_h * value / peak
+            x = x0 + s_index * bar_w
+            y = axis_y0 - bar_h
+            color = PALETTE[s_index % len(PALETTE)]
+            parts.append(
+                f"<rect x='{x:.1f}' y='{y:.1f}' width='{bar_w:.1f}' "
+                f"height='{bar_h:.1f}' fill='{color}'>"
+                f"<title>{escape(str(name))} / {escape(str(group))}: "
+                f"{value:.4g}</title></rect>"
+            )
+        label_x = margin_left + g_index * group_w + group_w / 2
+        parts.append(
+            f"<text x='{label_x:.1f}' y='{axis_y0 + 14}' text-anchor='middle' "
+            f"font-size='10' {_FONT} transform='rotate(30 {label_x:.1f} "
+            f"{axis_y0 + 14})'>{escape(str(group))}</text>"
+        )
+
+    # Legend.
+    legend_y = height - 16
+    legend_x = margin_left
+    for s_index, name in enumerate(series):
+        color = PALETTE[s_index % len(PALETTE)]
+        parts.append(
+            f"<rect x='{legend_x}' y='{legend_y - 9}' width='10' height='10' "
+            f"fill='{color}'/>"
+        )
+        parts.append(
+            f"<text x='{legend_x + 14}' y='{legend_y}' font-size='11' {_FONT}>"
+            f"{escape(str(name))}</text>"
+        )
+        legend_x += 14 + 8 * len(str(name)) + 18
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_line_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    width: int = 720,
+    height: int = 320,
+    log_x: bool = False,
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart (Figure 7, wear timelines)."""
+    if not x_values or not series:
+        raise ValueError("need x values and at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    if log_x and any(x <= 0 for x in x_values):
+        raise ValueError("log x-axis needs positive x values")
+
+    import math
+
+    margin_left, margin_bottom, margin_top = 56, 44, 34
+    plot_w = width - margin_left - 16
+    plot_h = height - margin_top - margin_bottom
+    xs = [math.log10(x) for x in x_values] if log_x else list(x_values)
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+    y_max = max(max(values) for values in series.values()) or 1.0
+
+    def px(x: float) -> float:
+        return margin_left + plot_w * (x - x_min) / x_span
+
+    def py(y: float) -> float:
+        return margin_top + plot_h * (1 - y / y_max)
+
+    parts = _header(width, height, title)
+    axis_y0 = margin_top + plot_h
+    parts.append(
+        f"<line x1='{margin_left}' y1='{margin_top}' x2='{margin_left}' "
+        f"y2='{axis_y0}' stroke='black'/>"
+    )
+    parts.append(
+        f"<line x1='{margin_left}' y1='{axis_y0}' "
+        f"x2='{margin_left + plot_w}' y2='{axis_y0}' stroke='black'/>"
+    )
+    for tick in range(5):
+        value = y_max * tick / 4
+        y = py(value)
+        parts.append(
+            f"<text x='{margin_left - 6}' y='{y + 4}' text-anchor='end' "
+            f"font-size='10' {_FONT}>{value:.2g}</text>"
+        )
+    for raw, x in zip(x_values, xs):
+        parts.append(
+            f"<text x='{px(x):.1f}' y='{axis_y0 + 14}' text-anchor='middle' "
+            f"font-size='9' {_FONT}>{raw:g}</text>"
+        )
+    if y_label:
+        parts.append(
+            f"<text x='14' y='{margin_top + plot_h / 2}' font-size='11' {_FONT} "
+            f"transform='rotate(-90 14 {margin_top + plot_h / 2})' "
+            f"text-anchor='middle'>{escape(y_label)}</text>"
+        )
+
+    for s_index, (name, values) in enumerate(series.items()):
+        color = PALETTE[s_index % len(PALETTE)]
+        points = " ".join(
+            f"{px(x):.1f},{py(v):.1f}" for x, v in zip(xs, values)
+        )
+        parts.append(
+            f"<polyline points='{points}' fill='none' stroke='{color}' "
+            f"stroke-width='2'><title>{escape(str(name))}</title></polyline>"
+        )
+        parts.append(
+            f"<text x='{px(xs[-1]) + 4:.1f}' y='{py(values[-1]) + 4:.1f}' "
+            f"font-size='10' fill='{color}' {_FONT}>{escape(str(name))}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_wear_heatmap(
+    wear_fractions: Sequence[float],
+    columns: int = 32,
+    title: Optional[str] = None,
+    cell: int = 12,
+) -> str:
+    """Per-page wear as a color grid (white = fresh, dark red = dead)."""
+    values = list(wear_fractions)
+    if not values:
+        raise ValueError("need at least one page")
+    if columns < 1:
+        raise ValueError("need at least one column")
+    if any(v < 0 for v in values):
+        raise ValueError("wear fractions must be non-negative")
+
+    rows = (len(values) + columns - 1) // columns
+    margin_top = 30 if title else 6
+    width = columns * cell + 12
+    height = rows * cell + margin_top + 6
+    parts = _header(width, height, title)
+    for index, value in enumerate(values):
+        clipped = min(1.0, value)
+        # White -> red ramp; fully worn pages get a black border.
+        red = 255
+        greenblue = int(round(255 * (1 - clipped)))
+        x = 6 + (index % columns) * cell
+        y = margin_top + (index // columns) * cell
+        stroke = "black" if clipped >= 1.0 else "#cccccc"
+        parts.append(
+            f"<rect x='{x}' y='{y}' width='{cell - 1}' height='{cell - 1}' "
+            f"fill='rgb({red},{greenblue},{greenblue})' stroke='{stroke}' "
+            f"stroke-width='0.5'><title>page {index}: "
+            f"{value:.3f}</title></rect>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg_text: str, path: str) -> None:
+    """Write an SVG string to ``path`` (directories created)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(svg_text)

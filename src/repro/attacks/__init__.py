@@ -1,0 +1,34 @@
+"""Wear-out attack workloads (paper Sections 3 and 5.2).
+
+Four attack modes drive the Figure-6 evaluation:
+
+* :class:`RepeatWriteAttack` — hammer one fixed address;
+* :class:`RandomWriteAttack` — uniformly random addresses;
+* :class:`ScanWriteAttack` — consecutive addresses;
+* :class:`InconsistentWriteAttack` — the paper's contribution: shape the
+  write distribution during prediction, detect the swap phase through
+  response-time measurements, then reverse the distribution.
+
+Attackers see only what the threat model allows: the addresses they
+choose and per-request response latency (:class:`SwapDetector`).
+"""
+
+from .base import AttackWorkload
+from .repeat import RepeatWriteAttack
+from .random_attack import RandomWriteAttack
+from .scan import ScanWriteAttack
+from .inconsistent import InconsistentWriteAttack
+from .detector import SwapDetector
+from .registry import ATTACK_FACTORIES, make_attack, attack_names
+
+__all__ = [
+    "AttackWorkload",
+    "RepeatWriteAttack",
+    "RandomWriteAttack",
+    "ScanWriteAttack",
+    "InconsistentWriteAttack",
+    "SwapDetector",
+    "ATTACK_FACTORIES",
+    "make_attack",
+    "attack_names",
+]

@@ -1,0 +1,42 @@
+"""Attack workload interface.
+
+An attack is an adaptive request generator: it emits the next logical
+address to write and receives the response latency of each request — the
+only feedback channel the paper's threat model grants ("the attacker can
+use some instructions (e.g. rdtsc()) to measure the memory response
+time"; internal wear-leveling state is never exposed).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..errors import ConfigError
+
+
+class AttackWorkload(abc.ABC):
+    """Base class for adaptive attack write streams."""
+
+    #: Registry name; subclasses override.
+    name = "attack"
+
+    def __init__(self, n_pages: int):
+        if n_pages < 1:
+            raise ConfigError("attack needs at least one target page")
+        self.n_pages = n_pages
+        self.writes_emitted = 0
+
+    @abc.abstractmethod
+    def next_write(self) -> int:
+        """Logical address of the attacker's next write."""
+
+    def observe_response(self, latency_cycles: float) -> None:
+        """Feed back the measured response time of the last request.
+
+        Non-adaptive attacks ignore it; the inconsistent-write attack
+        uses it to detect swap phases.
+        """
+
+    def _emit(self, logical: int) -> int:
+        self.writes_emitted += 1
+        return logical

@@ -1,0 +1,49 @@
+"""Response-time swap detection (the attacker's side channel).
+
+"Memory swaps will block all memory requests to ensure memory integrity,
+which leads to an increase in memory response time" (Section 3.2,
+footnote).  The detector learns a baseline response latency online and
+flags any request whose latency exceeds the baseline by a configurable
+factor — it never sees scheme internals.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class SwapDetector:
+    """Online threshold detector over response latencies."""
+
+    def __init__(self, threshold_factor: float = 1.5, warmup: int = 8):
+        if threshold_factor <= 1.0:
+            raise ConfigError("threshold factor must exceed 1.0")
+        if warmup < 1:
+            raise ConfigError("warmup must be at least one sample")
+        self.threshold_factor = threshold_factor
+        self.warmup = warmup
+        self._samples = 0
+        self._baseline = 0.0
+        self.detections = 0
+
+    def observe(self, latency_cycles: float) -> bool:
+        """Record one response time; True when a swap is detected.
+
+        The baseline tracks the *minimum* observed latency: plain writes
+        dominate the stream, so the smallest latencies are unblocked
+        requests, and anything threshold_factor above them was blocked.
+        """
+        if latency_cycles <= 0:
+            raise ValueError("latency must be positive")
+        if self._samples < self.warmup:
+            self._samples += 1
+            if self._baseline == 0.0 or latency_cycles < self._baseline:
+                self._baseline = latency_cycles
+            return False
+        if latency_cycles < self._baseline:
+            self._baseline = latency_cycles
+            return False
+        if latency_cycles > self._baseline * self.threshold_factor:
+            self.detections += 1
+            return True
+        return False

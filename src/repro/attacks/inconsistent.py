@@ -1,0 +1,182 @@
+"""The inconsistent-write attack (paper Section 3.2).
+
+The attack exploits the consistency assumption of prediction-swap-running
+wear leveling:
+
+* **Step 1** — write a set of target pages with a monotonically
+  increasing intensity staircase (``W_1 < W_k < W_N``), misleading the
+  predictor into ranking the low-index targets cold and the high-index
+  targets hot, while watching response times for the blocking swap phase.
+* **Step 2** — the moment a swap is detected, *reverse* the staircase:
+  the pages the predictor placed on the weakest (or most-worn) frames
+  are now hammered hardest.  Repeat, flipping at every detected swap.
+
+Three practical details, all within the paper's threat model (the
+attacker issues arbitrary address streams and measures response times):
+
+* **phase pacing** — one full staircase pass should span one prediction
+  phase, exactly as the paper's two-step loop assumes ("Write LA_i for
+  W_i times ... detect the start and end of swap phase").  The attacker
+  learns the phase length online from the spacing of detected swaps and
+  rescales its staircase after every flip.
+* **background scan** — each pass also touches every non-target page
+  once, so no page looks *less* written than the attacker's designated
+  victims; defenses that refuse to displace never-written pages are
+  thereby neutralized.  The victims are written *last* in the pass, so
+  they are the freshest entries in any recency-based cold structure.
+* **small target set** — the hammered page's traffic share after a
+  reversal is independent of memory size, which is what lets the attack
+  kill a full-scale 32 GB PCM in minutes once its victim sits on a weak
+  frame.
+
+When no swap is observable for ``patience`` writes (a swap phase that
+moved no data produces no latency spike), the attacker flips blind —
+"keep detecting" degrades to probing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+from .base import AttackWorkload
+from .detector import SwapDetector
+
+#: Exponential-moving-average factor for the online phase-length estimate.
+_PERIOD_EMA = 0.5
+
+
+class InconsistentWriteAttack(AttackWorkload):
+    """Distribution-reversing attack against prediction-based schemes."""
+
+    name = "inconsistent"
+
+    def __init__(
+        self,
+        n_pages: int,
+        n_targets: Optional[int] = None,
+        detector: Optional[SwapDetector] = None,
+        patience: int = 20_000,
+        initial_period: Optional[int] = None,
+        background_scan: bool = True,
+        victim_count: Optional[int] = None,
+    ):
+        super().__init__(n_pages)
+        if n_targets is None:
+            n_targets = min(64, n_pages)
+        if not 1 <= n_targets <= n_pages:
+            raise ConfigError(
+                f"n_targets must be in [1, {n_pages}], got {n_targets}"
+            )
+        if patience < 1:
+            raise ConfigError(f"patience must be positive, got {patience}")
+        if victim_count is None:
+            victim_count = max(1, n_targets // 8)
+        if not 1 <= victim_count <= n_targets:
+            raise ConfigError(
+                f"victim_count must be in [1, {n_targets}], got {victim_count}"
+            )
+        self.n_targets = n_targets
+        self.victim_count = victim_count
+        self.background_scan = background_scan
+        self.detector = detector if detector is not None else SwapDetector()
+        self.patience = patience
+        self.reversals = 0
+        self._reversed = False
+        self._period_estimate = float(initial_period or 8 * n_targets)
+        self._writes_since_flip = 0
+        self._flip_pending = False
+        self._pass_schedule: List[int] = []
+        self._build_pass()
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Pass construction
+    # ------------------------------------------------------------------
+    def _staircase_weights(self) -> List[int]:
+        """Per-target write counts, scaled to fill the estimated phase.
+
+        Ranks 1..T are scaled so one pass (staircase plus optional scan)
+        spans roughly one prediction phase; the direction flag decides
+        which end of the target range is hammered.
+        """
+        count = self.n_targets
+        budget = self._period_estimate
+        if self.background_scan:
+            budget -= self.n_pages - count
+        rank_sum = count * (count + 1) / 2
+        scale = max(1.0, budget / rank_sum)
+        weights = [max(1, int(round(rank * scale))) for rank in range(1, count + 1)]
+        if self._reversed:
+            weights.reverse()
+        return weights
+
+    def _build_pass(self) -> None:
+        """Materialize one pass of the attack write sequence.
+
+        Order within the pass: hot decoy bursts first (heaviest first),
+        then the background scan over non-target pages, then the
+        designated victims — written last so they are the most recent
+        cold observations the defense holds.
+        """
+        weights = self._staircase_weights()
+        order = sorted(range(self.n_targets), key=lambda i: -weights[i])
+        victims = list(reversed(order[-self.victim_count:]))
+        decoys = order[: self.n_targets - self.victim_count]
+        schedule: List[int] = []
+        for position in decoys:
+            schedule.extend([position] * weights[position])
+        if self.background_scan:
+            schedule.extend(range(self.n_targets, self.n_pages))
+        for position in victims:
+            schedule.extend([position] * weights[position])
+        self._pass_schedule = schedule
+
+    def victim_share(self) -> float:
+        """Traffic share of the most-hammered page after a reversal.
+
+        Scale-invariant given a fixed period/footprint ratio; used by
+        the full-scale extrapolation of the Figure-6 "worn out quickly"
+        entries.
+        """
+        weights = self._staircase_weights()
+        return max(weights) / len(self._pass_schedule)
+
+    @property
+    def period_estimate(self) -> float:
+        """Current online estimate of the victim scheme's phase length."""
+        return self._period_estimate
+
+    # ------------------------------------------------------------------
+    # Write stream
+    # ------------------------------------------------------------------
+    def next_write(self) -> int:
+        if self._flip_pending:
+            self._flip_pending = False
+            self._reversed = not self._reversed
+            self.reversals += 1
+            self._build_pass()
+            self._cursor = 0
+        page = self._pass_schedule[self._cursor]
+        self._cursor += 1
+        if self._cursor == len(self._pass_schedule):
+            self._cursor = 0
+        return self._emit(page)
+
+    def observe_response(self, latency_cycles: float) -> None:
+        """Flip on a detected swap; refine the phase-length estimate.
+
+        Falls back to a blind flip when nothing observable happened for
+        ``patience`` writes.
+        """
+        self._writes_since_flip += 1
+        detected = self.detector.observe(latency_cycles)
+        if not detected and self._writes_since_flip < self.patience:
+            return
+        if detected:
+            self._period_estimate = (
+                (1 - _PERIOD_EMA) * self._period_estimate
+                + _PERIOD_EMA * self._writes_since_flip
+            )
+        self._flip_pending = True
+        self._writes_since_flip = 0

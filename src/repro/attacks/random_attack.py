@@ -1,0 +1,26 @@
+"""Random write attack: uniformly random addresses.
+
+"Random write mode: write addresses are random" (Section 5.2).  Under a
+uniform stream every scheme's wear converges to its intrinsic
+distribution — PV-unaware schemes die at the weakest page, PV-aware ones
+can do better.
+"""
+
+from __future__ import annotations
+
+from ..rng.streams import derive_seed
+from ..rng.xorshift import XorShift32
+from .base import AttackWorkload
+
+
+class RandomWriteAttack(AttackWorkload):
+    """Uniformly random write addresses."""
+
+    name = "random"
+
+    def __init__(self, n_pages: int, seed: int = 0):
+        super().__init__(n_pages)
+        self._rng = XorShift32((derive_seed(seed, "attack-random") % 0xFFFF_FFFE) + 1)
+
+    def next_write(self) -> int:
+        return self._emit(self._rng.next_below(self.n_pages))

@@ -1,0 +1,35 @@
+"""Attack registry: build any attack workload by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigError
+from .base import AttackWorkload
+from .inconsistent import InconsistentWriteAttack
+from .random_attack import RandomWriteAttack
+from .repeat import RepeatWriteAttack
+from .scan import ScanWriteAttack
+
+ATTACK_FACTORIES: Dict[str, Callable] = {
+    "repeat": lambda n_pages, seed=0, **kw: RepeatWriteAttack(n_pages, **kw),
+    "random": lambda n_pages, seed=0, **kw: RandomWriteAttack(n_pages, seed=seed, **kw),
+    "scan": lambda n_pages, seed=0, **kw: ScanWriteAttack(n_pages, **kw),
+    "inconsistent": lambda n_pages, seed=0, **kw: InconsistentWriteAttack(n_pages, **kw),
+}
+
+
+def attack_names() -> List[str]:
+    """All registered attack names, in the paper's Figure-6 order."""
+    return ["repeat", "random", "scan", "inconsistent"]
+
+
+def make_attack(name: str, n_pages: int, seed: int = 0, **kwargs) -> AttackWorkload:
+    """Instantiate attack ``name`` over an ``n_pages`` logical space."""
+    try:
+        factory = ATTACK_FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown attack {name!r}; known: {', '.join(sorted(ATTACK_FACTORIES))}"
+        ) from None
+    return factory(n_pages, seed=seed, **kwargs)

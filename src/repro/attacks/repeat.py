@@ -1,0 +1,25 @@
+"""Repeat write attack: hammer one fixed address.
+
+The classic PCM wear-out attack ("Repeat write mode: fix one address to
+write", Section 5.2, after Qureshi et al. [11]).  Defeats any system
+without wear leveling in seconds; any remapping scheme spreads it.
+"""
+
+from __future__ import annotations
+
+from .base import AttackWorkload
+
+
+class RepeatWriteAttack(AttackWorkload):
+    """All writes target a single logical page."""
+
+    name = "repeat"
+
+    def __init__(self, n_pages: int, target: int = 0):
+        super().__init__(n_pages)
+        if not 0 <= target < n_pages:
+            raise ValueError(f"target {target} out of range [0, {n_pages})")
+        self.target = target
+
+    def next_write(self) -> int:
+        return self._emit(self.target)

@@ -1,0 +1,30 @@
+"""Scan write attack: consecutive addresses.
+
+"Scan write mode: write addresses are consecutive" (Section 5.2).  The
+worst case for TWL's swap overhead: alternating between the members of a
+pair keeps the toss-up in the paper's Case-4 regime (swap probability
+near 1/2), which is why the scan column is TWL's minimum in Figure 6.
+"""
+
+from __future__ import annotations
+
+from .base import AttackWorkload
+
+
+class ScanWriteAttack(AttackWorkload):
+    """Sequential write addresses, wrapping at the top of memory."""
+
+    name = "scan"
+
+    def __init__(self, n_pages: int, start: int = 0):
+        super().__init__(n_pages)
+        if not 0 <= start < n_pages:
+            raise ValueError(f"start {start} out of range [0, {n_pages})")
+        self._next = start
+
+    def next_write(self) -> int:
+        current = self._next
+        self._next += 1
+        if self._next == self.n_pages:
+            self._next = 0
+        return self._emit(current)

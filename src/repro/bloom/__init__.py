@@ -1,0 +1,11 @@
+"""Counting Bloom filter substrate for the BWL baseline [Yun et al., DATE'12].
+
+BWL identifies hot logical addresses and worn physical pages with counting
+Bloom filters instead of full per-page counters; this subpackage provides
+the filter and the hardware-style hash family it probes with.
+"""
+
+from .hashes import HashFamily
+from .counting_bloom import CountingBloomFilter
+
+__all__ = ["HashFamily", "CountingBloomFilter"]

@@ -1,0 +1,54 @@
+"""Hash family for Bloom filters.
+
+Hardware Bloom filters use a small set of cheap independent hash
+functions.  We model them with multiply-shift hashing (Dietzfelbinger et
+al.): ``h_i(x) = (a_i * x + b_i) >> (64 - log2(m))``, which is 2-universal
+and maps onto a multiplier plus a barrel shifter in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+from ..rng.streams import derive_seed
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class HashFamily:
+    """``k`` independent multiply-shift hashes onto ``[0, m)``.
+
+    ``m`` must be a power of two (the shift amount is 64 - log2(m)).
+    """
+
+    def __init__(self, k: int, m: int, seed: int = 0):
+        if k < 1:
+            raise ConfigError(f"need at least one hash, got {k}")
+        if m < 2 or (m & (m - 1)) != 0:
+            raise ConfigError(f"range m must be a power of two >= 2, got {m}")
+        self.k = k
+        self.m = m
+        self._shift = 64 - (m.bit_length() - 1)
+        self._params = []
+        for i in range(k):
+            a = derive_seed(seed, "bloom-a", i) | 1  # multiplier must be odd
+            b = derive_seed(seed, "bloom-b", i)
+            self._params.append((a & _MASK64, b & _MASK64))
+        # Keys are page addresses and recur constantly in simulation hot
+        # loops; memoizing the probe positions is behaviour-neutral (the
+        # function is pure) and removes three wide multiplies per probe.
+        self._cache = {}
+
+    def indices(self, key: int) -> List[int]:
+        """The ``k`` probe positions for ``key``."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if key < 0:
+            raise ValueError(f"key must be non-negative, got {key}")
+        out = []
+        for a, b in self._params:
+            out.append(((a * key + b) & _MASK64) >> self._shift)
+        self._cache[key] = out
+        return out

@@ -1,0 +1,153 @@
+"""Command-line entry point.
+
+``twl-repro <experiment>`` regenerates any table or figure of the paper::
+
+    twl-repro table2
+    twl-repro fig6 --quick
+    twl-repro all
+
+``--quick`` runs at the reduced CI scale (same mechanisms, smaller
+array, subsampled benchmark list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .experiments import ablations, energy, fig6, fig7, fig8, fig9, overhead, table1, table2
+from .experiments.setups import ExperimentSetup, default_setup, quick_setup
+
+
+def _print(title: str, body: str) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)
+    print()
+
+
+def _run_table1(setup: ExperimentSetup) -> None:
+    _print("Table 1 — simulation setup", table1.run(setup).render())
+
+
+def _run_table2(setup: ExperimentSetup) -> None:
+    _print("Table 2 — benchmarks", table2.run(setup).render(precision=1))
+
+
+def _run_fig6(setup: ExperimentSetup) -> None:
+    _print("Figure 6 — lifetime under attacks (years)", fig6.run(setup).render(precision=2))
+    _print(
+        'Figure 6 — "worn out quickly" full-scale extrapolation',
+        fig6.quick_death_report(setup).render(precision=4),
+    )
+
+
+def _run_fig7(setup: ExperimentSetup) -> None:
+    _print("Figure 7 — toss-up interval sweep", fig7.run(setup).render(precision=4))
+
+
+def _run_fig8(setup: ExperimentSetup) -> None:
+    _print("Figure 8 — normalized lifetime", fig8.run(setup).render(precision=3))
+
+
+def _run_fig9(setup: ExperimentSetup) -> None:
+    _print("Figure 9 — normalized execution time", fig9.run(setup).render(precision=4))
+
+
+def _run_overhead(setup: ExperimentSetup) -> None:
+    _print("Section 5.4 — design overhead", overhead.run(setup).render())
+
+
+def _run_energy(setup: ExperimentSetup) -> None:
+    _print("E1 — write-energy overhead", energy.run(setup).render(precision=4))
+
+
+def _run_ablations(setup: ExperimentSetup) -> None:
+    _print("A1 — pairing policy", ablations.pairing_ablation(setup).render(precision=2))
+    _print(
+        "A2 — inter-pair interval",
+        ablations.inter_pair_interval_ablation(setup).render(precision=4),
+    )
+    _print("A3 — endurance sigma", ablations.sigma_ablation(setup).render(precision=2))
+    _print(
+        "A5 — workload footprint",
+        ablations.footprint_ablation(setup).render(precision=3),
+    )
+    _print(
+        "A4 — toss-up endurance mode",
+        ablations.remaining_endurance_ablation(setup).render(precision=2),
+    )
+    _print("A6 — SR structure", ablations.sr_level_ablation(setup).render(precision=2))
+    _print(
+        "A9 — page retirement vs TWL",
+        ablations.retirement_ablation(setup).render(precision=2),
+    )
+
+
+_EXPERIMENTS: Dict[str, Callable[[ExperimentSetup], None]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "overhead": _run_overhead,
+    "ablations": _run_ablations,
+    "energy": _run_energy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="twl-repro",
+        description=(
+            "Reproduce the tables and figures of 'Toss-up Wear Leveling' "
+            "(DAC 2017)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "report"],
+        help="which table/figure to regenerate ('report' builds Markdown)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run at the reduced CI scale",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="for 'report': write the Markdown report to this file",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    setup = quick_setup() if args.quick else default_setup()
+    if args.experiment == "report":
+        from .analysis.report import build_report
+
+        text = build_report(setup)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
+    if args.experiment == "all":
+        for name in ("table1", "table2", "fig6", "fig7", "fig8", "fig9", "overhead", "energy", "ablations"):
+            _EXPERIMENTS[name](setup)
+    else:
+        _EXPERIMENTS[args.experiment](setup)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Pair-table construction for the TWL pairing policies.
+
+At format time the remapping table is the identity, so pairing logical
+pages by the endurance of their (identical) physical frames realizes the
+paper's strong-weak pairing directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import (
+    PAIRING_ADJACENT,
+    PAIRING_RANDOM,
+    PAIRING_STRONG_WEAK,
+)
+from ..errors import ConfigError
+from ..rng.streams import make_generator
+from ..tables.pair_table import PairTable
+
+
+def build_pair_table(
+    endurance: np.ndarray,
+    pairing: str,
+    seed: int = 0,
+) -> PairTable:
+    """Build the SWPT for ``pairing`` over pages with ``endurance``.
+
+    Policies:
+
+    * ``"swp"`` — strong-weak pairing (§4.3): maximal endurance contrast
+      within each pair;
+    * ``"ap"`` — adjacent pairing (the naive "TWL_ap" of Figure 6);
+    * ``"random"`` — uniformly random matching (used in ablations).
+    """
+    n_pages = int(np.asarray(endurance).size)
+    if pairing == PAIRING_STRONG_WEAK:
+        return PairTable.strong_weak(endurance)
+    if pairing == PAIRING_ADJACENT:
+        return PairTable.adjacent(n_pages)
+    if pairing == PAIRING_RANDOM:
+        return PairTable.random(n_pages, make_generator(seed, "pairing"))
+    raise ConfigError(f"unknown pairing policy {pairing!r}")

@@ -1,0 +1,175 @@
+"""Toss-up Wear Leveling — the full engine (paper Figure 5).
+
+Write flow per demand write to logical page LA:
+
+1. The write counter table (WCT) counts the write; only when the counter
+   reaches the toss-up interval does the TWL engine activate
+   (interval-triggered toss-up, §4.3) — otherwise the write goes straight
+   through the remapping table.
+2. On activation: the SWPT yields LA's partner, the RT maps both to
+   physical frames, the ET supplies their endurance, and the toss-up
+   picks the frame with probability proportional to endurance.
+3. The swap judge either writes directly or performs the two-write
+   "swap-then-write" and exchanges the pair's RT entries.
+4. Independently, every ``inter_pair_swap_interval`` demand writes the
+   written page's frame is exchanged with the frame of a uniformly random
+   logical page (inter-pair swap, §4.1), distributing writes *between*
+   pairs; with ``maintain_physical_pairs`` the SWPT is conjugated so the
+   physical strong-weak pairs stay intact.
+
+TWL never predicts future write intensity — the property that makes it
+immune to the inconsistent-write attack.
+"""
+
+from __future__ import annotations
+
+from ..config import TWLConfig
+from ..pcm.array import PCMArray
+from ..rng.streams import derive_seed
+from ..rng.xorshift import XorShift32
+from ..tables.endurance_table import EnduranceTable
+from ..tables.pair_table import PairTable
+from ..tables.remap import RemappingTable
+from ..tables.write_counter import WriteCounterTable
+from ..wearlevel.base import WearLeveler
+from .pairing import build_pair_table
+from .swap_judge import SwapJudge
+from .tossup import TossUp
+
+
+class TossUpWearLeveling(WearLeveler):
+    """The paper's Toss-up Wear Leveling engine."""
+
+    name = "twl"
+
+    def __init__(
+        self,
+        array: PCMArray,
+        config: TWLConfig = TWLConfig(),
+        seed: int = 0,
+        pair_table: PairTable = None,
+    ):
+        super().__init__(array)
+        n = array.n_pages
+        self.config = config
+        self.remap = RemappingTable(n)
+        self.endurance_table = EnduranceTable(array.endurance)
+        if pair_table is None:
+            pair_table = build_pair_table(
+                array.endurance, config.pairing, seed=derive_seed(seed, "twl-pairing")
+            )
+        elif len(pair_table) != n:
+            raise ValueError(
+                f"pair table covers {len(pair_table)} pages, array has {n}"
+            )
+        self.pair_table = pair_table
+        self.write_counters = WriteCounterTable(
+            n, bits=config.write_counter_bits, interval=config.toss_up_interval
+        )
+        self.toss_up = TossUp(rng_bits=config.rng_bits, seed=derive_seed(seed, "twl-rng"))
+        self.swap_judge = SwapJudge()
+        self._victim_rng = XorShift32(
+            (derive_seed(seed, "twl-interpair") % 0xFFFF_FFFE) + 1
+        )
+        self._interpair_counter = 0
+        self.toss_up_activations = 0
+        self.inter_pair_swaps = 0
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def translate(self, logical: int) -> int:
+        self.check_logical(logical)
+        return self.remap.lookup(logical)
+
+    def write(self, logical: int) -> int:
+        self.check_logical(logical)
+        writes = 0
+
+        # Inter-pair swap: a global counter over demand writes.
+        self._interpair_counter += 1
+        if self._interpair_counter >= self.config.inter_pair_swap_interval:
+            self._interpair_counter = 0
+            writes += self._inter_pair_swap(logical)
+
+        trigger = self.write_counters.record_write(logical)
+        partner = self.pair_table.partner(logical)
+        if trigger and partner != logical:
+            writes += self._toss_up_write(logical, partner)
+        else:
+            self.array.write(self.remap.lookup(logical))
+            writes += 1
+        self._count_demand()
+        return writes
+
+    def _pair_endurance(self, frame: int) -> int:
+        """Endurance feeding the toss-up probability for ``frame``."""
+        if self.config.use_remaining_endurance:
+            remaining = self.endurance_table.lookup(frame) - self.array.page_writes(frame)
+            return max(1, remaining)
+        return self.endurance_table.lookup(frame)
+
+    def _toss_up_write(self, logical: int, partner: int) -> int:
+        """Activated TWL engine: toss-up then swap judge (Figure 4)."""
+        self.toss_up_activations += 1
+        frame = self.remap.lookup(logical)
+        partner_frame = self.remap.lookup(partner)
+        endurance = self._pair_endurance(frame)
+        partner_endurance = self._pair_endurance(partner_frame)
+
+        if self.toss_up.choose_a(endurance, partner_endurance):
+            chosen, not_chosen = frame, partner_frame
+        else:
+            chosen, not_chosen = partner_frame, frame
+
+        plan = self.swap_judge.judge(frame, chosen, not_chosen)
+        for target in plan.writes:
+            self.array.write(target)
+        if plan.remap_swapped:
+            self.remap.swap_logical(logical, partner)
+            self._count_swap(plan.physical_writes - 1)
+        return plan.physical_writes
+
+    def _inter_pair_swap(self, logical: int) -> int:
+        """Exchange the written page's frame with a random page's frame."""
+        n = self.remap.n_pages
+        victim = self._victim_rng.next_below(n)
+        if victim == logical:
+            victim = (victim + 1) % n
+        frame_a = self.remap.lookup(logical)
+        frame_b = self.remap.lookup(victim)
+        # Two page writes: each frame receives the other's data.
+        self.array.write(frame_a)
+        self.array.write(frame_b)
+        self.remap.swap_logical(logical, victim)
+        if self.config.maintain_physical_pairs:
+            self.pair_table.exchange_roles(logical, victim)
+        if self.config.toss_on_relocation:
+            # Both pages landed on arbitrary frames of their (possibly
+            # new) pairs; re-run the toss-up on their next writes.
+            self.write_counters.force_trigger_next(logical)
+            self.write_counters.force_trigger_next(victim)
+        self.inter_pair_swaps += 1
+        self._count_swap(2)
+        return 2
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def toss_up_swap_ratio(self) -> float:
+        """Toss-up swaps per demand write (the Figure-7a metric)."""
+        if self.demand_writes == 0:
+            return 0.0
+        return self.swap_judge.swapped / self.demand_writes
+
+    def stats(self):
+        base = super().stats()
+        base.update(
+            {
+                "toss_up_activations": float(self.toss_up_activations),
+                "toss_up_swaps": float(self.swap_judge.swapped),
+                "toss_up_swap_ratio": self.toss_up_swap_ratio(),
+                "inter_pair_swaps": float(self.inter_pair_swaps),
+            }
+        )
+        return base

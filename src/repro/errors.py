@@ -1,0 +1,53 @@
+"""Exception hierarchy for the TWL reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class AddressError(ReproError):
+    """A logical or physical address is out of range."""
+
+
+class PageWornOutError(ReproError):
+    """A write was issued to a page whose endurance is exhausted.
+
+    The simulator normally stops at first failure before this can happen;
+    the exception guards direct users of :class:`repro.pcm.PCMArray`.
+    """
+
+    def __init__(self, physical_page: int, writes: int, endurance: int):
+        self.physical_page = physical_page
+        self.writes = writes
+        self.endurance = endurance
+        super().__init__(
+            f"physical page {physical_page} is worn out "
+            f"({writes} writes >= endurance {endurance})"
+        )
+
+
+class TableError(ReproError):
+    """A hardware-table invariant was violated (bad entry, wrong width)."""
+
+
+class TraceError(ReproError):
+    """A trace file or request stream is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class ExtrapolationError(ReproError):
+    """Fast-forward lifetime extrapolation could not converge."""

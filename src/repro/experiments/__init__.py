@@ -1,0 +1,25 @@
+"""One module per paper table/figure.
+
+Each module exposes ``run(setup) -> ResultTable`` (plus helpers) and is
+shared by the benchmark harness under ``benchmarks/``, the runnable
+examples under ``examples/`` and the ``twl-repro`` CLI, so every surface
+reproduces a figure through identical code.
+"""
+
+from .setups import ExperimentSetup, default_setup, quick_setup
+from . import table1, table2, fig6, fig7, fig8, fig9, overhead, ablations, energy
+
+__all__ = [
+    "ExperimentSetup",
+    "default_setup",
+    "quick_setup",
+    "table1",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "overhead",
+    "ablations",
+    "energy",
+]

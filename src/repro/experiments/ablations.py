@@ -1,0 +1,236 @@
+"""Ablation studies beyond the paper (DESIGN.md A1-A6).
+
+* A1 — pairing policy (SWP / AP / random) across all four attacks;
+* A2 — inter-pair swap interval sweep (the paper fixes 128);
+* A3 — endurance variation (sigma/mean) sweep;
+* A4 — initial- vs remaining-endurance toss-up probability;
+* A6 — behavioral SR vs faithful single-level SR under concentrated
+  attacks (why Security Refresh needs its second level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from ..analysis.calibration import attack_ideal_lifetime_years
+from ..analysis.stats import geometric_mean
+from ..analysis.tables import ResultTable
+from ..config import ScaledArrayConfig
+from ..sim.runner import measure_attack_lifetime
+from .setups import ATTACKS, ExperimentSetup, default_setup
+
+INTER_PAIR_INTERVALS: Sequence[int] = (16, 32, 64, 128, 256, 512)
+SIGMA_FRACTIONS: Sequence[float] = (0.0, 0.05, 0.11, 0.2, 0.3)
+FOOTPRINT_FRACTIONS: Sequence[float] = (0.125, 0.25, 0.5, 1.0)
+
+
+def pairing_ablation(setup: Optional[ExperimentSetup] = None) -> ResultTable:
+    """A1: lifetime (years) per pairing policy per attack."""
+    setup = setup or default_setup()
+    ideal = attack_ideal_lifetime_years()
+    table = ResultTable(["pairing"] + list(ATTACKS) + ["gmean"])
+    for scheme, label in (
+        ("twl_swp", "strong-weak"),
+        ("twl_ap", "adjacent"),
+        ("twl_random", "random"),
+    ):
+        years = {}
+        for attack in ATTACKS:
+            result = measure_attack_lifetime(
+                scheme, attack, scaled=setup.scaled, seed=setup.seed
+            )
+            years[attack] = result.lifetime_fraction * ideal
+        row = {attack: round(years[attack], 2) for attack in ATTACKS}
+        row["pairing"] = label
+        row["gmean"] = round(geometric_mean(list(years.values())), 2)
+        table.add_row(**row)
+    return table
+
+
+def inter_pair_interval_ablation(
+    setup: Optional[ExperimentSetup] = None,
+) -> ResultTable:
+    """A2: repeat-attack lifetime and wear overhead vs inter-pair interval."""
+    setup = setup or default_setup()
+    ideal = attack_ideal_lifetime_years()
+    table = ResultTable(["inter_pair_interval", "repeat_years", "overhead_ratio"])
+    for interval in INTER_PAIR_INTERVALS:
+        config = replace(setup.twl_config, inter_pair_swap_interval=interval)
+        result = measure_attack_lifetime(
+            "twl_swp",
+            "repeat",
+            scaled=setup.scaled,
+            seed=setup.seed,
+            scheme_kwargs={"config": config},
+        )
+        table.add_row(
+            inter_pair_interval=interval,
+            repeat_years=round(result.lifetime_fraction * ideal, 2),
+            overhead_ratio=round(result.overhead_ratio, 4),
+        )
+    return table
+
+
+def sigma_ablation(setup: Optional[ExperimentSetup] = None) -> ResultTable:
+    """A3: how process-variation magnitude moves TWL vs SR (random attack)."""
+    setup = setup or default_setup()
+    ideal = attack_ideal_lifetime_years()
+    table = ResultTable(["sigma_fraction", "twl_years", "sr_years"])
+    for sigma in SIGMA_FRACTIONS:
+        scaled = ScaledArrayConfig(
+            n_pages=setup.scaled.n_pages,
+            endurance_mean=setup.scaled.endurance_mean,
+            endurance_sigma_fraction=sigma,
+            tail_faithful=sigma > 0,
+            seed=setup.scaled.seed,
+        )
+        twl = measure_attack_lifetime("twl_swp", "random", scaled=scaled, seed=setup.seed)
+        sr = measure_attack_lifetime("sr", "random", scaled=scaled, seed=setup.seed)
+        table.add_row(
+            sigma_fraction=sigma,
+            twl_years=round(twl.lifetime_fraction * ideal, 2),
+            sr_years=round(sr.lifetime_fraction * ideal, 2),
+        )
+    return table
+
+
+def remaining_endurance_ablation(
+    setup: Optional[ExperimentSetup] = None,
+) -> ResultTable:
+    """A4: toss-up on initial vs remaining endurance, per attack."""
+    setup = setup or default_setup()
+    ideal = attack_ideal_lifetime_years()
+    table = ResultTable(["mode"] + list(ATTACKS) + ["gmean"])
+    for remaining in (False, True):
+        config = replace(setup.twl_config, use_remaining_endurance=remaining)
+        years = {}
+        for attack in ATTACKS:
+            result = measure_attack_lifetime(
+                "twl_swp",
+                attack,
+                scaled=setup.scaled,
+                seed=setup.seed,
+                scheme_kwargs={"config": config},
+            )
+            years[attack] = result.lifetime_fraction * ideal
+        row = {attack: round(years[attack], 2) for attack in ATTACKS}
+        row["mode"] = "remaining" if remaining else "initial"
+        row["gmean"] = round(geometric_mean(list(years.values())), 2)
+        table.add_row(**row)
+    return table
+
+
+def footprint_ablation(
+    setup: Optional[ExperimentSetup] = None,
+    benchmark: str = "canneal",
+) -> ResultTable:
+    """A5: how workload footprint moves the Figure-8 comparison.
+
+    Sparse footprints are the substitution DESIGN.md documents for the
+    gem5-collected PARSEC traces; this ablation quantifies its effect:
+    PV-aware placement gains exactly where idle pages exist to park on
+    weak frames, while SR (footprint-blind randomization) barely moves.
+    """
+    from ..sim.runner import measure_trace_lifetime
+    from ..traces.parsec import get_profile, make_benchmark_trace
+
+    setup = setup or default_setup()
+    profile = get_profile(benchmark)
+    table = ResultTable(["footprint_fraction", "twl", "bwl", "sr", "nowl"])
+    for footprint in FOOTPRINT_FRACTIONS:
+        trace = make_benchmark_trace(
+            profile,
+            setup.n_pages,
+            setup.trace_writes,
+            seed=setup.seed,
+            footprint_override=footprint,
+        )
+        row = {"footprint_fraction": footprint}
+        for scheme in ("twl", "bwl", "sr", "nowl"):
+            result = measure_trace_lifetime(
+                scheme, trace, scaled=setup.scaled, seed=setup.seed
+            )
+            row[scheme] = round(result.lifetime_fraction, 3)
+        table.add_row(**row)
+    return table
+
+
+def sr_level_ablation(setup: Optional[ExperimentSetup] = None) -> ResultTable:
+    """A6: behavioral (two-level-equivalent) SR vs single-level sweep SR."""
+    setup = setup or default_setup()
+    ideal = attack_ideal_lifetime_years()
+    table = ResultTable(["scheme"] + list(ATTACKS))
+    for scheme in ("sr", "sr_single"):
+        row = {"scheme": scheme}
+        for attack in ATTACKS:
+            result = measure_attack_lifetime(
+                scheme, attack, scaled=setup.scaled, seed=setup.seed
+            )
+            row[attack] = round(result.lifetime_fraction * ideal, 2)
+        table.add_row(**row)
+    return table
+
+
+RETIREMENT_MARGINS: Sequence[float] = (0.02, 0.05, 0.10, 0.20)
+
+
+def retirement_ablation(setup: Optional[ExperimentSetup] = None) -> ResultTable:
+    """A9: page retirement (OD3P-style) vs TWL — orthogonal defenses.
+
+    Retirement converts endurance headroom into lifetime under *spread*
+    workloads (it beats the uniform-wear bound) but cannot absorb
+    concentrated streams (a hammered page just burns through the spare
+    pool), while TWL does the reverse.  The margin sweep shows the
+    estimate-noise trade-off: thin margins die on mis-estimated frames,
+    fat margins give capacity away.
+    """
+    from ..wearlevel.retirement import RetirementConfig
+
+    setup = setup or default_setup()
+    ideal = attack_ideal_lifetime_years()
+    table = ResultTable(["scheme", "random_years", "repeat_years", "inconsistent_years"])
+    for margin in RETIREMENT_MARGINS:
+        config = RetirementConfig(
+            margin_fraction=margin, estimate_sigma_fraction=0.03
+        )
+        row = {"scheme": f"retire(m={margin:.2f})"}
+        for attack in ("random", "repeat", "inconsistent"):
+            result = measure_attack_lifetime(
+                "retire",
+                attack,
+                scaled=setup.scaled,
+                seed=setup.seed,
+                scheme_kwargs={"config": config},
+            )
+            row[f"{attack}_years"] = round(result.lifetime_fraction * ideal, 2)
+        table.add_row(**row)
+    twl_row = {"scheme": "twl_swp"}
+    for attack in ("random", "repeat", "inconsistent"):
+        result = measure_attack_lifetime(
+            "twl_swp", attack, scaled=setup.scaled, seed=setup.seed
+        )
+        twl_row[f"{attack}_years"] = round(result.lifetime_fraction * ideal, 2)
+    table.add_row(**twl_row)
+    return table
+
+
+def main() -> None:
+    """Print every ablation."""
+    print(pairing_ablation().render(title="A1 — pairing policy (years)"))
+    print()
+    print(inter_pair_interval_ablation().render(title="A2 — inter-pair interval"))
+    print()
+    print(sigma_ablation().render(title="A3 — endurance sigma sweep (years)"))
+    print()
+    print(remaining_endurance_ablation().render(title="A4 — toss-up endurance mode"))
+    print()
+    print(footprint_ablation().render(title="A5 — workload footprint (fractions)"))
+    print()
+    print(sr_level_ablation().render(title="A6 — SR refresh structure (years)"))
+    print()
+    print(retirement_ablation().render(title="A9 — page retirement vs TWL (years)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""E1 — write-energy overhead (extension beyond the paper).
+
+Combines each scheme's measured migration-write ratio (the Figure-9
+measurement) with the data-comparison-write energy model to estimate
+write-energy overhead versus no wear leveling, per benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..analysis.tables import ResultTable
+from ..timing.energy import energy_per_demand_write, nowl_baseline
+from .fig9 import measure_overheads
+from .setups import FIG9_SCHEMES, ExperimentSetup, default_setup
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> ResultTable:
+    """Energy overhead (fraction vs NOWL) per benchmark and scheme."""
+    setup = setup or default_setup()
+    baseline = nowl_baseline()
+    columns = ["benchmark"] + list(FIG9_SCHEMES)
+    table = ResultTable(columns)
+    totals: Dict[str, list] = {scheme: [] for scheme in FIG9_SCHEMES}
+    for benchmark in setup.benchmarks:
+        row = {"benchmark": benchmark}
+        for scheme in FIG9_SCHEMES:
+            overheads = measure_overheads(scheme, benchmark, setup)
+            breakdown = energy_per_demand_write(
+                scheme, overheads, twl_config=setup.twl_config
+            )
+            overhead = breakdown.overhead_versus(baseline)
+            row[scheme] = round(overhead, 4)
+            totals[scheme].append(overhead)
+        table.add_row(**row)
+    average = {"benchmark": "average"}
+    for scheme in FIG9_SCHEMES:
+        average[scheme] = round(float(np.mean(totals[scheme])), 4)
+    table.add_row(**average)
+    return table
+
+
+def main() -> None:
+    """Print the energy table."""
+    print(
+        run().render(
+            precision=4,
+            title="E1 — write-energy overhead vs NOWL (extension)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

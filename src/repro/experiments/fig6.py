@@ -1,0 +1,136 @@
+"""Figure 6 — lifetime under attacks.
+
+Runs every scheme of the paper's Figure 6 (BWL, SR, TWL_ap, TWL_swp,
+NOWL) against the four attack modes (repeat, random, scan,
+inconsistent) at the scaled array, reports full-scale years
+(lifetime fraction times the ~6.6-year ideal at the 8 GB/s attack
+bandwidth), and the geometric mean across attacks.
+
+For the cells where the paper says "worn out quickly" (targeted
+attacks defeating a scheme), the scale-invariant quantity is the
+victim's traffic share rather than the lifetime fraction;
+``full_scale_seconds`` reports the corresponding absolute
+time-to-failure of the full 32 GB memory (the paper's "98 seconds"
+figure for BWL under the inconsistent attack).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..analysis.calibration import (
+    PAPER_ATTACK_BANDWIDTH_BYTES,
+    attack_ideal_lifetime_years,
+)
+from ..analysis.extrapolate import targeted_attack_full_scale_seconds
+from ..analysis.stats import geometric_mean
+from ..analysis.tables import ResultTable
+from ..config import TWLConfig
+from ..sim.lifetime import LifetimeResult
+from ..sim.runner import measure_attack_lifetime
+from ..units import format_duration
+from .setups import ATTACKS, FIG6_SCHEMES, ExperimentSetup, default_setup
+
+#: Below this fraction of ideal lifetime a cell is a "worn out quickly"
+#: entry in the paper's Figure 6.
+QUICK_DEATH_FRACTION = 0.1
+
+
+def _scheme_kwargs(scheme: str, twl_config: TWLConfig) -> dict:
+    if scheme == "twl_swp":
+        return {"config": twl_config.with_pairing("swp")}
+    if scheme == "twl_ap":
+        return {"config": twl_config.with_pairing("ap")}
+    return {}
+
+
+def run_cell(
+    scheme: str,
+    attack: str,
+    setup: Optional[ExperimentSetup] = None,
+) -> LifetimeResult:
+    """Run one scheme/attack cell of Figure 6."""
+    setup = setup or default_setup()
+    return measure_attack_lifetime(
+        scheme,
+        attack,
+        scaled=setup.scaled,
+        seed=setup.seed,
+        scheme_kwargs=_scheme_kwargs(scheme, setup.twl_config),
+    )
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> ResultTable:
+    """Reproduce Figure 6 (rows = schemes, columns = attacks + gmean)."""
+    setup = setup or default_setup()
+    ideal_years = attack_ideal_lifetime_years()
+    columns = ["scheme"] + [f"{attack}_years" for attack in ATTACKS] + ["gmean_years"]
+    table = ResultTable(columns)
+    for scheme in FIG6_SCHEMES:
+        years: Dict[str, float] = {}
+        for attack in ATTACKS:
+            result = run_cell(scheme, attack, setup)
+            years[attack] = result.lifetime_fraction * ideal_years
+        row = {f"{attack}_years": round(years[attack], 2) for attack in ATTACKS}
+        row["scheme"] = scheme
+        row["gmean_years"] = round(geometric_mean(list(years.values())), 2)
+        table.add_row(**row)
+    return table
+
+
+def quick_death_report(
+    setup: Optional[ExperimentSetup] = None,
+) -> ResultTable:
+    """Full-scale time-to-failure for the "worn out quickly" cells."""
+    setup = setup or default_setup()
+    ideal_years = attack_ideal_lifetime_years()
+    table = ResultTable(["scheme", "attack", "fraction", "full_scale_time"])
+    for scheme, attack in _quick_death_cells(setup):
+        result = run_cell(scheme, attack, setup)
+        fraction = result.lifetime_fraction
+        if fraction * ideal_years >= QUICK_DEATH_FRACTION * ideal_years:
+            continue
+        seconds = targeted_attack_full_scale_seconds(
+            fraction, setup.n_pages, PAPER_ATTACK_BANDWIDTH_BYTES
+        )
+        table.add_row(
+            scheme=scheme,
+            attack=attack,
+            fraction=round(fraction, 4),
+            full_scale_time=format_duration(seconds),
+        )
+    return table
+
+
+def _quick_death_cells(setup: ExperimentSetup) -> Tuple[Tuple[str, str], ...]:
+    """Cells the paper marks as broken-down."""
+    return (
+        ("nowl", "repeat"),
+        ("nowl", "inconsistent"),
+        ("bwl", "inconsistent"),
+    )
+
+
+def main() -> None:
+    """Print the figure as a table plus the quick-death report."""
+    ideal = attack_ideal_lifetime_years()
+    print(
+        run().render(
+            precision=2,
+            title=(
+                "Figure 6 — lifetime under attacks (years; "
+                f"ideal = {ideal:.2f} y at 8 GB/s)"
+            ),
+        )
+    )
+    print()
+    print(
+        quick_death_report().render(
+            precision=4,
+            title='Full-scale extrapolation of the "worn out quickly" cells',
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

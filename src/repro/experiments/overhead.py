@@ -1,0 +1,65 @@
+"""Section 5.4 — design overhead.
+
+Assembles TWL's storage and logic cost report from the structural
+hardware models and compares against the paper's printed numbers:
+80 bits per 4 KB page (2.5e-3 storage overhead), <128 gates for the
+Feistel RNG, 718 gates for the rest of the datapath, ~840 gates total.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.tables import ResultTable
+from ..config import PAPER_PCM
+from ..hwcost.synthesis import twl_design_overhead
+from .setups import ExperimentSetup, default_setup
+
+#: The paper's printed Section-5.4 values, for side-by-side comparison.
+PAPER_STORAGE_BITS_PER_PAGE = 80
+PAPER_STORAGE_OVERHEAD = 2.5e-3
+PAPER_RNG_GATES = 128  # "less than 128 gates"
+PAPER_DATAPATH_GATES = 718
+PAPER_TOTAL_GATES = 840
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> ResultTable:
+    """Compute the Section-5.4 report against the paper's numbers."""
+    setup = setup or default_setup()
+    report = twl_design_overhead(pcm=PAPER_PCM, twl=setup.twl_config)
+    table = ResultTable(["quantity", "reproduced", "paper"])
+    table.add_row(
+        quantity="storage bits per page",
+        reproduced=report.storage_bits_per_page,
+        paper=PAPER_STORAGE_BITS_PER_PAGE,
+    )
+    table.add_row(
+        quantity="storage overhead",
+        reproduced=f"{report.storage_overhead:.2e}",
+        paper=f"{PAPER_STORAGE_OVERHEAD:.2e}",
+    )
+    table.add_row(
+        quantity="RNG gates",
+        reproduced=report.rng_gates,
+        paper=f"<{PAPER_RNG_GATES}",
+    )
+    table.add_row(
+        quantity="datapath gates",
+        reproduced=report.datapath_gates,
+        paper=PAPER_DATAPATH_GATES,
+    )
+    table.add_row(
+        quantity="total gates",
+        reproduced=report.total_gates,
+        paper=f"~{PAPER_TOTAL_GATES}",
+    )
+    return table
+
+
+def main() -> None:
+    """Print the report."""
+    print(run().render(title="Section 5.4 — design overhead (reproduced vs paper)"))
+
+
+if __name__ == "__main__":
+    main()

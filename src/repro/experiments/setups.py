@@ -1,0 +1,85 @@
+"""Shared experiment configuration.
+
+The full setup runs every cell of every figure at the default scaled
+array (1024 pages, endurance-to-footprint ratio matching the paper's
+full-scale memory).  The quick setup shrinks the array and subsamples
+the benchmark list for CI/tests; set the environment variable
+``REPRO_QUICK=1`` to make every benchmark target use it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..config import ScaledArrayConfig, TWLConfig
+
+#: Figure-6/8 scheme sets, in the paper's plotting order.
+FIG6_SCHEMES: Tuple[str, ...] = ("bwl", "sr", "twl_ap", "twl_swp", "nowl")
+FIG8_SCHEMES: Tuple[str, ...] = ("bwl", "sr", "twl", "nowl")
+FIG9_SCHEMES: Tuple[str, ...] = ("bwl", "sr", "twl")
+ATTACKS: Tuple[str, ...] = ("repeat", "random", "scan", "inconsistent")
+
+#: Paper Table 2 benchmark order.
+BENCHMARKS: Tuple[str, ...] = (
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "facesim",
+    "ferret",
+    "fluidanimate",
+    "freqmine",
+    "rtview",
+    "streamcluster",
+    "swaptions",
+    "vips",
+    "x264",
+)
+
+_QUICK_BENCHMARKS: Tuple[str, ...] = ("canneal", "streamcluster", "vips", "x264")
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Scale and workload knobs shared by all experiments."""
+
+    scaled: ScaledArrayConfig
+    benchmarks: Tuple[str, ...]
+    trace_writes: int
+    overhead_writes: int
+    seed: int = 2017
+    twl_config: TWLConfig = field(default_factory=TWLConfig)
+
+    @property
+    def n_pages(self) -> int:
+        """Pages in the scaled array."""
+        return self.scaled.n_pages
+
+
+def default_setup() -> ExperimentSetup:
+    """The full-fidelity setup used for the recorded results."""
+    return ExperimentSetup(
+        scaled=ScaledArrayConfig(n_pages=1024, endurance_mean=12288.0),
+        benchmarks=BENCHMARKS,
+        trace_writes=300_000,
+        overhead_writes=150_000,
+    )
+
+
+def quick_setup() -> ExperimentSetup:
+    """Reduced setup for CI and tests (same ratio, smaller array)."""
+    return ExperimentSetup(
+        scaled=ScaledArrayConfig(n_pages=256, endurance_mean=3072.0),
+        benchmarks=_QUICK_BENCHMARKS,
+        trace_writes=60_000,
+        overhead_writes=40_000,
+    )
+
+
+def active_setup() -> ExperimentSetup:
+    """Setup selected by the ``REPRO_QUICK`` environment variable."""
+    if os.environ.get("REPRO_QUICK", "").strip() in ("1", "true", "yes"):
+        return quick_setup()
+    return default_setup()

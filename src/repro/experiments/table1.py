@@ -1,0 +1,65 @@
+"""Table 1 — the simulation setup.
+
+Renders (and asserts) the paper's configuration constants as carried by
+the library's config dataclasses, plus the scaled-array parameters the
+reproduction actually simulates at.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import ResultTable
+from ..config import PCMConfig, TimingConfig, TWLConfig, PAPER_PCM
+from ..units import format_size
+from .setups import ExperimentSetup, default_setup
+
+
+def run(setup: ExperimentSetup = None) -> ResultTable:
+    """Build the Table-1 parameter listing."""
+    setup = setup or default_setup()
+    pcm: PCMConfig = PAPER_PCM
+    timing = TimingConfig()
+    twl: TWLConfig = setup.twl_config
+
+    table = ResultTable(["parameter", "value"])
+    table.add_row(parameter="PCM capacity", value=format_size(pcm.capacity_bytes))
+    table.add_row(parameter="page size", value=format_size(pcm.page_bytes))
+    table.add_row(parameter="line size", value=f"{pcm.line_bytes} B")
+    table.add_row(parameter="ranks / banks", value=f"{pcm.ranks} / {pcm.banks}")
+    table.add_row(parameter="endurance mean", value=f"{pcm.endurance_mean:.0e}")
+    table.add_row(
+        parameter="endurance sigma", value=f"{pcm.endurance_sigma_fraction:.0%} of mean"
+    )
+    table.add_row(
+        parameter="read/set/reset latency",
+        value=(
+            f"{timing.read_cycles}/{timing.set_cycles}/"
+            f"{timing.reset_cycles} cycles"
+        ),
+    )
+    table.add_row(parameter="clock", value=f"{timing.clock_hz / 1e9:.0f} GHz")
+    table.add_row(parameter="toss-up interval", value=str(twl.toss_up_interval))
+    table.add_row(
+        parameter="inter-pair swap interval", value=str(twl.inter_pair_swap_interval)
+    )
+    table.add_row(parameter="RNG latency", value=f"{timing.rng_cycles} cycles")
+    table.add_row(
+        parameter="TWL logic / table latency",
+        value=f"{timing.twl_logic_cycles}/{timing.table_cycles} cycles",
+    )
+    table.add_row(
+        parameter="scaled array (simulation)",
+        value=(
+            f"{setup.scaled.n_pages} pages, endurance mean "
+            f"{setup.scaled.endurance_mean:.0f} (ratio preserved)"
+        ),
+    )
+    return table
+
+
+def main() -> None:
+    """Print the table."""
+    print(run().render(title="Table 1 — simulation setup"))
+
+
+if __name__ == "__main__":
+    main()

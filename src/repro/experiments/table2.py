@@ -1,0 +1,60 @@
+"""Table 2 — benchmark characterization.
+
+For every PARSEC benchmark: the paper's write bandwidth (an input), the
+ideal lifetime our calibration computes from it, and the lifetime
+without wear leveling measured by simulating the synthetic trace on the
+scaled array under NOWL — both compared against the paper's printed
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.calibration import ideal_lifetime_years
+from ..analysis.tables import ResultTable
+from ..sim.runner import measure_trace_lifetime
+from ..traces.parsec import get_profile, make_benchmark_trace
+from .setups import ExperimentSetup, default_setup
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> ResultTable:
+    """Reproduce Table 2 (ideal and no-WL lifetimes)."""
+    setup = setup or default_setup()
+    table = ResultTable(
+        [
+            "benchmark",
+            "bandwidth_mbps",
+            "ideal_years",
+            "ideal_paper",
+            "nowl_years",
+            "nowl_paper",
+        ]
+    )
+    for name in setup.benchmarks:
+        profile = get_profile(name)
+        trace = make_benchmark_trace(
+            profile, setup.n_pages, setup.trace_writes, seed=setup.seed
+        )
+        result = measure_trace_lifetime(
+            "nowl", trace, scaled=setup.scaled, seed=setup.seed
+        )
+        ideal = ideal_lifetime_years(profile.write_bandwidth_mbps)
+        table.add_row(
+            benchmark=name,
+            bandwidth_mbps=profile.write_bandwidth_mbps,
+            ideal_years=round(ideal, 1),
+            ideal_paper=profile.ideal_lifetime_years,
+            nowl_years=round(result.lifetime_fraction * ideal, 1),
+            nowl_paper=profile.lifetime_no_wl_years,
+        )
+    return table
+
+
+def main() -> None:
+    """Print the table."""
+    print(run().render(precision=1, title="Table 2 — benchmarks (reproduced vs paper)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Hardware design-overhead models (paper Section 5.4).
+
+* :mod:`repro.hwcost.gates` — gate-equivalent cost models for the
+  datapath primitives (comparators, adders, a sequential divider, the
+  iterative Feistel RNG core);
+* :mod:`repro.hwcost.storage` — per-page table storage accounting;
+* :mod:`repro.hwcost.synthesis` — assembles the full Section-5.4 report.
+"""
+
+from .gates import (
+    comparator_gates,
+    adder_gates,
+    register_gates,
+    mux_gates,
+    sequential_divider_gates,
+    feistel_rng_gates,
+)
+from .storage import twl_storage_bits_per_page, twl_storage_overhead, scheme_storage_bits
+from .synthesis import DesignOverheadReport, twl_design_overhead
+
+__all__ = [
+    "comparator_gates",
+    "adder_gates",
+    "register_gates",
+    "mux_gates",
+    "sequential_divider_gates",
+    "feistel_rng_gates",
+    "twl_storage_bits_per_page",
+    "twl_storage_overhead",
+    "scheme_storage_bits",
+    "DesignOverheadReport",
+    "twl_design_overhead",
+]

@@ -1,0 +1,89 @@
+"""Gate-equivalent cost models for datapath primitives.
+
+Costs are in 2-input-NAND gate equivalents (GE), the unit synthesis
+reports use.  The per-primitive constants are standard structural
+estimates (a full adder ≈ 5 GE, a flip-flop ≈ 6 GE, a 2:1 mux ≈ 3 GE);
+the paper's own numbers (<128 GE for the 8-bit Feistel RNG, 718 GE for
+the divider-plus-comparators datapath) fall out of the same accounting,
+as ``tests/test_hwcost.py`` checks.
+"""
+
+from __future__ import annotations
+
+#: Gate equivalents per primitive bit.
+FULL_ADDER_GE = 5
+FLIP_FLOP_GE = 6
+MUX2_GE = 3
+XOR_GE = 2
+COMPARATOR_STAGE_GE = 3
+
+#: A 4-bit S-box as two-level logic (4 outputs of 4-input functions).
+SBOX4_GE = 18
+
+
+def comparator_gates(bits: int) -> int:
+    """Magnitude comparator over ``bits``."""
+    _check_bits(bits)
+    return COMPARATOR_STAGE_GE * bits
+
+
+def adder_gates(bits: int) -> int:
+    """Ripple-carry adder over ``bits``."""
+    _check_bits(bits)
+    return FULL_ADDER_GE * bits
+
+
+def register_gates(bits: int) -> int:
+    """Flip-flop register of ``bits``."""
+    _check_bits(bits)
+    return FLIP_FLOP_GE * bits
+
+
+def mux_gates(bits: int, inputs: int = 2) -> int:
+    """``inputs``:1 multiplexer over a ``bits``-wide word."""
+    _check_bits(bits)
+    if inputs < 2:
+        raise ValueError("mux needs at least two inputs")
+    return MUX2_GE * bits * (inputs - 1)
+
+
+def sequential_divider_gates(bits: int) -> int:
+    """Radix-2 restoring divider over ``bits``-wide operands.
+
+    One subtract/compare stage, a remainder register, a quotient
+    register and a small FSM; one quotient bit per cycle — the TWL
+    engine runs only every toss-up interval, so a multi-cycle divider is
+    free in performance terms.
+    """
+    _check_bits(bits)
+    datapath = adder_gates(bits) + comparator_gates(bits) + mux_gates(bits)
+    state = register_gates(2 * bits)
+    control = 40  # ~counter + FSM
+    return datapath + state + control
+
+
+def feistel_rng_gates(bits: int = 8, rounds: int = 4) -> int:
+    """Iterative 8-bit Feistel RNG core (paper: "less than 128 gates").
+
+    The hardware folds all rounds onto one round-function instance
+    (add-key, S-box, rotate, XOR) with two half-word state registers;
+    rounds execute sequentially, which is free at a 4-cycle RNG latency
+    budget.  The counter-mode input reuses the state registers and the
+    round adder for its increment, so the counter costs only control
+    glue.
+    """
+    _check_bits(bits)
+    if bits % 2:
+        raise ValueError("Feistel width must be even")
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    half = bits // 2
+    round_function = adder_gates(half) + SBOX4_GE * ((half + 3) // 4) + XOR_GE * half
+    state = register_gates(bits)  # the two half registers
+    control = 20  # round sequencer + counter-mode glue (adder is shared)
+    return round_function + state + control
+
+
+def _check_bits(bits: int) -> None:
+    if bits < 1:
+        raise ValueError(f"bit width must be positive, got {bits}")

@@ -1,0 +1,87 @@
+"""Table storage accounting (paper Section 5.4).
+
+TWL reserves, per PCM page: a write-counter entry (7 bits), an endurance
+table entry (27 bits), a remapping table entry and a strong-weak pair
+table entry (ceil(log2(n_pages)) bits each — 23 at the paper's 8.4M-page
+scale).  That is 80 bits per 4 KB page, a 2.4e-3 storage overhead
+("about 80bits/4KB = 2.5e-3").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import BWLConfig, PCMConfig, TWLConfig, PAPER_PCM
+from ..errors import ConfigError
+
+
+def _address_bits(n_pages: int) -> int:
+    return max(1, (n_pages - 1).bit_length())
+
+
+def twl_storage_bits_per_page(
+    pcm: PCMConfig = PAPER_PCM,
+    twl: TWLConfig = TWLConfig(),
+    endurance_bits: int = 27,
+) -> int:
+    """Per-page SRAM bits TWL reserves (WCT + ET + RT + SWPT)."""
+    if endurance_bits < 1:
+        raise ConfigError("endurance entry width must be positive")
+    address = _address_bits(pcm.n_pages)
+    return twl.write_counter_bits + endurance_bits + 2 * address
+
+
+def twl_storage_overhead(
+    pcm: PCMConfig = PAPER_PCM,
+    twl: TWLConfig = TWLConfig(),
+    endurance_bits: int = 27,
+) -> float:
+    """TWL storage overhead as a fraction of PCM capacity."""
+    bits_per_page = twl_storage_bits_per_page(pcm, twl, endurance_bits)
+    return bits_per_page / (pcm.page_bytes * 8)
+
+
+def scheme_storage_bits(
+    scheme_name: str,
+    pcm: PCMConfig = PAPER_PCM,
+    twl: TWLConfig = TWLConfig(),
+    bwl: BWLConfig = BWLConfig(),
+) -> Dict[str, int]:
+    """Per-structure storage bits of any scheme (comparison table).
+
+    Returns a mapping structure-name -> total bits across the device.
+    """
+    name = scheme_name.lower()
+    n = pcm.n_pages
+    address = _address_bits(n)
+    if name == "nowl":
+        return {}
+    if name == "startgap":
+        return {"start_register": address, "gap_register": address}
+    if name == "sr":
+        return {
+            "region_keys": 2 * address,
+            "refresh_pointer": address,
+            "write_counter": 16,
+        }
+    if name == "wrl":
+        return {
+            "remap_table": n * address,
+            "endurance_table": n * 27,
+            "write_number_table": n * 16,
+        }
+    if name == "bwl":
+        return {
+            "remap_table": n * address,
+            "endurance_table": n * 27,
+            "bloom_filters": 2 * bwl.bloom_bits * 8,
+            "coldhot_lists": 8 * max(1, int(bwl.hot_fraction * n)) * address,
+        }
+    if name in ("twl", "twl_swp", "twl_ap", "twl_random"):
+        return {
+            "remap_table": n * address,
+            "endurance_table": n * 27,
+            "pair_table": n * address,
+            "write_counter_table": n * twl.write_counter_bits,
+        }
+    raise ConfigError(f"no storage model for scheme {scheme_name!r}")

@@ -1,0 +1,72 @@
+"""The Section-5.4 design-overhead report.
+
+Assembles TWL's storage and logic costs from the structural models:
+
+* storage: 80 bits per 4 KB page → ~2.4e-3 overhead;
+* logic: the Feistel RNG core (<128 GE) plus the toss-up datapath — a
+  sequential divider for E_A/(E_A+E_B), the threshold comparator, the
+  address-equality comparator of the swap judge and the interval
+  comparator of the WCT (the paper's "718 gates according to our
+  synthesis results"), totalling ≈840 GE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import PCMConfig, TWLConfig, PAPER_PCM
+from .gates import comparator_gates, feistel_rng_gates, sequential_divider_gates
+from .storage import twl_storage_bits_per_page, twl_storage_overhead
+
+#: Endurance-table entry width (paper: 27 bits).
+ENDURANCE_ENTRY_BITS = 27
+
+
+@dataclass(frozen=True)
+class DesignOverheadReport:
+    """TWL hardware cost summary (the paper's Section 5.4)."""
+
+    storage_bits_per_page: int
+    storage_overhead: float
+    rng_gates: int
+    datapath_gates: int
+
+    @property
+    def total_gates(self) -> int:
+        """RNG plus datapath (paper: ~840 gates)."""
+        return self.rng_gates + self.datapath_gates
+
+    def breakdown(self) -> Dict[str, float]:
+        """Flat view for result tables."""
+        return {
+            "storage_bits_per_page": float(self.storage_bits_per_page),
+            "storage_overhead": self.storage_overhead,
+            "rng_gates": float(self.rng_gates),
+            "datapath_gates": float(self.datapath_gates),
+            "total_gates": float(self.total_gates),
+        }
+
+
+def twl_design_overhead(
+    pcm: PCMConfig = PAPER_PCM,
+    twl: TWLConfig = TWLConfig(),
+) -> DesignOverheadReport:
+    """Compute the full TWL design-overhead report."""
+    address_bits = max(1, (pcm.n_pages - 1).bit_length())
+    datapath = (
+        sequential_divider_gates(ENDURANCE_ENTRY_BITS)  # E_A / (E_A + E_B)
+        + comparator_gates(twl.rng_bits)  # alpha vs threshold
+        + comparator_gates(address_bits)  # swap judge: Addr_choose vs Addr_write
+        + comparator_gates(twl.write_counter_bits)  # WCT interval trigger
+    )
+    return DesignOverheadReport(
+        storage_bits_per_page=twl_storage_bits_per_page(
+            pcm, twl, endurance_bits=ENDURANCE_ENTRY_BITS
+        ),
+        storage_overhead=twl_storage_overhead(
+            pcm, twl, endurance_bits=ENDURANCE_ENTRY_BITS
+        ),
+        rng_gates=feistel_rng_gates(bits=twl.rng_bits),
+        datapath_gates=datapath,
+    )

@@ -1,0 +1,278 @@
+"""The wear-tracking PCM page array.
+
+:class:`PCMArray` is the substrate every wear-leveling scheme writes to.
+It tracks per-page write counts against per-page endurance and records
+the first wear-out event.  Data contents are not stored — wear-leveling
+behaviour depends only on *where* writes land — but swap operations still
+cost the correct number of physical page writes.
+
+Two write paths are provided:
+
+* :meth:`write` — single page, exact failure detection (used inside
+  scheme hot loops);
+* :meth:`apply_write_counts` — vectorized bulk application for fast-
+  forward simulation, with exact attribution of the first failure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config import PCMConfig
+from ..errors import AddressError, ConfigError, PageWornOutError
+from .endurance import sample_gaussian_endurance, sample_tail_faithful
+from .faults import FirstFailure
+
+
+class PCMArray:
+    """A page-granular PCM array with per-page endurance.
+
+    Parameters
+    ----------
+    endurance:
+        Per-page endurance values (positive integers).
+    fail_fast:
+        If true (default), the first write that exhausts a page raises
+        :class:`PageWornOutError`; simulations normally check
+        :attr:`first_failure` instead and stop cleanly.
+    """
+
+    def __init__(self, endurance: Sequence[int], fail_fast: bool = False):
+        endurance_array = np.asarray(endurance, dtype=np.int64)
+        if endurance_array.ndim != 1 or endurance_array.size < 1:
+            raise ConfigError("endurance must be a non-empty 1-D sequence")
+        if (endurance_array <= 0).any():
+            raise ConfigError("all endurance values must be positive")
+        self.endurance = endurance_array.copy()
+        self.n_pages = int(endurance_array.size)
+        self.writes = np.zeros(self.n_pages, dtype=np.int64)
+        self.fail_fast = fail_fast
+        self.total_writes = 0
+        #: Fast-path failure flag (plain attribute so hot loops avoid a
+        #: property call per write).
+        self.failed = False
+        self._first_failure: Optional[FirstFailure] = None
+        # Plain Python lists mirror the numpy arrays for O(1) scalar access
+        # in per-write hot loops (numpy scalar indexing is ~5x slower).
+        self._endurance_list = self.endurance.tolist()
+        self._writes_list = self.writes.tolist()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: PCMConfig,
+        rng: np.random.Generator,
+        tail_faithful_reference: Optional[int] = None,
+        fail_fast: bool = False,
+    ) -> "PCMArray":
+        """Build an array for ``config`` with sampled endurance.
+
+        If ``tail_faithful_reference`` is given, endurance extremes are
+        pinned to that population size (see ``repro.pcm.endurance``).
+        """
+        if tail_faithful_reference is not None:
+            endurance = sample_tail_faithful(
+                config.n_pages,
+                tail_faithful_reference,
+                config.endurance_mean,
+                config.endurance_sigma_fraction,
+                rng,
+            )
+        else:
+            endurance = sample_gaussian_endurance(
+                config.n_pages,
+                config.endurance_mean,
+                config.endurance_sigma_fraction,
+                rng,
+            )
+        return cls(endurance, fail_fast=fail_fast)
+
+    @classmethod
+    def uniform(cls, n_pages: int, endurance: int, fail_fast: bool = False) -> "PCMArray":
+        """Array with identical endurance on every page (no PV)."""
+        return cls(np.full(n_pages, endurance, dtype=np.int64), fail_fast=fail_fast)
+
+    # ------------------------------------------------------------------
+    # Write paths
+    # ------------------------------------------------------------------
+    def write(self, physical_page: int) -> None:
+        """Apply one page write.
+
+        Records the first failure the moment a page's write count reaches
+        its endurance.  Writes to already-failed pages keep counting (the
+        simulator stops at first failure; direct users get the exception
+        when ``fail_fast`` is set).
+        """
+        writes = self._writes_list
+        if not 0 <= physical_page < self.n_pages:
+            raise AddressError(
+                f"physical page {physical_page} out of range [0, {self.n_pages})"
+            )
+        count = writes[physical_page] + 1
+        writes[physical_page] = count
+        self.total_writes += 1
+        if count >= self._endurance_list[physical_page] and self._first_failure is None:
+            self.failed = True
+            self._first_failure = FirstFailure(
+                physical_page=physical_page,
+                device_writes=self.total_writes,
+                page_endurance=int(self._endurance_list[physical_page]),
+            )
+            if self.fail_fast:
+                raise PageWornOutError(
+                    physical_page, count, int(self._endurance_list[physical_page])
+                )
+
+    def write_many(self, physical_page: int, count: int) -> None:
+        """Apply ``count`` consecutive writes to one page."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if not 0 <= physical_page < self.n_pages:
+            raise AddressError(
+                f"physical page {physical_page} out of range [0, {self.n_pages})"
+            )
+        if count == 0:
+            return
+        writes = self._writes_list
+        before = writes[physical_page]
+        after = before + count
+        writes[physical_page] = after
+        self.total_writes += count
+        endurance = self._endurance_list[physical_page]
+        if after >= endurance and self._first_failure is None:
+            # The failing write is the one that brought the count to the
+            # endurance value, so attribute the exact device write index.
+            writes_into_burst = endurance - before
+            device_writes = self.total_writes - count + writes_into_burst
+            self.failed = True
+            self._first_failure = FirstFailure(
+                physical_page=physical_page,
+                device_writes=int(device_writes),
+                page_endurance=int(endurance),
+            )
+            if self.fail_fast:
+                raise PageWornOutError(physical_page, after, int(endurance))
+
+    def apply_write_counts(self, per_page_writes: np.ndarray) -> None:
+        """Vectorized bulk write application (fast-forward path).
+
+        ``per_page_writes`` must have one entry per page.  If the bulk
+        application wears out pages, the first failure is attributed to
+        the page that would fail earliest assuming each page's writes are
+        spread evenly across the bulk interval — the standard fluid
+        approximation used by fast-forward simulation.
+        """
+        counts = np.asarray(per_page_writes, dtype=np.int64)
+        if counts.shape != (self.n_pages,):
+            raise ConfigError(
+                f"expected shape ({self.n_pages},), got {counts.shape}"
+            )
+        if (counts < 0).any():
+            raise ConfigError("write counts must be non-negative")
+        self._sync_lists_to_numpy()
+        chunk_total = int(counts.sum())
+        if chunk_total == 0:
+            return
+        before = self.writes.copy()
+        self.writes += counts
+        self.total_writes += chunk_total
+        if self._first_failure is None:
+            crossed = np.nonzero(self.writes >= self.endurance)[0]
+            if crossed.size:
+                # Fluid approximation: page p fails after fraction
+                # (endurance - before) / counts of the chunk.
+                fractions = (
+                    self.endurance[crossed] - before[crossed]
+                ) / counts[crossed].astype(np.float64)
+                winner = int(crossed[np.argmin(fractions)])
+                fraction = float(np.min(fractions))
+                device_writes = (
+                    self.total_writes - chunk_total + int(round(fraction * chunk_total))
+                )
+                self.failed = True
+                self._first_failure = FirstFailure(
+                    physical_page=winner,
+                    device_writes=max(1, device_writes),
+                    page_endurance=int(self.endurance[winner]),
+                )
+        self._writes_list = self.writes.tolist()
+
+    def _sync_lists_to_numpy(self) -> None:
+        """Fold scalar-path updates back into the numpy arrays."""
+        self.writes = np.asarray(self._writes_list, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def first_failure(self) -> Optional[FirstFailure]:
+        """The first wear-out event, or None while all pages are alive."""
+        return self._first_failure
+
+    @property
+    def has_failure(self) -> bool:
+        """Whether any page has worn out."""
+        return self.failed
+
+    def page_writes(self, physical_page: int) -> int:
+        """Writes served by one page so far (O(1), hot-loop safe)."""
+        if not 0 <= physical_page < self.n_pages:
+            raise AddressError(
+                f"physical page {physical_page} out of range [0, {self.n_pages})"
+            )
+        return self._writes_list[physical_page]
+
+    def page_endurance(self, physical_page: int) -> int:
+        """Endurance of one page (O(1), hot-loop safe)."""
+        if not 0 <= physical_page < self.n_pages:
+            raise AddressError(
+                f"physical page {physical_page} out of range [0, {self.n_pages})"
+            )
+        return self._endurance_list[physical_page]
+
+    def write_counts(self) -> np.ndarray:
+        """Copy of the per-page write counts."""
+        self._sync_lists_to_numpy()
+        return self.writes.copy()
+
+    def remaining(self) -> np.ndarray:
+        """Per-page remaining endurance (clipped at zero)."""
+        self._sync_lists_to_numpy()
+        return np.maximum(self.endurance - self.writes, 0)
+
+    def wear_fraction(self) -> np.ndarray:
+        """Per-page wear as a fraction of endurance."""
+        self._sync_lists_to_numpy()
+        return self.writes / self.endurance.astype(np.float64)
+
+    def utilization(self) -> float:
+        """Fraction of total endurance capacity consumed so far.
+
+        A perfect PV-aware wear leveler reaches ~1.0 at first failure; the
+        paper's normalized lifetime is precisely this quantity at the
+        failure point (modulo swap-write overhead).
+        """
+        self._sync_lists_to_numpy()
+        return float(self.writes.sum() / self.endurance.sum())
+
+    def weakest_pages(self, k: int) -> np.ndarray:
+        """Indices of the ``k`` lowest-endurance pages, weakest first."""
+        if not 1 <= k <= self.n_pages:
+            raise ValueError(f"k must be in [1, {self.n_pages}], got {k}")
+        order = np.argsort(self.endurance, kind="stable")
+        return order[:k]
+
+    def endurance_capacity(self) -> int:
+        """Sum of all page endurances (total writes an ideal leveler serves)."""
+        return int(self.endurance.sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"PCMArray(n_pages={self.n_pages}, total_writes={self.total_writes}, "
+            f"failed={self.has_failure})"
+        )

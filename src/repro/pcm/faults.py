@@ -1,0 +1,39 @@
+"""Failure records for the PCM array.
+
+The paper's lifetime criterion is first page failure (no spare rows or
+intra-device ECC are modelled in the evaluation), so the central record
+here is :class:`FirstFailure`: which physical page died and how many
+device-level writes had been served when it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FirstFailure:
+    """The first page wear-out event of a simulation run.
+
+    Attributes
+    ----------
+    physical_page:
+        Index of the page whose write count reached its endurance.
+    device_writes:
+        Total page writes the device had served (including wear-leveling
+        swap writes) when the failure occurred.
+    page_endurance:
+        The failed page's endurance.
+    """
+
+    physical_page: int
+    device_writes: int
+    page_endurance: int
+
+    def __post_init__(self) -> None:
+        if self.physical_page < 0:
+            raise ValueError("physical page must be non-negative")
+        if self.device_writes < 0:
+            raise ValueError("device writes must be non-negative")
+        if self.page_endurance <= 0:
+            raise ValueError("page endurance must be positive")

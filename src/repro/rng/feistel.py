@@ -1,0 +1,198 @@
+"""Feistel-network random number generator.
+
+A Feistel network over ``bits`` bits splits a word into two halves and runs
+``rounds`` rounds of::
+
+    L' = R
+    R' = L xor F(R, K_i)
+
+Because the construction is an involution-friendly permutation over
+``[0, 2**bits)``, it serves two roles in this reproduction:
+
+* as TWL's hardware RNG (counter mode: encrypt an incrementing counter),
+  exactly the <128-gate design the paper adopts from Start-Gap [10];
+* as a cheap keyed *address permutation* (Start-Gap's randomized layout and
+  Security Refresh both need one).
+
+The round function is a small key-dependent S-box style mixer chosen to be
+implementable with a handful of gates while passing the statistical checks
+in ``tests/test_rng_feistel.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..errors import ConfigError
+
+_DEFAULT_ROUNDS = 4
+
+#: 4-bit S-box used by the default round function (PRESENT cipher S-box,
+#: chosen because it is standard, tiny and maximally nonlinear for 4 bits).
+_SBOX4 = (0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2)
+
+
+def _derive_round_keys(seed: int, rounds: int, half_bits: int) -> List[int]:
+    """Derive ``rounds`` round keys of ``half_bits`` bits from a seed.
+
+    Uses a splitmix-style mixer so nearby seeds give unrelated keys.
+    """
+    keys = []
+    state = (seed * 0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019) & 0xFFFFFFFFFFFFFFFF
+    mask = (1 << half_bits) - 1
+    for _ in range(rounds):
+        state = (state + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        z = state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        z ^= z >> 31
+        keys.append(z & mask)
+    return keys
+
+
+class FeistelNetwork:
+    """A keyed Feistel permutation over ``[0, 2**bits)``.
+
+    Parameters
+    ----------
+    bits:
+        Total block width; must be even so the halves are equal.  The
+        paper's RNG uses ``bits=8``.
+    seed:
+        Key material; round keys are derived deterministically from it.
+    rounds:
+        Number of Feistel rounds (4 by default — enough for statistical
+        quality at these tiny widths while staying under the paper's
+        128-gate budget, see ``repro.hwcost``).
+    keys:
+        Explicit round keys, overriding derivation from ``seed``.
+    """
+
+    def __init__(
+        self,
+        bits: int = 8,
+        seed: int = 0,
+        rounds: int = _DEFAULT_ROUNDS,
+        keys: Optional[Sequence[int]] = None,
+    ):
+        if bits < 2 or bits % 2 != 0:
+            raise ConfigError(f"Feistel width must be even and >= 2, got {bits}")
+        if rounds < 1:
+            raise ConfigError(f"Feistel needs at least one round, got {rounds}")
+        self.bits = bits
+        self.rounds = rounds
+        self.half_bits = bits // 2
+        self._half_mask = (1 << self.half_bits) - 1
+        if keys is not None:
+            if len(keys) != rounds:
+                raise ConfigError(
+                    f"expected {rounds} round keys, got {len(keys)}"
+                )
+            bad = [k for k in keys if not 0 <= k <= self._half_mask]
+            if bad:
+                raise ConfigError(f"round keys out of range: {bad}")
+            self.keys = list(keys)
+        else:
+            self.keys = _derive_round_keys(seed, rounds, self.half_bits)
+
+    @property
+    def period(self) -> int:
+        """Size of the permuted domain, ``2**bits``."""
+        return 1 << self.bits
+
+    def _round_function(self, value: int, key: int) -> int:
+        """Key-dependent mixing of one half-word."""
+        mixed = (value + key) & self._half_mask
+        out = 0
+        # Apply the 4-bit S-box nibble-wise (half widths are <= 32 bits).
+        shift = 0
+        while shift < self.half_bits:
+            nibble = (mixed >> shift) & 0xF
+            width = min(4, self.half_bits - shift)
+            out |= (_SBOX4[nibble] & ((1 << width) - 1)) << shift
+            shift += 4
+        # Rotate by one so adjacent rounds diffuse across nibbles.
+        out = ((out << 1) | (out >> (self.half_bits - 1))) & self._half_mask
+        return out ^ key
+
+    def encrypt(self, value: int) -> int:
+        """Apply the permutation to ``value``."""
+        self._check_domain(value)
+        left = value >> self.half_bits
+        right = value & self._half_mask
+        for key in self.keys:
+            left, right = right, left ^ self._round_function(right, key)
+        return (left << self.half_bits) | right
+
+    def decrypt(self, value: int) -> int:
+        """Invert the permutation."""
+        self._check_domain(value)
+        left = value >> self.half_bits
+        right = value & self._half_mask
+        for key in reversed(self.keys):
+            left, right = right ^ self._round_function(left, key), left
+        return (left << self.half_bits) | right
+
+    def _check_domain(self, value: int) -> None:
+        if not 0 <= value < self.period:
+            raise ValueError(
+                f"value {value} outside Feistel domain [0, {self.period})"
+            )
+
+    def permutation(self) -> List[int]:
+        """The full permutation as a list (small widths only)."""
+        if self.bits > 20:
+            raise ConfigError("refusing to materialize a >1M-entry permutation")
+        return [self.encrypt(i) for i in range(self.period)]
+
+
+class FeistelRNG:
+    """Counter-mode RNG built on :class:`FeistelNetwork`.
+
+    Encrypting an incrementing counter yields a full-period sequence of
+    ``bits``-wide pseudorandom words — each value appears exactly once per
+    period, matching the hardware design's behaviour.  The key is rolled
+    automatically at the end of each period so long runs do not repeat.
+    """
+
+    def __init__(self, bits: int = 8, seed: int = 0, rounds: int = _DEFAULT_ROUNDS):
+        self.bits = bits
+        self._seed = seed
+        self._epoch = 0
+        self._counter = 0
+        self._network = FeistelNetwork(bits=bits, seed=seed, rounds=rounds)
+        self._rounds = rounds
+
+    @property
+    def period(self) -> int:
+        """Values per key epoch."""
+        return self._network.period
+
+    def next_word(self) -> int:
+        """Next pseudorandom word in ``[0, 2**bits)``."""
+        value = self._network.encrypt(self._counter)
+        self._counter += 1
+        if self._counter == self._network.period:
+            self._counter = 0
+            self._epoch += 1
+            self._network = FeistelNetwork(
+                bits=self.bits,
+                seed=self._seed + 0x10001 * self._epoch,
+                rounds=self._rounds,
+            )
+        return value
+
+    def next_unit(self) -> float:
+        """Next value mapped to [0, 1): ``word / 2**bits``."""
+        return self.next_word() / self.period
+
+    def next_below(self, bound: int) -> int:
+        """Next value reduced modulo ``bound`` (bound <= period)."""
+        if not 0 < bound <= self.period:
+            raise ValueError(f"bound must be in (0, {self.period}], got {bound}")
+        return self.next_word() % bound
+
+    def iter_words(self, count: int) -> Iterator[int]:
+        """Yield ``count`` consecutive words."""
+        for _ in range(count):
+            yield self.next_word()

@@ -1,0 +1,41 @@
+"""A 32-bit xorshift generator.
+
+Used where the simulator needs a very cheap deterministic PRNG that is
+independent of numpy (e.g. inside per-write hot loops of baseline
+schemes).  Marsaglia's (13, 17, 5) triple; period ``2**32 - 1``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+_MASK32 = 0xFFFFFFFF
+
+
+class XorShift32:
+    """Marsaglia xorshift32 PRNG."""
+
+    def __init__(self, seed: int = 0x1234_5678):
+        seed &= _MASK32
+        if seed == 0:
+            raise ConfigError("xorshift seed must be non-zero")
+        self.state = seed
+
+    def next_word(self) -> int:
+        """Next 32-bit word."""
+        x = self.state
+        x ^= (x << 13) & _MASK32
+        x ^= x >> 17
+        x ^= (x << 5) & _MASK32
+        self.state = x
+        return x
+
+    def next_unit(self) -> float:
+        """Next float in [0, 1)."""
+        return self.next_word() / 4294967296.0
+
+    def next_below(self, bound: int) -> int:
+        """Next integer in [0, bound)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_word() % bound

@@ -1,0 +1,51 @@
+"""Trace-driven PCM lifetime simulation.
+
+* :mod:`repro.sim.drivers` — workload drivers that push trace or attack
+  writes through a scheme;
+* :mod:`repro.sim.lifetime` — exact run-to-failure and the
+  :class:`LifetimeResult` record;
+* :mod:`repro.sim.fastforward` — steady-state wear-rate extrapolation for
+  long lifetimes (the paper loops traces "until a PCM page wears out";
+  fast-forward makes that tractable at high endurance);
+* :mod:`repro.sim.runner` — one-call experiment helpers;
+* :mod:`repro.sim.metrics` — scheme overhead measurement for the timing
+  model.
+"""
+
+from .drivers import WorkloadDriver, TraceDriver, AttackDriver
+from .lifetime import LifetimeResult, run_to_failure
+from .fastforward import FastForwardConfig, fast_forward_to_failure
+from .runner import (
+    build_array,
+    measure_attack_lifetime,
+    measure_trace_lifetime,
+    DEFAULT_SCALED,
+)
+from .metrics import measure_scheme_overheads, SchemeOverheads
+from .replicates import (
+    ReplicatedLifetime,
+    replicate_attack_lifetime,
+    replicate_trace_lifetime,
+)
+from .cache import ResultCache, cache_key
+
+__all__ = [
+    "WorkloadDriver",
+    "TraceDriver",
+    "AttackDriver",
+    "LifetimeResult",
+    "run_to_failure",
+    "FastForwardConfig",
+    "fast_forward_to_failure",
+    "build_array",
+    "measure_attack_lifetime",
+    "measure_trace_lifetime",
+    "DEFAULT_SCALED",
+    "measure_scheme_overheads",
+    "SchemeOverheads",
+    "ReplicatedLifetime",
+    "replicate_attack_lifetime",
+    "replicate_trace_lifetime",
+    "ResultCache",
+    "cache_key",
+]

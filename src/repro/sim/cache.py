@@ -1,0 +1,155 @@
+"""Persistent cache for lifetime-experiment results.
+
+A full default-scale campaign (every figure, every ablation) costs tens
+of minutes of simulation; since every run is deterministic given its
+configuration, results can be cached on disk and reused.  The cache key
+is a stable digest of everything that determines the outcome: scheme,
+workload, scaled-array parameters, seed and scheme/attack overrides.
+
+Usage::
+
+    cache = ResultCache("results.json")
+    result = cache.get_or_run(key_fields, lambda: measure_attack_lifetime(...))
+
+The cache stores :class:`repro.sim.lifetime.LifetimeResult` fields (the
+failure record is reduced to its three integers); `to_result` rebuilds a
+full object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Callable, Dict, Optional
+
+from ..errors import SimulationError
+from ..pcm.faults import FirstFailure
+from .lifetime import LifetimeResult
+
+_FORMAT_VERSION = 1
+
+
+def cache_key(**fields) -> str:
+    """Stable digest of the fields that determine an experiment result.
+
+    Values are serialized through ``repr`` after JSON-normalizing the
+    basics, so dataclass configs participate via their field values.
+    """
+    canonical = json.dumps(
+        {name: repr(value) for name, value in sorted(fields.items())},
+        sort_keys=True,
+    )
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+def _serialize(result: LifetimeResult) -> Dict:
+    record = {
+        "scheme": result.scheme,
+        "workload": result.workload,
+        "n_pages": result.n_pages,
+        "endurance_mean": result.endurance_mean,
+        "demand_writes": result.demand_writes,
+        "device_writes": result.device_writes,
+        "failed": result.failed,
+        "estimation": result.estimation,
+    }
+    if result.failure is not None:
+        record["failure"] = {
+            "physical_page": result.failure.physical_page,
+            "device_writes": result.failure.device_writes,
+            "page_endurance": result.failure.page_endurance,
+        }
+    return record
+
+
+def _deserialize(record: Dict) -> LifetimeResult:
+    failure = None
+    if "failure" in record:
+        failure = FirstFailure(
+            physical_page=record["failure"]["physical_page"],
+            device_writes=record["failure"]["device_writes"],
+            page_endurance=record["failure"]["page_endurance"],
+        )
+    return LifetimeResult(
+        scheme=record["scheme"],
+        workload=record["workload"],
+        n_pages=record["n_pages"],
+        endurance_mean=record["endurance_mean"],
+        demand_writes=record["demand_writes"],
+        device_writes=record["device_writes"],
+        failed=record["failed"],
+        failure=failure,
+        estimation=record.get("estimation", "exact"),
+    )
+
+
+class ResultCache:
+    """JSON-file-backed cache of lifetime results."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._entries: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if os.path.exists(path):
+            with open(path) as handle:
+                try:
+                    data = json.load(handle)
+                except json.JSONDecodeError as error:
+                    raise SimulationError(
+                        f"corrupt result cache {path}: {error}"
+                    ) from None
+            if data.get("version") != _FORMAT_VERSION:
+                raise SimulationError(
+                    f"result cache {path} has unsupported version "
+                    f"{data.get('version')!r}"
+                )
+            self._entries = data.get("entries", {})
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[LifetimeResult]:
+        """Cached result for ``key``, or None."""
+        record = self._entries.get(key)
+        if record is None:
+            return None
+        return _deserialize(record)
+
+    def put(self, key: str, result: LifetimeResult) -> None:
+        """Store a result (written to disk on :meth:`save`)."""
+        self._entries[key] = _serialize(result)
+
+    def get_or_run(
+        self,
+        key: str,
+        run: Callable[[], LifetimeResult],
+        autosave: bool = True,
+    ) -> LifetimeResult:
+        """Return the cached result or compute, store and return it."""
+        cached = self.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = run()
+        self.put(key, result)
+        if autosave:
+            self.save()
+        return result
+
+    def save(self) -> None:
+        """Write the cache to disk atomically."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        temp_path = self.path + ".tmp"
+        with open(temp_path, "w") as handle:
+            json.dump(
+                {"version": _FORMAT_VERSION, "entries": self._entries}, handle
+            )
+        os.replace(temp_path, self.path)
+
+    def clear(self) -> None:
+        """Drop all entries (in memory; call save() to persist)."""
+        self._entries = {}

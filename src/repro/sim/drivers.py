@@ -1,0 +1,109 @@
+"""Workload drivers.
+
+A driver owns a position in an infinite write stream (a looping trace or
+an adaptive attack) and pushes demand writes through a wear-leveling
+scheme until a quota is met or the array records its first failure.
+Keeping the loop here — with locals bound outside the loop — is what
+makes exact run-to-failure simulation of tens of millions of writes
+practical in pure Python.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..attacks.base import AttackWorkload
+from ..config import TimingConfig
+from ..errors import SimulationError
+from ..traces.trace import Trace
+from ..wearlevel.base import WearLeveler
+
+
+class WorkloadDriver(abc.ABC):
+    """Stateful source of demand writes."""
+
+    @abc.abstractmethod
+    def drive(self, scheme: WearLeveler, max_demand: int) -> int:
+        """Serve up to ``max_demand`` demand writes through ``scheme``.
+
+        Stops early when the array fails.  Returns the number of demand
+        writes actually served.
+        """
+
+    @property
+    @abc.abstractmethod
+    def workload_name(self) -> str:
+        """Label for result records."""
+
+
+class TraceDriver(WorkloadDriver):
+    """Loops a finite trace's write stream forever (paper methodology)."""
+
+    def __init__(self, trace: Trace, n_pages: int):
+        writes = trace.write_page_list()
+        if not writes:
+            raise SimulationError(f"trace {trace.name!r} contains no writes")
+        if trace.max_page >= n_pages:
+            raise SimulationError(
+                f"trace touches page {trace.max_page} outside array of {n_pages}"
+            )
+        self._writes = writes
+        self._position = 0
+        self._name = trace.name
+        self.loops_completed = 0
+
+    @property
+    def workload_name(self) -> str:
+        return self._name
+
+    def drive(self, scheme: WearLeveler, max_demand: int) -> int:
+        if max_demand < 0:
+            raise ValueError("max_demand must be non-negative")
+        writes = self._writes
+        length = len(writes)
+        position = self._position
+        write = scheme.write
+        array = scheme.array
+        served = 0
+        while served < max_demand and not array.failed:
+            write(writes[position])
+            served += 1
+            position += 1
+            if position == length:
+                position = 0
+                self.loops_completed += 1
+        self._position = position
+        return served
+
+
+class AttackDriver(WorkloadDriver):
+    """Drives an adaptive attack, feeding back response latencies.
+
+    The response-time model matches the threat model's observable: a
+    request that triggered k physical page writes blocks for k write
+    latencies before the attacker's next request is served.
+    """
+
+    def __init__(self, attack: AttackWorkload, timing: TimingConfig = TimingConfig()):
+        self.attack = attack
+        self.timing = timing
+
+    @property
+    def workload_name(self) -> str:
+        return self.attack.name
+
+    def drive(self, scheme: WearLeveler, max_demand: int) -> int:
+        if max_demand < 0:
+            raise ValueError("max_demand must be non-negative")
+        attack = self.attack
+        next_write = attack.next_write
+        observe = attack.observe_response
+        write = scheme.write
+        array = scheme.array
+        write_cycles = float(self.timing.write_cycles)
+        served = 0
+        while served < max_demand and not array.failed:
+            physical_writes = write(next_write())
+            observe(write_cycles * physical_writes)
+            served += 1
+        return served

@@ -1,0 +1,127 @@
+"""Lifetime results and exact run-to-failure simulation.
+
+The paper's lifetime metric is the execution time until the first page
+wears out, at the workload's sustained write bandwidth.  The
+scale-invariant form of that metric is the **lifetime fraction**::
+
+    demand_writes_at_failure / (n_pages * endurance_mean)
+
+— demand writes because the workload's offered bandwidth governs wall
+time (wear-leveling swap writes burn endurance but are absorbed by
+device-internal bandwidth).  A perfect PV-aware leveler approaches 1.0;
+Figure 8 plots exactly this quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.calibration import PAPER_IDEAL_CALIBRATION, ideal_lifetime_seconds
+from ..config import PCMConfig, PAPER_PCM
+from ..errors import SimulationError
+from ..pcm.faults import FirstFailure
+from ..units import SECONDS_PER_YEAR, mbps_to_bytes_per_second
+from ..wearlevel.base import WearLeveler
+from .drivers import WorkloadDriver
+
+#: Default exact-simulation safety cap (writes), far above any scaled run.
+DEFAULT_MAX_DEMAND = 2_000_000_000
+
+
+@dataclass(frozen=True)
+class LifetimeResult:
+    """Outcome of a lifetime simulation run."""
+
+    scheme: str
+    workload: str
+    n_pages: int
+    endurance_mean: float
+    demand_writes: int
+    device_writes: int
+    failed: bool
+    failure: Optional[FirstFailure]
+    estimation: str = "exact"
+
+    @property
+    def lifetime_fraction(self) -> float:
+        """Demand writes served per unit of ideal endurance capacity."""
+        return self.demand_writes / (self.n_pages * self.endurance_mean)
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Extra device writes per demand write (wear amplification)."""
+        if self.demand_writes == 0:
+            return 0.0
+        return self.device_writes / self.demand_writes - 1.0
+
+    def years(
+        self,
+        bandwidth_mbps: float,
+        pcm: PCMConfig = PAPER_PCM,
+        calibration: float = PAPER_IDEAL_CALIBRATION,
+    ) -> float:
+        """Full-scale lifetime in years at a Table-2 style bandwidth."""
+        ideal = ideal_lifetime_seconds(
+            mbps_to_bytes_per_second(bandwidth_mbps), pcm=pcm, calibration=calibration
+        )
+        return self.lifetime_fraction * ideal / SECONDS_PER_YEAR
+
+    def years_at_bytes_per_second(
+        self,
+        bandwidth_bytes: float,
+        pcm: PCMConfig = PAPER_PCM,
+        calibration: float = PAPER_IDEAL_CALIBRATION,
+    ) -> float:
+        """Full-scale lifetime in years at a bandwidth in bytes/second."""
+        ideal = ideal_lifetime_seconds(bandwidth_bytes, pcm=pcm, calibration=calibration)
+        return self.lifetime_fraction * ideal / SECONDS_PER_YEAR
+
+
+def run_to_failure(
+    scheme: WearLeveler,
+    driver: WorkloadDriver,
+    max_demand: int = DEFAULT_MAX_DEMAND,
+    require_failure: bool = True,
+) -> LifetimeResult:
+    """Exact simulation: drive demand writes until the first page failure.
+
+    Raises :class:`SimulationError` if the cap is reached without a
+    failure and ``require_failure`` is set — a sign the scale was chosen
+    too large for exact simulation (use fast-forward instead).
+    """
+    if scheme.array.failed:
+        raise SimulationError("array already failed before simulation start")
+    demand_before = scheme.demand_writes
+    chunk = 1 << 20
+    remaining = max_demand
+    while remaining > 0 and not scheme.array.failed:
+        served = driver.drive(scheme, min(chunk, remaining))
+        remaining -= served
+        if served == 0:
+            break
+    failed = scheme.array.failed
+    if require_failure and not failed:
+        raise SimulationError(
+            f"no failure within {max_demand} demand writes; "
+            "reduce the array scale or use fast_forward_to_failure"
+        )
+    failure = scheme.array.first_failure
+    demand_total = scheme.demand_writes - demand_before
+    if failed and failure is not None:
+        # Clip device writes to the failure instant (the driver may have
+        # completed the request that caused the failure).
+        device_writes = failure.device_writes
+    else:
+        device_writes = scheme.array.total_writes
+    return LifetimeResult(
+        scheme=scheme.name,
+        workload=driver.workload_name,
+        n_pages=scheme.array.n_pages,
+        endurance_mean=float(scheme.array.endurance.mean()),
+        demand_writes=demand_total,
+        device_writes=device_writes,
+        failed=failed,
+        failure=failure,
+        estimation="exact",
+    )

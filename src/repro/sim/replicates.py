@@ -1,0 +1,135 @@
+"""Multi-seed replication of lifetime experiments.
+
+The paper reports single runs; a reproduction should quantify run-to-run
+variance (endurance sampling, trace generation and the schemes' RNGs all
+move the result).  :func:`replicate_attack_lifetime` and
+:func:`replicate_trace_lifetime` rerun an experiment across derived
+seeds — every stochastic component re-derives its stream from the
+replicate seed — and summarize the lifetime-fraction distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..config import ScaledArrayConfig
+from ..errors import SimulationError
+from ..rng.streams import derive_seed
+from ..traces.parsec import BenchmarkProfile, make_benchmark_trace
+from .lifetime import LifetimeResult
+from .runner import DEFAULT_SCALED, measure_attack_lifetime, measure_trace_lifetime
+
+
+@dataclass(frozen=True)
+class ReplicatedLifetime:
+    """Summary of a lifetime experiment across seeds."""
+
+    scheme: str
+    workload: str
+    fractions: tuple
+    results: tuple
+
+    @property
+    def n_replicates(self) -> int:
+        """Number of runs summarized."""
+        return len(self.fractions)
+
+    @property
+    def mean(self) -> float:
+        """Mean lifetime fraction."""
+        return float(np.mean(self.fractions))
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the lifetime fraction."""
+        return float(np.std(self.fractions, ddof=1)) if self.n_replicates > 1 else 0.0
+
+    @property
+    def minimum(self) -> float:
+        """Worst replicate."""
+        return float(np.min(self.fractions))
+
+    @property
+    def maximum(self) -> float:
+        """Best replicate."""
+        return float(np.max(self.fractions))
+
+    def confidence_halfwidth(self) -> float:
+        """~95% normal-approximation half-width of the mean."""
+        if self.n_replicates < 2:
+            return 0.0
+        return 1.96 * self.std / np.sqrt(self.n_replicates)
+
+
+def _replicate(
+    run_one: Callable[[int], LifetimeResult],
+    n_replicates: int,
+) -> ReplicatedLifetime:
+    if n_replicates < 1:
+        raise SimulationError("need at least one replicate")
+    results: List[LifetimeResult] = []
+    for index in range(n_replicates):
+        results.append(run_one(index))
+    return ReplicatedLifetime(
+        scheme=results[0].scheme,
+        workload=results[0].workload,
+        fractions=tuple(r.lifetime_fraction for r in results),
+        results=tuple(results),
+    )
+
+
+def replicate_attack_lifetime(
+    scheme_name: str,
+    attack_name: str,
+    n_replicates: int = 5,
+    scaled: ScaledArrayConfig = DEFAULT_SCALED,
+    seed: int = 2017,
+    scheme_kwargs: Optional[dict] = None,
+    attack_kwargs: Optional[dict] = None,
+) -> ReplicatedLifetime:
+    """Attack lifetime across ``n_replicates`` independent seeds."""
+
+    def run_one(index: int) -> LifetimeResult:
+        replicate_seed = derive_seed(seed, "replicate", index)
+        replicate_scaled = replace(scaled, seed=replicate_seed)
+        return measure_attack_lifetime(
+            scheme_name,
+            attack_name,
+            scaled=replicate_scaled,
+            seed=replicate_seed,
+            scheme_kwargs=dict(scheme_kwargs or {}),
+            attack_kwargs=dict(attack_kwargs or {}),
+        )
+
+    return _replicate(run_one, n_replicates)
+
+
+def replicate_trace_lifetime(
+    scheme_name: str,
+    profile: BenchmarkProfile,
+    trace_writes: int,
+    n_replicates: int = 5,
+    scaled: ScaledArrayConfig = DEFAULT_SCALED,
+    seed: int = 2017,
+    scheme_kwargs: Optional[dict] = None,
+) -> ReplicatedLifetime:
+    """Benchmark lifetime across seeds (fresh trace + array per seed)."""
+
+    def run_one(index: int) -> LifetimeResult:
+        replicate_seed = derive_seed(seed, "replicate", index)
+        replicate_scaled = replace(scaled, seed=replicate_seed)
+        trace = make_benchmark_trace(
+            profile, scaled.n_pages, trace_writes, seed=replicate_seed
+        )
+        return measure_trace_lifetime(
+            scheme_name,
+            trace,
+            scaled=replicate_scaled,
+            seed=replicate_seed,
+            scheme_kwargs=dict(scheme_kwargs or {}),
+        )
+
+    return _replicate(run_one, n_replicates)

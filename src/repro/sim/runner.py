@@ -1,0 +1,96 @@
+"""One-call experiment helpers.
+
+These wrap array construction, scheme/attack instantiation, driver setup
+and lifetime estimation so that the benchmark harness, the examples and
+the CLI all run experiments through identical code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..attacks.registry import make_attack
+from ..config import ScaledArrayConfig, TimingConfig
+from ..pcm.array import PCMArray
+from ..pcm.endurance import sample_gaussian_endurance, sample_tail_faithful
+from ..rng.streams import make_generator
+from ..traces.trace import Trace
+from ..wearlevel.registry import make_scheme
+from .drivers import AttackDriver, TraceDriver
+from .fastforward import FastForwardConfig, fast_forward_to_failure
+from .lifetime import LifetimeResult, run_to_failure
+
+#: Default scale for experiments.  The endurance-to-footprint ratio
+#: matters: at full scale mean endurance / page count = 1e8 / 8.4M ≈ 12,
+#: and prediction-phase lengths, refresh rounds etc. all scale with the
+#: page count, so preserving the ratio keeps every scheme's
+#: phases-per-page-lifetime equal to the paper's.  1024 pages at mean
+#: endurance 12288 holds that ratio while keeping exact run-to-failure
+#: in the seconds range per scheme/workload cell.
+DEFAULT_SCALED = ScaledArrayConfig(n_pages=1024, endurance_mean=12288.0)
+
+
+def build_array(scaled: ScaledArrayConfig = DEFAULT_SCALED) -> PCMArray:
+    """Sample a fresh scaled PCM array per the scaling configuration."""
+    rng = make_generator(scaled.seed, "endurance")
+    if scaled.tail_faithful:
+        endurance = sample_tail_faithful(
+            scaled.n_pages,
+            scaled.reference.n_pages,
+            scaled.endurance_mean,
+            scaled.endurance_sigma_fraction,
+            rng,
+        )
+    else:
+        endurance = sample_gaussian_endurance(
+            scaled.n_pages,
+            scaled.endurance_mean,
+            scaled.endurance_sigma_fraction,
+            rng,
+        )
+    return PCMArray(endurance)
+
+
+def measure_attack_lifetime(
+    scheme_name: str,
+    attack_name: str,
+    scaled: ScaledArrayConfig = DEFAULT_SCALED,
+    seed: int = 2017,
+    fastforward: bool = False,
+    ff_config: Optional[FastForwardConfig] = None,
+    timing: TimingConfig = TimingConfig(),
+    scheme_kwargs: Optional[dict] = None,
+    attack_kwargs: Optional[dict] = None,
+) -> LifetimeResult:
+    """Lifetime of ``scheme_name`` under ``attack_name`` at scaled size."""
+    array = build_array(scaled)
+    scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
+    attack = make_attack(
+        attack_name, scheme.logical_pages, seed=seed, **(attack_kwargs or {})
+    )
+    driver = AttackDriver(attack, timing=timing)
+    if fastforward:
+        return fast_forward_to_failure(
+            scheme, driver, config=ff_config or FastForwardConfig()
+        )
+    return run_to_failure(scheme, driver)
+
+
+def measure_trace_lifetime(
+    scheme_name: str,
+    trace: Trace,
+    scaled: ScaledArrayConfig = DEFAULT_SCALED,
+    seed: int = 2017,
+    fastforward: bool = False,
+    ff_config: Optional[FastForwardConfig] = None,
+    scheme_kwargs: Optional[dict] = None,
+) -> LifetimeResult:
+    """Lifetime of ``scheme_name`` looping ``trace`` at scaled size."""
+    array = build_array(scaled)
+    scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
+    driver = TraceDriver(trace, scheme.logical_pages)
+    if fastforward:
+        return fast_forward_to_failure(
+            scheme, driver, config=ff_config or FastForwardConfig()
+        )
+    return run_to_failure(scheme, driver)

@@ -1,0 +1,26 @@
+"""Hardware tables of the wear-leveling controllers (paper Figures 1 & 5).
+
+Every table stores one entry per page and reports its per-entry bit width,
+which feeds the Section-5.4 storage accounting in ``repro.hwcost``:
+
+* :class:`RemappingTable` (RT, 23 bits/entry at full scale) — LA -> PA;
+* :class:`EnduranceTable` (ET, 27 bits/entry) — tested endurance per PA;
+* :class:`PairTable` (SWPT, 23 bits/entry) — the strong-weak pair involution;
+* :class:`WriteCounterTable` (WCT, 7 bits/entry) — interval trigger counters;
+* :class:`WriteNumberTable` (WNT) — prediction-phase write counters used by
+  the prediction-swap-running baselines.
+"""
+
+from .remap import RemappingTable
+from .endurance_table import EnduranceTable
+from .pair_table import PairTable
+from .write_counter import WriteCounterTable
+from .wnt import WriteNumberTable
+
+__all__ = [
+    "RemappingTable",
+    "EnduranceTable",
+    "PairTable",
+    "WriteCounterTable",
+    "WriteNumberTable",
+]

@@ -1,0 +1,158 @@
+"""The strong-weak pair table (SWPT).
+
+A fixed involution over logical pages: every page has exactly one partner
+and pairing is symmetric (``partner(partner(x)) == x``).  The table is
+set once at format time; the three builders correspond to the paper's
+pairing policies:
+
+* :meth:`PairTable.strong_weak` — sort pages by endurance and bind the
+  k-th weakest to the k-th strongest (the SWP optimization of §4.3);
+* :meth:`PairTable.adjacent` — bind physically adjacent pages (the naive
+  "TWL_ap" baseline of Figure 6);
+* :meth:`PairTable.random` — uniformly random perfect matching.
+
+With an odd page count, one page is left self-paired (toss-up over a
+self-pair is a no-op); the paper's power-of-two geometries never hit this
+but the library supports it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import AddressError, TableError
+
+
+class PairTable:
+    """An involution mapping each logical page to its toss-up partner."""
+
+    def __init__(self, partners: Sequence[int]):
+        partner_list = [int(p) for p in partners]
+        n = len(partner_list)
+        if n < 1:
+            raise TableError("pair table needs at least one page")
+        for la, partner in enumerate(partner_list):
+            if not 0 <= partner < n:
+                raise TableError(f"partner {partner} of page {la} out of range")
+            if partner_list[partner] != la:
+                raise TableError(
+                    f"pairing is not an involution at page {la} -> {partner}"
+                )
+        self._partners = partner_list
+        self.n_pages = n
+
+    @property
+    def entry_bits(self) -> int:
+        """Bits per entry: ceil(log2(n_pages)) (23 at the paper's scale)."""
+        return max(1, (self.n_pages - 1).bit_length())
+
+    def partner(self, logical: int) -> int:
+        """The toss-up partner of ``logical`` (may equal it if self-paired)."""
+        if not 0 <= logical < self.n_pages:
+            raise AddressError(
+                f"page {logical} out of range [0, {self.n_pages})"
+            )
+        return self._partners[logical]
+
+    def exchange_roles(self, la1: int, la2: int) -> None:
+        """Update the involution after two logical pages exchange frames.
+
+        When an inter-pair swap moves frame F1 from under ``la1`` to under
+        ``la2`` (and F2 the other way), the physical pair sets stay intact
+        only if the SWPT is conjugated by the transposition (la1 la2):
+        ``new_partner(x) = t(old_partner(t(x)))``.  Same-pair exchanges
+        and self-pairs fall out of the formula naturally.
+        """
+        for la in (la1, la2):
+            if not 0 <= la < self.n_pages:
+                raise AddressError(
+                    f"page {la} out of range [0, {self.n_pages})"
+                )
+        if la1 == la2:
+            return
+
+        def transpose(x: int) -> int:
+            if x == la1:
+                return la2
+            if x == la2:
+                return la1
+            return x
+
+        old = self._partners
+        affected = {la1, la2, old[la1], old[la2]}
+        updates = {x: transpose(old[transpose(x)]) for x in affected}
+        for x, partner in updates.items():
+            self._partners[x] = partner
+
+    def pairs(self) -> List[tuple]:
+        """All distinct pairs as (low, high) tuples; self-pairs as (x, x)."""
+        seen = set()
+        result = []
+        for la, partner in enumerate(self._partners):
+            key = (min(la, partner), max(la, partner))
+            if key not in seen:
+                seen.add(key)
+                result.append(key)
+        return result
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def strong_weak(cls, endurance: Sequence[int]) -> "PairTable":
+        """Strong-weak pairing (§4.3): k-th weakest with k-th strongest.
+
+        ``endurance`` is indexed by page; the involution binds the pages
+        at the two ends of the sorted order moving inward, maximizing the
+        endurance contrast within every pair (the Case-2 regime of the
+        paper's swap-frequency analysis).
+        """
+        values = np.asarray(endurance, dtype=np.int64)
+        if values.ndim != 1 or values.size < 1:
+            raise TableError("endurance must be a non-empty 1-D sequence")
+        order = np.argsort(values, kind="stable")
+        n = values.size
+        partners = [0] * n
+        for k in range(n // 2):
+            weak = int(order[k])
+            strong = int(order[n - 1 - k])
+            partners[weak] = strong
+            partners[strong] = weak
+        if n % 2 == 1:
+            middle = int(order[n // 2])
+            partners[middle] = middle
+        return cls(partners)
+
+    @classmethod
+    def adjacent(cls, n_pages: int) -> "PairTable":
+        """Adjacent pairing: (0,1), (2,3), ... (the naive TWL_ap policy)."""
+        if n_pages < 1:
+            raise TableError("pair table needs at least one page")
+        partners = [0] * n_pages
+        for base in range(0, n_pages - 1, 2):
+            partners[base] = base + 1
+            partners[base + 1] = base
+        if n_pages % 2 == 1:
+            partners[n_pages - 1] = n_pages - 1
+        return cls(partners)
+
+    @classmethod
+    def random(cls, n_pages: int, rng: np.random.Generator) -> "PairTable":
+        """Uniformly random perfect matching."""
+        if n_pages < 1:
+            raise TableError("pair table needs at least one page")
+        order = rng.permutation(n_pages)
+        partners = [0] * n_pages
+        for k in range(0, n_pages - 1, 2):
+            a, b = int(order[k]), int(order[k + 1])
+            partners[a] = b
+            partners[b] = a
+        if n_pages % 2 == 1:
+            last = int(order[n_pages - 1])
+            partners[last] = last
+        return cls(partners)
+
+    def __len__(self) -> int:
+        return self.n_pages

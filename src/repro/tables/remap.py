@@ -1,0 +1,79 @@
+"""The logical-to-physical remapping table (RT).
+
+A bijection between logical and physical page addresses, maintained with
+its inverse so both directions are O(1).  All wear-leveling schemes that
+move data (WRL, BWL, TWL, and the simulator's view of Security Refresh
+swaps) mutate the mapping exclusively through the two ``swap_*`` methods,
+which keep the bijection invariant by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AddressError, TableError
+
+
+class RemappingTable:
+    """LA -> PA bijection with O(1) inverse lookups."""
+
+    def __init__(self, n_pages: int):
+        if n_pages < 1:
+            raise TableError("remapping table needs at least one page")
+        self.n_pages = n_pages
+        self._la_to_pa: List[int] = list(range(n_pages))
+        self._pa_to_la: List[int] = list(range(n_pages))
+
+    @property
+    def entry_bits(self) -> int:
+        """Bits per entry: ceil(log2(n_pages)) (23 at the paper's scale)."""
+        return max(1, (self.n_pages - 1).bit_length())
+
+    def lookup(self, logical: int) -> int:
+        """Physical page currently backing ``logical``."""
+        self._check(logical)
+        return self._la_to_pa[logical]
+
+    def inverse(self, physical: int) -> int:
+        """Logical page currently mapped to ``physical``."""
+        self._check(physical)
+        return self._pa_to_la[physical]
+
+    def swap_logical(self, la1: int, la2: int) -> None:
+        """Exchange the physical frames of two logical pages."""
+        self._check(la1)
+        self._check(la2)
+        if la1 == la2:
+            return
+        la_to_pa = self._la_to_pa
+        pa_to_la = self._pa_to_la
+        pa1, pa2 = la_to_pa[la1], la_to_pa[la2]
+        la_to_pa[la1], la_to_pa[la2] = pa2, pa1
+        pa_to_la[pa1], pa_to_la[pa2] = la2, la1
+
+    def swap_physical(self, pa1: int, pa2: int) -> None:
+        """Exchange the logical owners of two physical frames."""
+        self._check(pa1)
+        self._check(pa2)
+        if pa1 == pa2:
+            return
+        self.swap_logical(self._pa_to_la[pa1], self._pa_to_la[pa2])
+
+    def mapping(self) -> List[int]:
+        """Copy of the LA -> PA map."""
+        return list(self._la_to_pa)
+
+    def validate(self) -> None:
+        """Assert the bijection invariant (used by tests)."""
+        for la, pa in enumerate(self._la_to_pa):
+            if self._pa_to_la[pa] != la:
+                raise TableError(
+                    f"remapping table inconsistent at LA {la} -> PA {pa}"
+                )
+
+    def _check(self, page: int) -> None:
+        if not 0 <= page < self.n_pages:
+            raise AddressError(f"page {page} out of range [0, {self.n_pages})")
+
+    def __len__(self) -> int:
+        return self.n_pages

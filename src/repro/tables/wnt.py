@@ -1,0 +1,72 @@
+"""The write number table (WNT).
+
+The prediction-phase structure of the prediction-swap-running baselines
+(Figure 1): per-logical-page write counters accumulated during the
+prediction phase, then consumed by the swap phase to rank hot and cold
+addresses.  This is the structure the inconsistent-write attack poisons.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import AddressError, TableError
+
+
+class WriteNumberTable:
+    """Per-logical-page write counters for hot/cold prediction."""
+
+    def __init__(self, n_pages: int, bits: int = 16):
+        if n_pages < 1:
+            raise TableError("write number table needs at least one page")
+        if not 1 <= bits <= 30:
+            raise TableError(f"counter width must be in [1, 30] bits, got {bits}")
+        self.n_pages = n_pages
+        self.bits = bits
+        self._max = (1 << bits) - 1
+        self._counts = [0] * n_pages
+        self.total = 0
+
+    @property
+    def entry_bits(self) -> int:
+        """Bits per entry."""
+        return self.bits
+
+    def record_write(self, logical: int) -> None:
+        """Count one write to ``logical`` (saturating at the entry width)."""
+        self._check(logical)
+        if self._counts[logical] < self._max:
+            self._counts[logical] += 1
+        self.total += 1
+
+    def count(self, logical: int) -> int:
+        """Writes recorded for ``logical`` this phase."""
+        self._check(logical)
+        return self._counts[logical]
+
+    def hottest_first(self) -> np.ndarray:
+        """Logical pages ordered by descending recorded writes.
+
+        Ties break toward lower addresses (stable sort), matching a
+        deterministic hardware priority encoder.
+        """
+        counts = np.asarray(self._counts)
+        return np.argsort(-counts, kind="stable")
+
+    def counts(self) -> List[int]:
+        """Copy of all counters."""
+        return list(self._counts)
+
+    def clear(self) -> None:
+        """Reset all counters for the next prediction phase."""
+        self._counts = [0] * self.n_pages
+        self.total = 0
+
+    def _check(self, page: int) -> None:
+        if not 0 <= page < self.n_pages:
+            raise AddressError(f"page {page} out of range [0, {self.n_pages})")
+
+    def __len__(self) -> int:
+        return self.n_pages

@@ -1,0 +1,76 @@
+"""The write counter table (WCT).
+
+One small (7-bit in the paper) counter per page.  The TWL engine bumps a
+page's counter on every write and triggers a toss-up when the counter
+reaches the toss-up interval, then clears it (interval-triggered toss-up,
+§4.3).  Counters wrap at their bit width, as a hardware counter would.
+"""
+
+from __future__ import annotations
+
+from ..errors import AddressError, TableError
+
+
+class WriteCounterTable:
+    """Per-page wrapping write counters with an interval trigger."""
+
+    def __init__(self, n_pages: int, bits: int = 7, interval: int = 32):
+        if n_pages < 1:
+            raise TableError("write counter table needs at least one page")
+        if not 1 <= bits <= 30:
+            raise TableError(f"counter width must be in [1, 30] bits, got {bits}")
+        if not 1 <= interval < (1 << bits):
+            raise TableError(
+                f"interval {interval} must fit in a {bits}-bit counter"
+            )
+        self.n_pages = n_pages
+        self.bits = bits
+        self.interval = interval
+        self._counters = [0] * n_pages
+
+    @property
+    def entry_bits(self) -> int:
+        """Bits per entry (7 in the paper)."""
+        return self.bits
+
+    def record_write(self, page: int) -> bool:
+        """Count one write to ``page``; True when the interval fires.
+
+        The counter resets on trigger, so with interval K exactly one in
+        every K writes to the page triggers a toss-up.
+        """
+        self._check(page)
+        count = self._counters[page] + 1
+        if count >= self.interval:
+            self._counters[page] = 0
+            return True
+        self._counters[page] = count
+        return False
+
+    def force_trigger_next(self, page: int) -> None:
+        """Make the next write to ``page`` fire the interval trigger.
+
+        Used by TWL's relocation hook: after an inter-pair swap parks a
+        page on an arbitrary frame of its new pair, the next write
+        re-runs the toss-up immediately instead of waiting out the
+        interval (a single table write in hardware).
+        """
+        self._check(page)
+        self._counters[page] = self.interval - 1
+
+    def value(self, page: int) -> int:
+        """Current counter value for ``page``."""
+        self._check(page)
+        return self._counters[page]
+
+    def reset(self, page: int) -> None:
+        """Clear the counter for ``page``."""
+        self._check(page)
+        self._counters[page] = 0
+
+    def _check(self, page: int) -> None:
+        if not 0 <= page < self.n_pages:
+            raise AddressError(f"page {page} out of range [0, {self.n_pages})")
+
+    def __len__(self) -> int:
+        return self.n_pages

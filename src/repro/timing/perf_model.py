@@ -1,0 +1,79 @@
+"""Normalized-execution-time model (Figure 9).
+
+The paper measures execution time in gem5 full-system mode; the
+differences between schemes come entirely from (a) the serialized control
+path added to every write and (b) the extra migration writes each scheme
+issues.  We model normalized execution time analytically:
+
+    T_norm = 1 + m_b * (control + exposed_swap_cycles) / write_cycles
+
+where
+
+* ``m_b`` is the benchmark's memory-boundedness (how much of execution
+  time is exposed to PCM write latency; synthetic, scaled from the
+  benchmark's write bandwidth — see ``BenchmarkProfile``);
+* ``control`` is the scheme's per-write control path
+  (:func:`repro.timing.latency.control_path_cycles`);
+* ``exposed_swap_cycles`` charges the scheme's *measured* swap writes
+  per demand write at the PCM write latency, scaled by how much of a
+  swap blocks the request stream: SR/WRL/BWL migrations block the
+  memory ("memory swaps will block all memory requests"), while TWL's
+  swap-then-write touches only the written pair, so its second write
+  can retire from the write queue in the background.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import TimingConfig, TWLConfig
+from ..errors import ConfigError
+from ..sim.metrics import SchemeOverheads
+from ..traces.parsec import BenchmarkProfile
+from .latency import control_path_cycles
+
+#: Schemes whose migrations block the whole request stream.
+_BLOCKING_SCHEMES = {"sr", "wrl", "bwl", "startgap"}
+_TWL_SCHEMES = {"twl", "twl_swp", "twl_ap", "twl_random"}
+
+
+@dataclass(frozen=True)
+class PerfModelConfig:
+    """Exposure parameters of the analytic timing model."""
+
+    blocking_swap_exposure: float = 1.0
+    twl_swap_exposure: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("blocking_swap_exposure", "twl_swap_exposure"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+
+
+def swap_exposure(scheme_name: str, config: PerfModelConfig) -> float:
+    """Fraction of a scheme's swap-write latency exposed to execution."""
+    name = scheme_name.lower()
+    if name == "nowl":
+        return 0.0
+    if name in _BLOCKING_SCHEMES:
+        return config.blocking_swap_exposure
+    if name in _TWL_SCHEMES:
+        return config.twl_swap_exposure
+    raise ConfigError(f"no exposure model for scheme {scheme_name!r}")
+
+
+def normalized_execution_time(
+    scheme_name: str,
+    overheads: SchemeOverheads,
+    profile: BenchmarkProfile,
+    timing: TimingConfig = TimingConfig(),
+    twl_config: TWLConfig = TWLConfig(),
+    config: PerfModelConfig = PerfModelConfig(),
+) -> float:
+    """Execution time normalized to NOWL for one benchmark and scheme."""
+    control = control_path_cycles(scheme_name, timing, twl_config)
+    exposure = swap_exposure(scheme_name, config)
+    swap_cycles = overheads.swap_write_ratio * timing.write_cycles * exposure
+    overhead_fraction = (control + swap_cycles) / timing.write_cycles
+    return 1.0 + profile.memory_boundedness() * overhead_fraction

@@ -1,0 +1,158 @@
+"""Discrete-event write-queue timing model.
+
+The analytic Figure-9 model (`repro.timing.perf_model`) charges each
+scheme's overhead through fixed exposure factors.  This module replaces
+the factors with an actual single-server queue simulation of the PCM
+write path (Lindley recursion):
+
+* demand writes arrive as a Poisson stream whose utilization reflects
+  the benchmark's memory-boundedness;
+* each write's service time is the PCM page-write latency plus the
+  scheme's serialized control path;
+* with the scheme's *measured* per-write swap-event probability, a
+  request additionally occupies the device for its migration writes —
+  which is exactly how blocking swaps stretch the latency the attacker
+  (and the application) observes.
+
+Normalized execution time is the ratio of mean request sojourn times
+against the no-wear-leveling queue at the same arrival rate — queueing
+naturally amplifies overheads at high utilization, which the fixed
+exposure factors could only approximate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import TimingConfig, TWLConfig
+from ..errors import ConfigError
+from ..rng.streams import derive_seed
+from ..rng.xorshift import XorShift32
+from ..sim.metrics import SchemeOverheads
+from ..traces.parsec import BenchmarkProfile
+from .latency import control_path_cycles
+
+
+@dataclass(frozen=True)
+class QueueModelConfig:
+    """Queue simulation parameters."""
+
+    #: Utilization of the write path for a fully memory-bound benchmark.
+    peak_utilization: float = 0.75
+    #: Utilization floor for the least memory-bound benchmark.
+    base_utilization: float = 0.30
+    n_requests: int = 50_000
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_utilization <= self.peak_utilization < 1.0:
+            raise ConfigError(
+                "need 0 < base_utilization <= peak_utilization < 1"
+            )
+        if self.n_requests < 100:
+            raise ConfigError("need at least 100 simulated requests")
+
+
+@dataclass(frozen=True)
+class QueueResult:
+    """Outcome of one queue simulation."""
+
+    mean_sojourn_cycles: float
+    mean_wait_cycles: float
+    mean_service_cycles: float
+    utilization: float
+
+
+def _utilization_for(profile: BenchmarkProfile, config: QueueModelConfig) -> float:
+    boundedness = profile.memory_boundedness()  # in [0.5, 1.0]
+    span = config.peak_utilization - config.base_utilization
+    return config.base_utilization + span * (boundedness - 0.5) / 0.5
+
+
+def simulate_write_queue(
+    scheme_name: str,
+    swap_event_probability: float,
+    mean_swap_writes: float,
+    utilization: float,
+    timing: TimingConfig = TimingConfig(),
+    twl_config: TWLConfig = TWLConfig(),
+    config: QueueModelConfig = QueueModelConfig(),
+) -> QueueResult:
+    """Lindley-recursion simulation of the scheme's write queue."""
+    if not 0.0 <= swap_event_probability <= 1.0:
+        raise ConfigError("swap event probability must be in [0, 1]")
+    if mean_swap_writes < 0:
+        raise ConfigError("mean swap writes must be non-negative")
+    if not 0.0 < utilization < 1.0:
+        raise ConfigError("utilization must be in (0, 1)")
+
+    control = control_path_cycles(scheme_name, timing, twl_config)
+    base_service = timing.write_cycles + control
+    mean_service = base_service + (
+        swap_event_probability * mean_swap_writes * timing.write_cycles
+    )
+    # The workload's arrival rate is scheme-independent: ``utilization``
+    # describes the *plain* write path (no wear-leveling overhead), and
+    # a scheme's extra service raises its effective utilization — which
+    # is exactly how queueing amplifies overheads.
+    mean_interarrival = timing.write_cycles / utilization
+    if mean_service >= mean_interarrival:
+        raise ConfigError(
+            "scheme overhead saturates the write path at this utilization "
+            f"(mean service {mean_service:.0f} >= interarrival "
+            f"{mean_interarrival:.0f} cycles)"
+        )
+
+    rng = XorShift32((derive_seed(config.seed, "queue", scheme_name) % 0xFFFF_FFFE) + 1)
+    wait = 0.0
+    total_wait = 0.0
+    total_service = 0.0
+    swap_extra = mean_swap_writes * timing.write_cycles
+    for _ in range(config.n_requests):
+        service = base_service
+        if rng.next_unit() < swap_event_probability:
+            service += swap_extra
+        total_wait += wait
+        total_service += service
+        # Exponential interarrival (Poisson arrivals), then the Lindley
+        # step: W_{n+1} = max(0, W_n + S_n - A_{n+1}).
+        u = max(rng.next_unit(), 1e-12)
+        interarrival = -mean_interarrival * math.log(u)
+        wait = max(0.0, wait + service - interarrival)
+    n = config.n_requests
+    return QueueResult(
+        mean_sojourn_cycles=(total_wait + total_service) / n,
+        mean_wait_cycles=total_wait / n,
+        mean_service_cycles=total_service / n,
+        utilization=utilization,
+    )
+
+
+def queue_normalized_execution_time(
+    scheme_name: str,
+    overheads: SchemeOverheads,
+    profile: BenchmarkProfile,
+    timing: TimingConfig = TimingConfig(),
+    twl_config: TWLConfig = TWLConfig(),
+    config: QueueModelConfig = QueueModelConfig(),
+) -> float:
+    """Figure-9 metric from the queue model (vs a NOWL queue)."""
+    utilization = _utilization_for(profile, config)
+    if overheads.swap_event_ratio > 0:
+        mean_swap_writes = overheads.swap_write_ratio / overheads.swap_event_ratio
+    else:
+        mean_swap_writes = 0.0
+    with_scheme = simulate_write_queue(
+        scheme_name,
+        min(1.0, overheads.swap_event_ratio),
+        mean_swap_writes,
+        utilization,
+        timing,
+        twl_config,
+        config,
+    )
+    baseline = simulate_write_queue(
+        "nowl", 0.0, 0.0, utilization, timing, twl_config, config
+    )
+    return with_scheme.mean_sojourn_cycles / baseline.mean_sojourn_cycles

@@ -1,0 +1,43 @@
+"""Memory request traces and synthetic workload generation.
+
+The paper collects PARSEC memory traces from gem5 and loops them until a
+page wears out.  We reproduce the same methodology with synthetic traces
+whose two wear-relevant statistics — write bandwidth and write
+concentration — are calibrated per benchmark from the paper's own
+Table 2 (see ``repro.traces.parsec``).
+"""
+
+from .request import MemoryRequest, OP_READ, OP_WRITE
+from .trace import Trace
+from .synth import (
+    zipf_weights,
+    zipf_alpha_for_concentration,
+    make_zipf_trace,
+    make_uniform_trace,
+    make_sequential_trace,
+    make_single_address_trace,
+)
+from .parsec import BenchmarkProfile, PARSEC_TABLE2, get_profile, make_benchmark_trace
+from .io import save_trace, load_trace
+from .text_format import load_text_trace, save_text_trace
+
+__all__ = [
+    "MemoryRequest",
+    "OP_READ",
+    "OP_WRITE",
+    "Trace",
+    "zipf_weights",
+    "zipf_alpha_for_concentration",
+    "make_zipf_trace",
+    "make_uniform_trace",
+    "make_sequential_trace",
+    "make_single_address_trace",
+    "BenchmarkProfile",
+    "PARSEC_TABLE2",
+    "get_profile",
+    "make_benchmark_trace",
+    "save_trace",
+    "load_trace",
+    "load_text_trace",
+    "save_text_trace",
+]

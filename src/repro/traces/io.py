@@ -1,0 +1,62 @@
+"""Trace file I/O.
+
+Traces persist as ``.npz`` archives (ops, pages, and metadata), so
+generated workloads can be cached between benchmark runs and shared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..errors import TraceError
+from .trace import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` (npz format)."""
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "write_bandwidth_mbps": trace.write_bandwidth_mbps,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(
+        path,
+        ops=trace.ops,
+        pages=trace.pages,
+        metadata=np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8),
+    )
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    if not os.path.exists(path):
+        raise TraceError(f"trace file not found: {path}")
+    with np.load(path) as archive:
+        try:
+            ops = archive["ops"]
+            pages = archive["pages"]
+            raw_metadata = archive["metadata"]
+        except KeyError as error:
+            raise TraceError(f"malformed trace file {path}: missing {error}") from None
+        try:
+            metadata = json.loads(raw_metadata.tobytes().decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise TraceError(f"malformed trace metadata in {path}: {error}") from None
+    version = metadata.get("version")
+    if version != _FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {version!r} in {path}"
+        )
+    return Trace(
+        ops,
+        pages,
+        name=metadata.get("name", "trace"),
+        write_bandwidth_mbps=metadata.get("write_bandwidth_mbps"),
+    )

@@ -1,0 +1,42 @@
+"""The memory request model.
+
+The attack model of Section 3.1 defines requests as ``(op, addr, data)``
+tuples at page granularity; wear depends only on ``op`` and ``addr``, so
+the trace machinery carries those two (data payloads never influence
+page-level wear under the paper's write model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+OP_READ = 0
+OP_WRITE = 1
+
+_OP_NAMES = {OP_READ: "read", OP_WRITE: "write"}
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One memory request at page granularity."""
+
+    op: int
+    logical_page: int
+
+    def __post_init__(self) -> None:
+        if self.op not in (OP_READ, OP_WRITE):
+            raise ValueError(f"op must be OP_READ or OP_WRITE, got {self.op}")
+        if self.logical_page < 0:
+            raise ValueError(
+                f"logical page must be non-negative, got {self.logical_page}"
+            )
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this request wears the PCM."""
+        return self.op == OP_WRITE
+
+    @property
+    def op_name(self) -> str:
+        """Human-readable operation name."""
+        return _OP_NAMES[self.op]

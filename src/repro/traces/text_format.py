@@ -1,0 +1,100 @@
+"""Plain-text trace import/export.
+
+For interoperability with externally collected traces (gem5/NVMain
+post-processing scripts typically emit one request per line), traces can
+be exchanged in a simple text format::
+
+    # comment lines start with '#'
+    W 0x1a2b      <- write to byte address 0x1a2b (mapped to its page)
+    R 4096        <- read, decimal addresses accepted
+    W 8192 extra-fields-are-ignored
+
+Addresses are byte addresses; the loader shifts them to page granularity
+(the paper's wear model).  The writer emits page addresses back as byte
+addresses of the page base.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from ..config import PAPER_PAGE_BYTES
+from ..errors import TraceError
+from .request import OP_READ, OP_WRITE
+from .trace import Trace
+
+_OPS = {"R": OP_READ, "W": OP_WRITE}
+_OP_LETTERS = {OP_READ: "R", OP_WRITE: "W"}
+
+
+def load_text_trace(
+    path: str,
+    page_bytes: int = PAPER_PAGE_BYTES,
+    name: Optional[str] = None,
+    write_bandwidth_mbps: Optional[float] = None,
+) -> Trace:
+    """Parse a text trace file into a :class:`Trace`."""
+    if page_bytes < 1:
+        raise TraceError("page size must be positive")
+    if not os.path.exists(path):
+        raise TraceError(f"trace file not found: {path}")
+    shift = page_bytes.bit_length() - 1
+    if (1 << shift) != page_bytes:
+        raise TraceError(f"page size must be a power of two, got {page_bytes}")
+
+    ops = []
+    pages = []
+    with open(path) as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise TraceError(
+                    f"{path}:{line_number}: expected 'OP ADDRESS', got {line!r}"
+                )
+            op_letter = fields[0].upper()
+            if op_letter not in _OPS:
+                raise TraceError(
+                    f"{path}:{line_number}: unknown op {fields[0]!r} (use R/W)"
+                )
+            try:
+                address = int(fields[1], 0)
+            except ValueError:
+                raise TraceError(
+                    f"{path}:{line_number}: bad address {fields[1]!r}"
+                ) from None
+            if address < 0:
+                raise TraceError(f"{path}:{line_number}: negative address")
+            ops.append(_OPS[op_letter])
+            pages.append(address >> shift)
+    if not ops:
+        raise TraceError(f"{path}: no requests found")
+    return Trace(
+        np.array(ops, dtype=np.uint8),
+        np.array(pages, dtype=np.int64),
+        name=name or os.path.splitext(os.path.basename(path))[0],
+        write_bandwidth_mbps=write_bandwidth_mbps,
+    )
+
+
+def save_text_trace(
+    trace: Trace,
+    path: str,
+    page_bytes: int = PAPER_PAGE_BYTES,
+) -> None:
+    """Write ``trace`` in the text format (page-base byte addresses)."""
+    if page_bytes < 1:
+        raise TraceError("page size must be positive")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(f"# trace: {trace.name}\n")
+        if trace.write_bandwidth_mbps is not None:
+            handle.write(f"# write_bandwidth_mbps: {trace.write_bandwidth_mbps}\n")
+        for op, page in zip(trace.ops.tolist(), trace.pages.tolist()):
+            handle.write(f"{_OP_LETTERS[op]} 0x{page * page_bytes:x}\n")

@@ -1,0 +1,46 @@
+"""Wear-leveling schemes.
+
+All schemes implement the :class:`WearLeveler` interface: the simulator
+hands them logical-page writes and they decide where the writes land on
+the :class:`repro.pcm.PCMArray`, performing whatever extra migration
+writes their algorithm requires.
+
+Implemented schemes:
+
+* :class:`NoWearLeveling` — identity mapping (paper's "NOWL");
+* :class:`StartGap` — Start-Gap [Qureshi et al., MICRO'09], an extra
+  baseline from the paper's related work;
+* :class:`SecurityRefresh` — dynamically randomized remapping
+  [Seong et al., ISCA'10] (paper's "SR");
+* :class:`WearRateLeveling` — the prediction-swap-running flow of
+  [Dong et al., DAC'11] used in the paper's Figure 1 walkthrough;
+* :class:`BloomWearLeveling` — Bloom-filter based dynamic wear leveling
+  [Yun et al., DATE'12] (paper's "BWL");
+* :class:`repro.core.TossUpWearLeveling` — the paper's contribution
+  (exported here for registry completeness).
+"""
+
+from .base import WearLeveler, SWAP_VISIBLE_THRESHOLD
+from .nowl import NoWearLeveling
+from .start_gap import StartGap
+from .security_refresh import SecurityRefresh, SingleLevelSecurityRefresh
+from .wrl import WearRateLeveling
+from .bwl import BloomWearLeveling
+from .retirement import RetirementConfig, RetirementWearLeveling
+from .registry import SCHEME_FACTORIES, make_scheme, scheme_names
+
+__all__ = [
+    "WearLeveler",
+    "SWAP_VISIBLE_THRESHOLD",
+    "NoWearLeveling",
+    "StartGap",
+    "SecurityRefresh",
+    "SingleLevelSecurityRefresh",
+    "WearRateLeveling",
+    "BloomWearLeveling",
+    "RetirementConfig",
+    "RetirementWearLeveling",
+    "SCHEME_FACTORIES",
+    "make_scheme",
+    "scheme_names",
+]

@@ -1,0 +1,113 @@
+"""Common interface for wear-leveling schemes.
+
+The contract is intentionally narrow so the simulator's hot loop stays
+fast:
+
+* :meth:`WearLeveler.write` serves one logical-page write and returns the
+  number of *physical page writes* it performed (1 for a plain write,
+  more when migrations/swaps happened).  A return value of 2 or more is
+  what an attacker observes as a blocked, slow response — the timing side
+  channel of Section 3.1.
+* :meth:`WearLeveler.translate` is the side-effect-free LA -> PA lookup
+  used by reads.
+
+Schemes keep aggregate counters (`demand_writes`, `swap_writes`,
+`swap_events`) that the timing model and the Figure-7a swap-ratio
+experiment consume.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from ..errors import AddressError
+from ..pcm.array import PCMArray
+
+#: A request that performs at least this many physical writes blocks long
+#: enough for the attacker's response-time probe to flag it (memory swaps
+#: "block all memory requests to ensure memory integrity").
+SWAP_VISIBLE_THRESHOLD = 2
+
+
+class WearLeveler(abc.ABC):
+    """Base class for all wear-leveling schemes."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def __init__(self, array: PCMArray):
+        self.array = array
+        self.demand_writes = 0
+        self.swap_writes = 0
+        self.swap_events = 0
+
+    # ------------------------------------------------------------------
+    # Address space
+    # ------------------------------------------------------------------
+    @property
+    def logical_pages(self) -> int:
+        """Size of the logical address space the scheme exposes.
+
+        Equals the physical page count for most schemes; Start-Gap
+        reserves one spare frame.
+        """
+        return self.array.n_pages
+
+    def check_logical(self, logical: int) -> None:
+        """Validate a logical address against the exposed space."""
+        if not 0 <= logical < self.logical_pages:
+            raise AddressError(
+                f"logical page {logical} out of range [0, {self.logical_pages})"
+            )
+
+    # ------------------------------------------------------------------
+    # The data path
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def translate(self, logical: int) -> int:
+        """Current physical frame of ``logical`` (no side effects)."""
+
+    def read(self, logical: int) -> int:
+        """Serve a read: translate only (reads do not wear PCM)."""
+        return self.translate(logical)
+
+    @abc.abstractmethod
+    def write(self, logical: int) -> int:
+        """Serve one logical write; return physical writes performed."""
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _count_demand(self) -> None:
+        self.demand_writes += 1
+
+    def _count_swap(self, physical_writes: int) -> None:
+        self.swap_events += 1
+        self.swap_writes += physical_writes
+
+    @property
+    def total_physical_writes(self) -> int:
+        """Demand plus migration writes issued to the array by this scheme."""
+        return self.demand_writes + self.swap_writes
+
+    def swap_write_ratio(self) -> float:
+        """Extra writes per demand write (the Figure-7a metric)."""
+        if self.demand_writes == 0:
+            return 0.0
+        return self.swap_writes / self.demand_writes
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate counters for result tables."""
+        return {
+            "demand_writes": float(self.demand_writes),
+            "swap_writes": float(self.swap_writes),
+            "swap_events": float(self.swap_events),
+            "swap_write_ratio": self.swap_write_ratio(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(demand_writes={self.demand_writes}, "
+            f"swap_events={self.swap_events})"
+        )

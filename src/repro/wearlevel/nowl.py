@@ -1,0 +1,33 @@
+"""No wear leveling (the paper's "NOWL" baseline).
+
+Logical pages map directly onto physical frames; every write lands where
+the program aimed it.  Lifetime is then dictated entirely by the hottest
+page of the workload — the reference point for Table 2's "Lifetime w/o
+WL" column.
+"""
+
+from __future__ import annotations
+
+from ..pcm.array import PCMArray
+from .base import WearLeveler
+
+
+class NoWearLeveling(WearLeveler):
+    """Identity mapping; no migrations, no overhead."""
+
+    name = "nowl"
+
+    def __init__(self, array: PCMArray):
+        super().__init__(array)
+        # Bind hot-loop attributes locally for speed.
+        self._write_page = array.write
+
+    def translate(self, logical: int) -> int:
+        self.check_logical(logical)
+        return logical
+
+    def write(self, logical: int) -> int:
+        self.check_logical(logical)
+        self._write_page(logical)
+        self.demand_writes += 1
+        return 1

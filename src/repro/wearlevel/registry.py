@@ -1,0 +1,95 @@
+"""Scheme registry: build any wear leveler by name.
+
+The names match the paper's labels: ``nowl``, ``sr``, ``bwl``, plus
+``twl_swp`` / ``twl_ap`` / ``twl_random`` for the TWL pairing variants,
+``wrl`` for the Figure-1 walkthrough scheme and ``startgap`` as an extra
+related-work baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..config import (
+    BWLConfig,
+    SecurityRefreshConfig,
+    StartGapConfig,
+    TWLConfig,
+    WRLConfig,
+    PAIRING_ADJACENT,
+    PAIRING_RANDOM,
+    PAIRING_STRONG_WEAK,
+)
+from ..errors import ConfigError
+from ..pcm.array import PCMArray
+from .base import WearLeveler
+from .bwl import BloomWearLeveling
+from .nowl import NoWearLeveling
+from .retirement import RetirementConfig, RetirementWearLeveling
+from .security_refresh import SecurityRefresh, SingleLevelSecurityRefresh
+from .start_gap import StartGap
+from .wrl import WearRateLeveling
+
+SchemeFactory = Callable[[PCMArray, int], WearLeveler]
+
+
+def _make_twl(pairing: str):
+    def factory(array: PCMArray, seed: int, **overrides) -> WearLeveler:
+        # Imported here to avoid a circular import (repro.core builds on
+        # the tables this package also uses).
+        from ..core.twl import TossUpWearLeveling
+
+        config = overrides.pop("config", None) or TWLConfig(pairing=pairing)
+        if config.pairing != pairing:
+            config = config.with_pairing(pairing)
+        return TossUpWearLeveling(array, config=config, seed=seed, **overrides)
+
+    return factory
+
+
+SCHEME_FACTORIES: Dict[str, Callable] = {
+    "nowl": lambda array, seed, **kw: NoWearLeveling(array),
+    "startgap": lambda array, seed, **kw: StartGap(
+        array, config=kw.pop("config", StartGapConfig()), seed=seed
+    ),
+    "sr": lambda array, seed, **kw: SecurityRefresh(
+        array, config=kw.pop("config", SecurityRefreshConfig()), seed=seed
+    ),
+    "sr_single": lambda array, seed, **kw: SingleLevelSecurityRefresh(
+        array, config=kw.pop("config", SecurityRefreshConfig()), seed=seed
+    ),
+    "wrl": lambda array, seed, **kw: WearRateLeveling(
+        array, config=kw.pop("config", WRLConfig()), seed=seed
+    ),
+    "bwl": lambda array, seed, **kw: BloomWearLeveling(
+        array, config=kw.pop("config", BWLConfig()), seed=seed
+    ),
+    "retire": lambda array, seed, **kw: RetirementWearLeveling(
+        array, config=kw.pop("config", RetirementConfig()), seed=seed
+    ),
+    "twl_swp": _make_twl(PAIRING_STRONG_WEAK),
+    "twl_ap": _make_twl(PAIRING_ADJACENT),
+    "twl_random": _make_twl(PAIRING_RANDOM),
+}
+
+#: The paper's Figure-8/9 label "TWL" means the SWP variant.
+SCHEME_FACTORIES["twl"] = SCHEME_FACTORIES["twl_swp"]
+
+
+def scheme_names() -> List[str]:
+    """All registered scheme names."""
+    return sorted(SCHEME_FACTORIES)
+
+
+def make_scheme(name: str, array: PCMArray, seed: int = 0, **kwargs) -> WearLeveler:
+    """Instantiate the scheme ``name`` over ``array``.
+
+    ``kwargs`` may carry a scheme-specific ``config=`` object.
+    """
+    try:
+        factory = SCHEME_FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheme {name!r}; known: {', '.join(scheme_names())}"
+        ) from None
+    return factory(array, seed, **kwargs)

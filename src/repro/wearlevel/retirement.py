@@ -1,0 +1,148 @@
+"""On-demand page retirement (inspired by OD3P [Asadinia et al., DAC'14]).
+
+The paper's related work includes dynamic remapping that reacts to pages
+*nearing* failure rather than predicting write intensity.  This scheme
+is the cleanest member of that family:
+
+* a fraction of frames is held back as spares (over-provisioning);
+* the controller counts the writes it issues per frame and retires a
+  frame — migrating its resident to the freshest spare — once the
+  frame's *estimated* remaining life drops below a safety margin;
+* the device dies when a frame's true endurance is exceeded, which
+  happens when its tested-endurance estimate was too optimistic by more
+  than the margin, or when the spare pool runs dry.
+
+The estimate error is the whole game: with a perfect endurance table,
+retirement trivially converts any workload into full capacity
+utilization.  Real tested endurance is a noisy measurement, so the
+scheme's lifetime is a race between the margin (capacity given away on
+every frame) and the worst estimation error in the population — a
+trade-off the A9 ablation sweeps.  Contrast with TWL, which consumes
+endurance information only through *ratios* inside a pair and is
+therefore insensitive to calibrated measurement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..pcm.array import PCMArray
+from ..rng.streams import make_generator
+from ..tables.remap import RemappingTable
+from .base import WearLeveler
+
+
+@dataclass(frozen=True)
+class RetirementConfig:
+    """Parameters of the retirement scheme.
+
+    ``estimate_sigma_fraction`` models the tested-endurance measurement
+    error (relative, Gaussian).  ``margin_fraction`` is the remaining-
+    life threshold (relative to the *estimated* endurance) at which a
+    frame is retired.
+    """
+
+    spare_fraction: float = 0.02
+    margin_fraction: float = 0.10
+    estimate_sigma_fraction: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.spare_fraction < 0.5:
+            raise ConfigError("spare fraction must be in (0, 0.5)")
+        if not 0.0 < self.margin_fraction < 1.0:
+            raise ConfigError("margin fraction must be in (0, 1)")
+        if not 0.0 <= self.estimate_sigma_fraction < 0.5:
+            raise ConfigError("estimate sigma must be in [0, 0.5)")
+
+
+class RetirementWearLeveling(WearLeveler):
+    """Spare-pool page retirement driven by estimated remaining life."""
+
+    name = "retire"
+
+    def __init__(
+        self,
+        array: PCMArray,
+        config: RetirementConfig = RetirementConfig(),
+        seed: int = 0,
+    ):
+        super().__init__(array)
+        n = array.n_pages
+        n_spares = max(1, int(round(config.spare_fraction * n)))
+        if n_spares >= n:
+            raise ConfigError("spare pool swallows the whole array")
+        self.config = config
+        self._n_logical = n - n_spares
+        self.remap = RemappingTable(n)
+        # Noisy tested-endurance estimates (the controller's ET).
+        rng = make_generator(seed, "retirement-et")
+        noise = rng.normal(1.0, config.estimate_sigma_fraction, size=n)
+        self._estimated = np.maximum(
+            array.endurance.astype(np.float64) * noise, 1.0
+        ).astype(np.int64)
+        self._retire_at = self._estimated - np.maximum(
+            1, (self._estimated * config.margin_fraction).astype(np.int64)
+        )
+        self._retire_at_list = np.maximum(self._retire_at, 1).tolist()
+        self._frame_writes = [0] * n
+        #: Frames currently holding no live logical page.
+        self._spares = set(range(self._n_logical, n))
+        self.retired_frames = 0
+        self.spare_pool_exhausted = False
+
+    @property
+    def logical_pages(self) -> int:
+        return self._n_logical
+
+    def translate(self, logical: int) -> int:
+        self.check_logical(logical)
+        return self.remap.lookup(logical)
+
+    def spares_remaining(self) -> int:
+        """Healthy spare frames still available."""
+        return len(self._spares)
+
+    def write(self, logical: int) -> int:
+        self.check_logical(logical)
+        frame = self.remap.lookup(logical)
+        self.array.write(frame)
+        count = self._frame_writes[frame] + 1
+        self._frame_writes[frame] = count
+        self._count_demand()
+        writes = 1
+        if count >= self._retire_at_list[frame] and not self.spare_pool_exhausted:
+            writes += self._retire(logical, frame)
+        return writes
+
+    def _retire(self, logical: int, frame: int) -> int:
+        """Move ``logical`` off ``frame`` onto the freshest spare."""
+        if not self._spares:
+            self.spare_pool_exhausted = True
+            return 0
+        # Freshest spare: maximal estimated remaining life.
+        best = max(
+            self._spares,
+            key=lambda s: self._estimated[s] - self._frame_writes[s],
+        )
+        self._spares.discard(best)
+        # One page write migrates the data; the worn frame goes idle
+        # (its new resident is a never-written logical slot).
+        self.array.write(best)
+        self._frame_writes[best] += 1
+        self.remap.swap_logical(logical, self.remap.inverse(best))
+        self.retired_frames += 1
+        self._count_swap(1)
+        return 1
+
+    def stats(self):
+        base = super().stats()
+        base.update(
+            {
+                "retired_frames": float(self.retired_frames),
+                "spares_remaining": float(self.spares_remaining()),
+            }
+        )
+        return base

@@ -1,0 +1,96 @@
+"""Start-Gap wear leveling [Qureshi et al., MICRO'09].
+
+An extra baseline from the paper's related work ([10] — also the source
+of TWL's Feistel RNG).  One spare frame (the *gap*) rotates through the
+array: every ``gap_move_interval`` demand writes the page adjacent to the
+gap is copied into it, so the whole address space slowly slides across
+physical frames.  With ``randomize=True`` the logical address is first
+passed through a static Feistel permutation (Randomized Start-Gap), which
+breaks spatial correlation between logical and physical neighbourhoods.
+
+Start-Gap is PV-*unaware*: it equalizes writes across frames, which (as
+the paper argues) actually accelerates the weakest pages' death under
+process variation.
+"""
+
+from __future__ import annotations
+
+from ..config import StartGapConfig
+from ..errors import ConfigError
+from ..pcm.array import PCMArray
+from ..rng.feistel import FeistelNetwork
+from .base import WearLeveler
+
+
+class StartGap(WearLeveler):
+    """Start-Gap with optional static address randomization."""
+
+    name = "startgap"
+
+    def __init__(
+        self,
+        array: PCMArray,
+        config: StartGapConfig = StartGapConfig(),
+        seed: int = 0,
+    ):
+        super().__init__(array)
+        if array.n_pages < 2:
+            raise ConfigError("Start-Gap needs at least two frames (one spare)")
+        self.config = config
+        #: Logical space is one page smaller than physical: the gap frame.
+        self._n_logical = array.n_pages - 1
+        self._start = 0
+        self._gap = self._n_logical  # gap begins at the last frame
+        self._writes_since_move = 0
+        self._permutation = None
+        if config.randomize:
+            bits = max(2, self._n_logical.bit_length())
+            if bits % 2:
+                bits += 1
+            self._permutation = FeistelNetwork(bits=bits, seed=seed)
+
+    @property
+    def logical_pages(self) -> int:
+        return self._n_logical
+
+    def _randomize(self, logical: int) -> int:
+        """Static randomization layer (cycle-walking the Feistel output)."""
+        if self._permutation is None:
+            return logical
+        value = self._permutation.encrypt(logical)
+        # Cycle-walk until the value lands inside the logical space; the
+        # permutation property guarantees termination.
+        while value >= self._n_logical:
+            value = self._permutation.encrypt(value)
+        return value
+
+    def translate(self, logical: int) -> int:
+        self.check_logical(logical)
+        inner = self._randomize(logical)
+        physical = (inner + self._start) % self._n_logical
+        if physical >= self._gap:
+            physical += 1
+        return physical
+
+    def write(self, logical: int) -> int:
+        physical = self.translate(logical)
+        self.array.write(physical)
+        self._count_demand()
+        writes = 1
+        self._writes_since_move += 1
+        if self._writes_since_move >= self.config.gap_move_interval:
+            self._writes_since_move = 0
+            writes += self._move_gap()
+        return writes
+
+    def _move_gap(self) -> int:
+        """Advance the gap by one frame (costs one migration write)."""
+        if self._gap == 0:
+            self._gap = self._n_logical
+            self._start = (self._start + 1) % self._n_logical
+            return 0  # the wrap itself moves no data
+        # Copy frame gap-1 into the gap frame.
+        self.array.write(self._gap)
+        self._gap -= 1
+        self._count_swap(1)
+        return 1

@@ -1,0 +1,169 @@
+"""Tests for analysis helpers: stats, tables, extrapolation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.extrapolate import (
+    fraction_to_full_scale_years,
+    targeted_attack_full_scale_seconds,
+)
+from repro.analysis.stats import geometric_mean, summarize
+from repro.analysis.tables import ResultTable, ascii_bar_chart, format_table
+from repro.config import PAPER_PCM
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_between_min_and_max_property(self, values):
+        gmean = geometric_mean(values)
+        assert min(values) - 1e-9 <= gmean <= max(values) + 1e-9
+
+
+class TestSummarize:
+    def test_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert set(summary) == {"mean", "min", "max", "std", "gmean"}
+
+    def test_gmean_omitted_for_zeros(self):
+        assert "gmean" not in summarize([0.0, 1.0])
+
+
+class TestFormatTable:
+    def test_renders_aligned(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text
+
+    def test_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T")
+
+    def test_none_cell(self):
+        assert "-" in format_table(["x"], [[None]])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestAsciiBarChart:
+    def test_renders_bars(self):
+        chart = ascii_bar_chart(["one", "two"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["x"], [-1.0])
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["x"], [1.0, 2.0])
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        table = ResultTable(["scheme", "years"])
+        table.add_row(scheme="twl", years=4.4)
+        assert "twl" in table.render()
+        assert len(table) == 1
+
+    def test_missing_cells_are_none(self):
+        table = ResultTable(["a", "b"])
+        table.add_row(a=1)
+        assert table.rows()[0]["b"] is None
+
+    def test_rejects_unknown_column(self):
+        table = ResultTable(["a"])
+        with pytest.raises(ValueError):
+            table.add_row(zz=1)
+
+    def test_column_access(self):
+        table = ResultTable(["a"])
+        table.add_row(a=1)
+        table.add_row(a=2)
+        assert table.column("a") == [1, 2]
+        with pytest.raises(ValueError):
+            table.column("b")
+
+    def test_csv(self):
+        table = ResultTable(["a", "b"])
+        table.add_row(a=1, b="x")
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "x" in csv
+
+
+class TestExtrapolation:
+    def test_fraction_to_years(self):
+        years = fraction_to_full_scale_years(0.5, 8e9)
+        full = fraction_to_full_scale_years(1.0, 8e9)
+        assert years == pytest.approx(full / 2)
+
+    def test_targeted_attack_seconds_scale_free(self):
+        # Same victim mechanism measured on different array sizes gives
+        # the same absolute time: fraction scales as 1/n.
+        seconds_small = targeted_attack_full_scale_seconds(0.02, 512, 8e9)
+        seconds_large = targeted_attack_full_scale_seconds(0.01, 1024, 8e9)
+        assert seconds_small == pytest.approx(seconds_large)
+
+    def test_bwl_breakdown_is_minutes_not_years(self):
+        # The measured BWL/inconsistent fraction (~0.015 at 1024 pages)
+        # extrapolates to minutes at full scale, matching the paper's
+        # order of magnitude ("98 seconds").
+        seconds = targeted_attack_full_scale_seconds(0.015, 1024, 8e9, PAPER_PCM)
+        assert 60 < seconds < 3600
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            fraction_to_full_scale_years(-0.1, 1e9)
+        with pytest.raises(ValueError):
+            targeted_attack_full_scale_seconds(-0.1, 100, 1e9)
+
+    def test_rejects_bad_pages(self):
+        with pytest.raises(ValueError):
+            targeted_attack_full_scale_seconds(0.1, 0, 1e9)
+
+
+class TestGroupedBarChart:
+    def test_renders_groups_and_series(self):
+        from repro.analysis.tables import grouped_bar_chart
+
+        chart = grouped_bar_chart(
+            ["canneal", "vips"], {"twl": [0.6, 0.5], "sr": [0.3, 0.3]}
+        )
+        assert "canneal:" in chart
+        assert "twl" in chart and "sr" in chart
+
+    def test_scaling_relative_to_peak(self):
+        from repro.analysis.tables import grouped_bar_chart
+
+        chart = grouped_bar_chart(["g"], {"a": [1.0], "b": [0.5]}, width=10)
+        lines = [l for l in chart.splitlines() if "#" in l]
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+
+    def test_validation(self):
+        import pytest
+        from repro.analysis.tables import grouped_bar_chart
+
+        with pytest.raises(ValueError):
+            grouped_bar_chart([], {})
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g"], {"a": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g"], {"a": [-1.0]})

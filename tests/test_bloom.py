@@ -1,0 +1,107 @@
+"""Tests for the counting Bloom filter substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bloom.counting_bloom import CountingBloomFilter
+from repro.bloom.hashes import HashFamily
+from repro.errors import ConfigError
+
+
+class TestHashFamily:
+    def test_indices_in_range(self):
+        family = HashFamily(3, 1024, seed=1)
+        for key in range(200):
+            for index in family.indices(key):
+                assert 0 <= index < 1024
+
+    def test_deterministic(self):
+        a = HashFamily(3, 256, seed=9)
+        b = HashFamily(3, 256, seed=9)
+        assert a.indices(42) == b.indices(42)
+
+    def test_seeds_differ(self):
+        a = HashFamily(3, 256, seed=1)
+        b = HashFamily(3, 256, seed=2)
+        assert any(a.indices(k) != b.indices(k) for k in range(16))
+
+    def test_spread(self):
+        family = HashFamily(1, 256, seed=5)
+        positions = {family.indices(k)[0] for k in range(256)}
+        # Random balls-in-bins would occupy ~162 of 256 bins; the
+        # multiply-shift family on sequential keys is somewhat clustered
+        # but must not collapse onto a handful of positions.
+        assert len(positions) > 90
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            HashFamily(2, 100)
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ConfigError):
+            HashFamily(0, 256)
+
+    def test_rejects_negative_key(self):
+        with pytest.raises(ValueError):
+            HashFamily(2, 256).indices(-1)
+
+
+class TestCountingBloom:
+    def test_estimate_upper_bounds_count(self):
+        bloom = CountingBloomFilter(1024, 3, seed=3)
+        for _ in range(7):
+            bloom.insert(42)
+        assert bloom.estimate(42) >= 7
+
+    def test_absent_key_low_estimate(self):
+        bloom = CountingBloomFilter(4096, 3, seed=3)
+        for key in range(50):
+            bloom.insert(key)
+        assert bloom.estimate(99_999) <= 2
+
+    def test_contains_threshold(self):
+        bloom = CountingBloomFilter(1024, 3, seed=1)
+        for _ in range(4):
+            bloom.insert(7)
+        assert bloom.contains(7, threshold=4)
+        assert not bloom.contains(12345, threshold=4)
+
+    def test_clear(self):
+        bloom = CountingBloomFilter(256, 2, seed=1)
+        bloom.insert(1)
+        bloom.clear()
+        assert bloom.estimate(1) == 0
+        assert bloom.inserted == 0
+
+    def test_counter_saturation(self):
+        bloom = CountingBloomFilter(64, 1, counter_bits=2, seed=1)
+        for _ in range(100):
+            bloom.insert(5)
+        assert bloom.estimate(5) == 3
+
+    def test_load_factor(self):
+        bloom = CountingBloomFilter(256, 2, seed=1)
+        assert bloom.load_factor() == 0.0
+        bloom.insert(1)
+        assert bloom.load_factor() > 0.0
+
+    def test_storage_bits(self):
+        assert CountingBloomFilter(1024, 3, counter_bits=8).storage_bits == 8192
+
+    def test_rejects_bad_counter_width(self):
+        with pytest.raises(ConfigError):
+            CountingBloomFilter(256, 2, counter_bits=0)
+
+    def test_contains_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(256, 2).contains(1, threshold=0)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_count_min_property(self, keys):
+        """Estimate never undercounts any inserted key."""
+        bloom = CountingBloomFilter(512, 3, counter_bits=16, seed=11)
+        for key in keys:
+            bloom.insert(key)
+        for key in set(keys):
+            assert bloom.estimate(key) >= keys.count(key)

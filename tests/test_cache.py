@@ -1,0 +1,105 @@
+"""Tests for the experiment result cache."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pcm.faults import FirstFailure
+from repro.sim.cache import ResultCache, cache_key
+from repro.sim.lifetime import LifetimeResult
+
+
+def _result(demand=100, with_failure=True):
+    failure = FirstFailure(3, demand, 500) if with_failure else None
+    return LifetimeResult(
+        scheme="twl",
+        workload="scan",
+        n_pages=64,
+        endurance_mean=1000.0,
+        demand_writes=demand,
+        device_writes=demand + 5,
+        failed=with_failure,
+        failure=failure,
+    )
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert cache_key(a=1, b="x") == cache_key(a=1, b="x")
+
+    def test_order_independent(self):
+        assert cache_key(a=1, b=2) == cache_key(b=2, a=1)
+
+    def test_values_matter(self):
+        assert cache_key(a=1) != cache_key(a=2)
+
+    def test_dataclasses_participate(self):
+        from repro.config import TWLConfig
+
+        assert cache_key(c=TWLConfig()) != cache_key(c=TWLConfig(toss_up_interval=4))
+
+
+class TestResultCache:
+    def test_roundtrip_with_failure(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(path)
+        cache.put("k", _result())
+        cache.save()
+        reloaded = ResultCache(path)
+        result = reloaded.get("k")
+        assert result.demand_writes == 100
+        assert result.failure.physical_page == 3
+        assert result.lifetime_fraction == pytest.approx(100 / 64000)
+
+    def test_roundtrip_without_failure(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(path)
+        cache.put("k", _result(with_failure=False))
+        cache.save()
+        assert ResultCache(path).get("k").failure is None
+
+    def test_get_or_run_caches(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(path)
+        calls = []
+
+        def run():
+            calls.append(1)
+            return _result()
+
+        first = cache.get_or_run("k", run)
+        second = cache.get_or_run("k", run)
+        assert len(calls) == 1
+        assert first.demand_writes == second.demand_writes
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_missing_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache.json"))
+        assert cache.get("nope") is None
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        with pytest.raises(SimulationError):
+            ResultCache(str(path))
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(SimulationError):
+            ResultCache(str(path))
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache.json"))
+        cache.put("k", _result())
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_atomic_save_leaves_no_temp(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(path)
+        cache.put("k", _result())
+        cache.save()
+        assert not (tmp_path / "cache.json.tmp").exists()

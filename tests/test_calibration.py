@@ -1,0 +1,50 @@
+"""Tests for ideal-lifetime calibration against the paper's tables."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    PAPER_IDEAL_CALIBRATION,
+    attack_ideal_lifetime_years,
+    ideal_lifetime_seconds,
+    ideal_lifetime_years,
+)
+from repro.traces.parsec import PARSEC_TABLE2
+
+
+class TestIdealLifetime:
+    def test_matches_every_table2_row(self):
+        """The single calibration constant fits all 13 printed ideals.
+
+        streamcluster is excluded from the tight bound: the paper prints
+        its bandwidth rounded to 12 MBps, which alone moves the ideal by
+        several percent.
+        """
+        for name, profile in PARSEC_TABLE2.items():
+            computed = ideal_lifetime_years(profile.write_bandwidth_mbps)
+            # The paper prints whole years, so allow half-a-unit rounding
+            # slack relative to the printed value (vips: 16.3 vs "16");
+            # streamcluster's bandwidth itself is printed rounded.
+            tolerance = 0.07 if name == "streamcluster" else 0.035
+            assert computed == pytest.approx(
+                profile.ideal_lifetime_years, rel=tolerance
+            ), name
+
+    def test_attack_ideal_near_paper(self):
+        # "ideal lifetime = 6.6 years" at ~8 GB/s.
+        assert attack_ideal_lifetime_years() == pytest.approx(6.6, rel=0.05)
+
+    def test_inverse_proportional_to_bandwidth(self):
+        assert ideal_lifetime_years(100.0) == pytest.approx(
+            2 * ideal_lifetime_years(200.0)
+        )
+
+    def test_calibration_scales_linearly(self):
+        base = ideal_lifetime_seconds(1e9, calibration=PAPER_IDEAL_CALIBRATION)
+        raw = ideal_lifetime_seconds(1e9, calibration=1.0)
+        assert base == pytest.approx(raw * PAPER_IDEAL_CALIBRATION)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ideal_lifetime_seconds(0.0)
+        with pytest.raises(ValueError):
+            ideal_lifetime_seconds(1e9, calibration=0.0)

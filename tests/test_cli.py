@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig6"])
+        assert args.experiment == "fig6"
+        assert not args.quick
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["table1", "--quick"])
+        assert args.quick
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "toss-up interval" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "storage bits per page" in out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys, monkeypatch):
+        # Patch the report builder so the CLI test stays fast; the
+        # builder itself is covered in test_timeline_report.py.
+        import repro.analysis.report as report_module
+
+        monkeypatch.setattr(
+            report_module, "build_report", lambda setup: "# stub report\n"
+        )
+        assert main(["report", "--quick"]) == 0
+        assert "# stub report" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, monkeypatch):
+        import repro.analysis.report as report_module
+
+        monkeypatch.setattr(
+            report_module, "build_report", lambda setup: "# stub report\n"
+        )
+        path = str(tmp_path / "out.md")
+        assert main(["report", "--quick", "--output", path]) == 0
+        assert open(path).read().startswith("# stub report")

@@ -1,0 +1,43 @@
+"""Tests for the response-time swap detector."""
+
+import pytest
+
+from repro.attacks.detector import SwapDetector
+from repro.errors import ConfigError
+
+
+class TestSwapDetector:
+    def test_learns_baseline_then_detects(self):
+        detector = SwapDetector(threshold_factor=1.5, warmup=4)
+        for _ in range(4):
+            assert not detector.observe(2000.0)
+        assert not detector.observe(2000.0)
+        assert detector.observe(6000.0)
+        assert detector.detections == 1
+
+    def test_baseline_tracks_minimum(self):
+        detector = SwapDetector(warmup=2)
+        detector.observe(5000.0)
+        detector.observe(5000.0)
+        # A faster plain response lowers the baseline instead of firing.
+        assert not detector.observe(2000.0)
+        assert detector.observe(4000.0)
+
+    def test_threshold_factor_respected(self):
+        detector = SwapDetector(threshold_factor=3.0, warmup=1)
+        detector.observe(1000.0)
+        assert not detector.observe(2500.0)
+        assert detector.observe(3500.0)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigError):
+            SwapDetector(threshold_factor=1.0)
+
+    def test_rejects_bad_warmup(self):
+        with pytest.raises(ConfigError):
+            SwapDetector(warmup=0)
+
+    def test_rejects_nonpositive_latency(self):
+        detector = SwapDetector()
+        with pytest.raises(ValueError):
+            detector.observe(0.0)

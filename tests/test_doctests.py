@@ -1,0 +1,30 @@
+"""Run the doctests embedded in module documentation.
+
+The examples in docstrings are part of the public documentation; this
+keeps them executable so they can never drift from the implementation.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.models
+import repro.analysis.stats
+import repro.pcm.stats
+import repro.rng.streams
+import repro.units
+
+_MODULES = (
+    repro.units,
+    repro.rng.streams,
+    repro.analysis.stats,
+    repro.analysis.models,
+    repro.pcm.stats,
+)
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

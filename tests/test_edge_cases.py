@@ -1,0 +1,111 @@
+"""Edge-case coverage across modules."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.scan import ScanWriteAttack
+from repro.errors import ExtrapolationError
+from repro.pcm.array import PCMArray
+from repro.sim.drivers import AttackDriver, TraceDriver
+from repro.sim.fastforward import FastForwardConfig, fast_forward_to_failure
+from repro.traces.request import OP_READ
+from repro.traces.trace import Trace
+from repro.wearlevel.nowl import NoWearLeveling
+
+
+class TestDriverEdges:
+    def test_negative_quota_rejected(self):
+        array = PCMArray.uniform(4, 100)
+        scheme = NoWearLeveling(array)
+        driver = AttackDriver(ScanWriteAttack(4))
+        with pytest.raises(ValueError):
+            driver.drive(scheme, -1)
+        trace_driver = TraceDriver(Trace.writes_only([0]), 4)
+        with pytest.raises(ValueError):
+            trace_driver.drive(scheme, -1)
+
+    def test_zero_quota_noop(self):
+        array = PCMArray.uniform(4, 100)
+        scheme = NoWearLeveling(array)
+        driver = AttackDriver(ScanWriteAttack(4))
+        assert driver.drive(scheme, 0) == 0
+        assert array.total_writes == 0
+
+
+class TestTraceEdges:
+    def test_reads_only_trace_histogram_is_empty(self):
+        trace = Trace(
+            np.array([OP_READ, OP_READ], dtype=np.uint8),
+            np.array([1, 2], dtype=np.int64),
+        )
+        histogram = trace.write_histogram(4)
+        assert histogram.sum() == 0
+
+    def test_write_fraction_zero(self):
+        trace = Trace(
+            np.array([OP_READ], dtype=np.uint8), np.array([0], dtype=np.int64)
+        )
+        assert trace.write_fraction == 0.0
+        assert list(trace.write_pages()) == []
+
+    def test_repr_mentions_name(self):
+        assert "demo" in repr(Trace.writes_only([0], name="demo"))
+
+
+class TestFastForwardEdges:
+    def test_max_rounds_exhaustion(self):
+        """A workload that never revisits pages defeats rate estimation
+        and must terminate with ExtrapolationError, not hang."""
+
+        class OneShotDriver(TraceDriver):
+            pass
+
+        array = PCMArray.uniform(1024, 10**9)
+        scheme = NoWearLeveling(array)
+        # Visit each page once per full loop: with endurance 1e9 the
+        # time-to-death estimate stays astronomically far, jumps are
+        # capped by the doubling rule and rounds run out.
+        driver = TraceDriver(Trace.writes_only(list(range(1024))), 1024)
+        config = FastForwardConfig(
+            warmup_demand=512, window_demand=512, max_rounds=3
+        )
+        with pytest.raises(ExtrapolationError):
+            fast_forward_to_failure(scheme, driver, config=config)
+
+
+class TestArrayEdges:
+    def test_wear_fraction_is_float(self):
+        array = PCMArray.uniform(2, 7)
+        array.write(0)
+        fractions = array.wear_fraction()
+        assert fractions.dtype == np.float64
+        assert fractions[0] == pytest.approx(1 / 7)
+
+    def test_write_counts_is_copy(self):
+        array = PCMArray.uniform(2, 10)
+        counts = array.write_counts()
+        counts[0] = 99
+        assert array.page_writes(0) == 0
+
+    def test_endurance_copy_on_init(self):
+        source = np.array([10, 20])
+        array = PCMArray(source)
+        source[0] = 999
+        assert array.endurance[0] == 10
+
+
+class TestConfigEdges:
+    def test_scaled_config_carries_sigma(self):
+        from repro.config import ScaledArrayConfig
+
+        scaled = ScaledArrayConfig(
+            n_pages=64, endurance_mean=100.0, endurance_sigma_fraction=0.2
+        )
+        pcm = scaled.to_pcm_config()
+        assert pcm.endurance_sigma_fraction == 0.2
+
+    def test_timing_read_write_distinct(self):
+        from repro.config import TimingConfig
+
+        timing = TimingConfig()
+        assert timing.read_cycles < timing.write_cycles

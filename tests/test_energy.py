@@ -1,0 +1,79 @@
+"""Tests for the write-energy model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.dcw import DataComparisonWriteModel
+from repro.sim.metrics import SchemeOverheads
+from repro.timing.energy import (
+    EnergyBreakdown,
+    EnergyModelConfig,
+    energy_per_demand_write,
+    nowl_baseline,
+)
+
+
+def _overheads(scheme, swap_ratio):
+    return SchemeOverheads(
+        scheme=scheme,
+        workload="test",
+        demand_writes=1000,
+        swap_write_ratio=swap_ratio,
+        swap_event_ratio=swap_ratio / 2,
+        extra_stats={},
+    )
+
+
+class TestEnergyModel:
+    def test_baseline_has_no_overhead_terms(self):
+        baseline = nowl_baseline()
+        assert baseline.migration_energy == 0.0
+        assert baseline.control_energy == 0.0
+        assert baseline.total == baseline.demand_write_energy
+
+    def test_dcw_scales_demand_energy(self):
+        sparse = nowl_baseline(dcw=DataComparisonWriteModel(flip_probability=0.1))
+        dense = nowl_baseline(dcw=DataComparisonWriteModel(flip_probability=0.5))
+        assert dense.demand_write_energy == pytest.approx(
+            5 * sparse.demand_write_energy
+        )
+
+    def test_migration_energy_proportional_to_swaps(self):
+        low = energy_per_demand_write("twl", _overheads("twl", 0.01))
+        high = energy_per_demand_write("twl", _overheads("twl", 0.04))
+        assert high.migration_energy == pytest.approx(4 * low.migration_energy)
+
+    def test_migrations_pay_full_page(self):
+        # With DCW at 25% flips, a 4% migration ratio costs 16% of the
+        # demand energy (full page vs quarter page).
+        breakdown = energy_per_demand_write("twl", _overheads("twl", 0.04))
+        assert breakdown.migration_energy == pytest.approx(
+            0.16 * breakdown.demand_write_energy, rel=1e-6
+        )
+
+    def test_control_energy_small(self):
+        breakdown = energy_per_demand_write("bwl", _overheads("bwl", 0.03))
+        assert breakdown.control_energy < 0.01 * breakdown.demand_write_energy
+
+    def test_overhead_versus_baseline(self):
+        baseline = nowl_baseline()
+        twl = energy_per_demand_write("twl", _overheads("twl", 0.022))
+        overhead = twl.overhead_versus(baseline)
+        # ~2.2% extra full-page writes over 25%-flip demand writes ≈ 9%.
+        assert 0.05 < overhead < 0.15
+
+    def test_bwl_energy_above_twl(self):
+        bwl = energy_per_demand_write("bwl", _overheads("bwl", 0.08))
+        twl = energy_per_demand_write("twl", _overheads("twl", 0.03))
+        assert bwl.total > twl.total
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            EnergyModelConfig(write_energy_per_bit=0.0)
+        with pytest.raises(ConfigError):
+            EnergyModelConfig(control_energy_per_cycle=-1.0)
+
+    def test_overhead_rejects_zero_baseline(self):
+        zero = EnergyBreakdown("x", 0.0, 0.0, 0.0)
+        with pytest.raises(ConfigError):
+            nowl_baseline().overhead_versus(zero)

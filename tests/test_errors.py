@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ConfigError",
+            "AddressError",
+            "PageWornOutError",
+            "TableError",
+            "TraceError",
+            "SimulationError",
+            "ExtrapolationError",
+        ):
+            exception_class = getattr(errors, name)
+            assert issubclass(exception_class, errors.ReproError)
+
+    def test_single_except_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TraceError("x")
+
+    def test_page_worn_out_carries_context(self):
+        error = errors.PageWornOutError(7, 101, 100)
+        assert error.physical_page == 7
+        assert error.writes == 101
+        assert error.endurance == 100
+        assert "7" in str(error)
+        assert "101" in str(error)
+
+    def test_repro_error_not_caught_as_value_error(self):
+        # Library errors are distinct from builtin families.
+        assert not issubclass(errors.ReproError, ValueError)

@@ -1,0 +1,51 @@
+"""Tests for the no-wear-leveling baseline."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.pcm.array import PCMArray
+from repro.wearlevel.nowl import NoWearLeveling
+
+
+class TestNoWearLeveling:
+    def test_identity_translation(self, uniform_array):
+        scheme = NoWearLeveling(uniform_array)
+        for la in range(16):
+            assert scheme.translate(la) == la
+            assert scheme.read(la) == la
+
+    def test_write_lands_on_same_page(self, uniform_array):
+        scheme = NoWearLeveling(uniform_array)
+        assert scheme.write(5) == 1
+        assert uniform_array.page_writes(5) == 1
+
+    def test_counters(self, uniform_array):
+        scheme = NoWearLeveling(uniform_array)
+        for _ in range(10):
+            scheme.write(0)
+        assert scheme.demand_writes == 10
+        assert scheme.swap_writes == 0
+        assert scheme.swap_write_ratio() == 0.0
+
+    def test_stats_keys(self, uniform_array):
+        scheme = NoWearLeveling(uniform_array)
+        scheme.write(1)
+        stats = scheme.stats()
+        assert stats["demand_writes"] == 1.0
+        assert stats["swap_events"] == 0.0
+
+    def test_hot_page_dies_at_endurance(self):
+        array = PCMArray.uniform(4, 100)
+        scheme = NoWearLeveling(array)
+        for _ in range(100):
+            scheme.write(2)
+        assert array.first_failure.physical_page == 2
+        assert array.first_failure.device_writes == 100
+
+    def test_rejects_out_of_range(self, uniform_array):
+        scheme = NoWearLeveling(uniform_array)
+        with pytest.raises(AddressError):
+            scheme.write(16)
+
+    def test_repr(self, uniform_array):
+        assert "NoWearLeveling" in repr(NoWearLeveling(uniform_array))

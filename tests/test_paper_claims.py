@@ -1,0 +1,105 @@
+"""Integration tests for the paper's headline claims (small scale).
+
+Each test exercises a qualitative result of the paper's evaluation at a
+reduced array and asserts the *shape* — who wins, by roughly what factor
+— rather than absolute numbers (EXPERIMENTS.md records both).
+"""
+
+import pytest
+
+from repro.analysis.stats import geometric_mean
+from repro.config import ScaledArrayConfig
+from repro.sim.runner import measure_attack_lifetime, measure_trace_lifetime
+from repro.traces.parsec import get_profile, make_benchmark_trace
+
+SCALED = ScaledArrayConfig(n_pages=256, endurance_mean=3072.0)
+
+
+def _attack_fraction(scheme, attack, **kwargs):
+    return measure_attack_lifetime(
+        scheme, attack, scaled=SCALED, **kwargs
+    ).lifetime_fraction
+
+
+class TestInconsistentAttackClaims:
+    """Section 3 + Figure 6: the attack breaks prediction-based schemes."""
+
+    def test_bwl_breaks_down_quickly(self):
+        # "PCM adopting BWL breaks down in 98 seconds".
+        bwl = _attack_fraction("bwl", "inconsistent")
+        assert bwl < 0.05
+
+    def test_twl_resists_the_attack(self):
+        twl = _attack_fraction("twl_swp", "inconsistent")
+        bwl = _attack_fraction("bwl", "inconsistent")
+        assert twl > 10 * bwl
+
+    def test_sr_unaffected_by_attack_choice(self):
+        # SR's randomization makes all attacks look alike (~2.8 years).
+        fractions = [
+            _attack_fraction("sr", attack)
+            for attack in ("random", "scan", "inconsistent")
+        ]
+        assert max(fractions) < 1.7 * min(fractions)
+
+    def test_wrl_vulnerable_too(self):
+        # The attack also defeats the Figure-1 walkthrough scheme.
+        assert _attack_fraction("wrl", "inconsistent") < 0.3
+
+
+class TestFigure6Shape:
+    def test_twl_beats_sr_overall(self):
+        attacks = ("repeat", "random", "scan", "inconsistent")
+        twl = geometric_mean([_attack_fraction("twl_swp", a) for a in attacks])
+        sr = geometric_mean([_attack_fraction("sr", a) for a in attacks])
+        assert twl > 1.15 * sr
+
+    def test_swp_beats_ap(self):
+        # "a 21.7% lifetime improvement is achieved by TWL_swp".  The
+        # full margin needs the default array scale (the benchmark
+        # harness shows ~20-30%); at this test's reduced scale sojourn
+        # variance compresses it, so assert the ordering with a modest
+        # floor on the repeat-attack cell where pairing matters most.
+        swp = _attack_fraction("twl_swp", "repeat")
+        ap = _attack_fraction("twl_ap", "repeat")
+        assert swp > 1.15 * ap
+
+    def test_nowl_dies_under_repeat(self):
+        assert _attack_fraction("nowl", "repeat") < 0.01
+
+    def test_uniform_attacks_bounded_by_weakest_page(self):
+        # Random/scan wear uniformly; the weakest of the (tail-faithful)
+        # population sits at ~0.42-0.44 of the mean.
+        for scheme in ("nowl", "sr", "twl_swp"):
+            fraction = _attack_fraction(scheme, "scan")
+            assert 0.3 < fraction < 0.5
+
+
+class TestFigure8Shape:
+    @pytest.fixture(scope="class")
+    def fractions(self):
+        trace = make_benchmark_trace(get_profile("canneal"), SCALED.n_pages, 80_000)
+        return {
+            scheme: measure_trace_lifetime(scheme, trace, scaled=SCALED).lifetime_fraction
+            for scheme in ("nowl", "sr", "bwl", "twl")
+        }
+
+    def test_pv_aware_beats_sr(self, fractions):
+        assert fractions["twl"] > fractions["sr"]
+        assert fractions["bwl"] > fractions["sr"]
+
+    def test_everything_beats_nowl(self, fractions):
+        for scheme in ("sr", "bwl", "twl"):
+            assert fractions[scheme] > 5 * fractions["nowl"]
+
+    def test_nowl_matches_table2_concentration(self, fractions):
+        # NOWL lifetime fraction ~ 1/concentration by construction.
+        expected = 1.0 / get_profile("canneal").concentration
+        assert fractions["nowl"] == pytest.approx(expected, rel=0.4)
+
+
+class TestFigure7Shape:
+    def test_toss_up_overhead_near_paper_at_32(self):
+        # "interval 32 ... incurs about 2.2% additional writes".
+        result = measure_attack_lifetime("twl_swp", "random", scaled=SCALED)
+        assert 0.01 < result.overhead_ratio < 0.06

@@ -1,0 +1,162 @@
+"""Tests for the PCM array wear model."""
+
+import numpy as np
+import pytest
+
+from repro.config import PCMConfig
+from repro.errors import AddressError, ConfigError, PageWornOutError
+from repro.pcm.array import PCMArray
+
+
+class TestConstruction:
+    def test_from_endurance(self, tiny_array):
+        assert tiny_array.n_pages == 8
+        assert tiny_array.total_writes == 0
+        assert not tiny_array.has_failure
+
+    def test_uniform(self):
+        array = PCMArray.uniform(4, 500)
+        assert (array.endurance == 500).all()
+
+    def test_from_config(self, rng):
+        config = PCMConfig(
+            capacity_bytes=256 * 4096, endurance_mean=1000, endurance_sigma_fraction=0.1
+        )
+        array = PCMArray.from_config(config, rng)
+        assert array.n_pages == 256
+        assert (array.endurance > 0).all()
+
+    def test_from_config_tail_faithful(self, rng):
+        config = PCMConfig(
+            capacity_bytes=256 * 4096, endurance_mean=1000, endurance_sigma_fraction=0.1
+        )
+        array = PCMArray.from_config(config, rng, tail_faithful_reference=1 << 23)
+        assert array.endurance.min() < 700
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            PCMArray(np.array([], dtype=np.int64))
+
+    def test_rejects_nonpositive_endurance(self):
+        with pytest.raises(ConfigError):
+            PCMArray(np.array([10, 0]))
+
+
+class TestScalarWrites:
+    def test_write_counts(self, tiny_array):
+        tiny_array.write(3)
+        tiny_array.write(3)
+        assert tiny_array.page_writes(3) == 2
+        assert tiny_array.total_writes == 2
+
+    def test_failure_detected_at_endurance(self, tiny_array):
+        for _ in range(100):
+            tiny_array.write(0)
+        assert tiny_array.has_failure
+        failure = tiny_array.first_failure
+        assert failure.physical_page == 0
+        assert failure.device_writes == 100
+        assert failure.page_endurance == 100
+
+    def test_only_first_failure_recorded(self, tiny_array):
+        for _ in range(100):
+            tiny_array.write(0)
+        for _ in range(200):
+            tiny_array.write(1)
+        assert tiny_array.first_failure.physical_page == 0
+
+    def test_fail_fast_raises(self):
+        array = PCMArray(np.array([3, 3]), fail_fast=True)
+        array.write(0)
+        array.write(0)
+        with pytest.raises(PageWornOutError):
+            array.write(0)
+
+    def test_out_of_range(self, tiny_array):
+        with pytest.raises(AddressError):
+            tiny_array.write(8)
+        with pytest.raises(AddressError):
+            tiny_array.page_writes(-1)
+
+
+class TestWriteMany:
+    def test_bulk_counts(self, tiny_array):
+        tiny_array.write_many(2, 50)
+        assert tiny_array.page_writes(2) == 50
+
+    def test_failure_attribution_mid_burst(self, tiny_array):
+        tiny_array.write_many(0, 250)  # endurance 100
+        failure = tiny_array.first_failure
+        assert failure.physical_page == 0
+        assert failure.device_writes == 100
+
+    def test_zero_count_noop(self, tiny_array):
+        tiny_array.write_many(0, 0)
+        assert tiny_array.total_writes == 0
+
+    def test_rejects_negative(self, tiny_array):
+        with pytest.raises(ValueError):
+            tiny_array.write_many(0, -1)
+
+
+class TestBulkApply:
+    def test_apply_counts(self, uniform_array):
+        counts = np.full(16, 10, dtype=np.int64)
+        uniform_array.apply_write_counts(counts)
+        assert uniform_array.total_writes == 160
+        assert (uniform_array.write_counts() == 10).all()
+
+    def test_failure_fluid_attribution(self):
+        array = PCMArray(np.array([100, 1000]))
+        counts = np.array([200, 200])
+        array.apply_write_counts(counts)
+        failure = array.first_failure
+        assert failure.physical_page == 0
+        # Page 0 fails halfway through its share of the chunk.
+        assert 150 <= failure.device_writes <= 250
+
+    def test_mixed_scalar_then_bulk(self, uniform_array):
+        uniform_array.write(0)
+        uniform_array.apply_write_counts(np.ones(16, dtype=np.int64))
+        assert uniform_array.page_writes(0) == 2
+        assert uniform_array.total_writes == 17
+
+    def test_rejects_wrong_shape(self, uniform_array):
+        with pytest.raises(ConfigError):
+            uniform_array.apply_write_counts(np.ones(4, dtype=np.int64))
+
+    def test_rejects_negative_counts(self, uniform_array):
+        with pytest.raises(ConfigError):
+            uniform_array.apply_write_counts(np.full(16, -1, dtype=np.int64))
+
+
+class TestInspection:
+    def test_remaining(self, tiny_array):
+        tiny_array.write_many(0, 40)
+        remaining = tiny_array.remaining()
+        assert remaining[0] == 60
+        assert remaining[7] == 800
+
+    def test_wear_fraction(self, tiny_array):
+        tiny_array.write_many(1, 100)
+        assert tiny_array.wear_fraction()[1] == pytest.approx(0.5)
+
+    def test_utilization(self, tiny_array):
+        tiny_array.write_many(7, 360)  # total endurance = 3600
+        assert tiny_array.utilization() == pytest.approx(0.1)
+
+    def test_weakest_pages(self, tiny_array):
+        weakest = tiny_array.weakest_pages(3)
+        assert list(weakest) == [0, 1, 2]
+
+    def test_weakest_pages_bounds(self, tiny_array):
+        with pytest.raises(ValueError):
+            tiny_array.weakest_pages(0)
+        with pytest.raises(ValueError):
+            tiny_array.weakest_pages(9)
+
+    def test_endurance_capacity(self, tiny_array):
+        assert tiny_array.endurance_capacity() == 3600
+
+    def test_repr(self, tiny_array):
+        assert "PCMArray" in repr(tiny_array)

@@ -1,0 +1,100 @@
+"""Tests for wear statistics and the DCW model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pcm.array import PCMArray
+from repro.pcm.dcw import DataComparisonWriteModel
+from repro.pcm.stats import WearStatistics, gini_coefficient
+
+
+class TestGini:
+    def test_equal_sample_is_zero(self):
+        assert gini_coefficient(np.ones(10)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_sample_near_one(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        assert gini_coefficient(values) > 0.95
+
+    def test_zero_total(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([1.0, -1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([]))
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=2, max_size=50)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_property(self, values):
+        gini = gini_coefficient(np.array(values))
+        assert -1e-9 <= gini < 1.0
+
+    def test_scale_invariant(self):
+        values = np.array([1.0, 2.0, 5.0, 9.0])
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(values * 37.0)
+        )
+
+
+class TestWearStatistics:
+    def test_from_array(self):
+        array = PCMArray.uniform(8, 100)
+        array.write_many(0, 50)
+        stats = WearStatistics.from_array(array)
+        assert stats.total_writes == 50
+        assert stats.max_wear_fraction == pytest.approx(0.5)
+        assert stats.utilization == pytest.approx(50 / 800)
+        assert stats.wear_gini > 0.8
+
+    def test_as_dict_keys(self):
+        array = PCMArray.uniform(4, 100)
+        stats = WearStatistics.from_array(array)
+        data = stats.as_dict()
+        assert set(data) == {
+            "total_writes",
+            "utilization",
+            "wear_gini",
+            "max_wear_fraction",
+            "mean_wear_fraction",
+            "p99_wear_fraction",
+        }
+
+
+class TestDCW:
+    def test_expected_bits(self):
+        model = DataComparisonWriteModel(flip_probability=0.25)
+        assert model.expected_bits_written(1000) == pytest.approx(250.0)
+
+    def test_energy_scale(self):
+        assert DataComparisonWriteModel(flip_probability=0.1).energy_scale() == 0.1
+
+    def test_latency_scale_monotone(self):
+        low = DataComparisonWriteModel(flip_probability=0.01).latency_scale()
+        high = DataComparisonWriteModel(flip_probability=0.5).latency_scale()
+        assert low < high <= 1.0
+
+    def test_latency_floor_without_sets(self):
+        model = DataComparisonWriteModel(flip_probability=0.0)
+        assert model.latency_scale() == pytest.approx(0.125)
+
+    def test_sample_bits(self, rng):
+        model = DataComparisonWriteModel(flip_probability=0.25)
+        samples = model.sample_bits_written(32768, rng, size=200)
+        assert samples.shape == (200,)
+        assert abs(samples.mean() - 8192) < 200
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            DataComparisonWriteModel(flip_probability=1.5)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            DataComparisonWriteModel().expected_bits_written(-1)

@@ -1,0 +1,74 @@
+"""Cross-scheme property-based invariants.
+
+Every wear-leveling scheme, fed any write stream, must preserve three
+invariants:
+
+* the logical-to-physical mapping stays a bijection (data is never
+  lost or duplicated);
+* wear conservation: the array's total writes equal the scheme's demand
+  writes plus its reported migration writes;
+* translation stays inside the physical array.
+
+Hypothesis drives random streams through every registered scheme.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pcm.array import PCMArray
+from repro.wearlevel.registry import make_scheme, scheme_names
+
+_N_PAGES = 32
+
+
+def _fresh_scheme(name):
+    endurance = np.linspace(500, 2000, _N_PAGES).astype(np.int64)
+    array = PCMArray(endurance)
+    return array, make_scheme(name, array, seed=7)
+
+
+def _mapping(scheme):
+    return [scheme.translate(la) for la in range(scheme.logical_pages)]
+
+
+@pytest.mark.parametrize("scheme_name", sorted(set(scheme_names()) - {"twl"}))
+class TestSchemeInvariants:
+    @given(stream=st.lists(st.integers(0, _N_PAGES - 2), min_size=1, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_invariants_under_random_stream(self, scheme_name, stream):
+        array, scheme = _fresh_scheme(scheme_name)
+        for la in stream:
+            writes = scheme.write(la % scheme.logical_pages)
+            assert writes >= 1
+
+        # Bijection over the logical space.
+        mapping = _mapping(scheme)
+        assert len(set(mapping)) == scheme.logical_pages
+        assert all(0 <= pa < array.n_pages for pa in mapping)
+
+        # Wear conservation.
+        assert array.total_writes == scheme.demand_writes + scheme.swap_writes
+        assert scheme.demand_writes == len(stream)
+
+    @given(stream=st.lists(st.integers(0, _N_PAGES - 2), min_size=1, max_size=100))
+    @settings(max_examples=10, deadline=None)
+    def test_reads_never_wear(self, scheme_name, stream):
+        array, scheme = _fresh_scheme(scheme_name)
+        for la in stream:
+            scheme.read(la % scheme.logical_pages)
+        assert array.total_writes == 0
+
+    @given(
+        stream=st.lists(st.integers(0, _N_PAGES - 2), min_size=1, max_size=200),
+        split=st.integers(1, 199),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_translation_stable_between_writes(self, scheme_name, stream, split):
+        """translate() has no side effects: two calls agree."""
+        array, scheme = _fresh_scheme(scheme_name)
+        for la in stream[: split % len(stream)]:
+            scheme.write(la % scheme.logical_pages)
+        first = _mapping(scheme)
+        second = _mapping(scheme)
+        assert first == second

@@ -1,0 +1,52 @@
+"""Tests for the xorshift32 generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.rng.xorshift import XorShift32
+
+
+class TestXorShift32:
+    def test_deterministic(self):
+        a = XorShift32(seed=42)
+        b = XorShift32(seed=42)
+        assert [a.next_word() for _ in range(100)] == [b.next_word() for _ in range(100)]
+
+    def test_seeds_differ(self):
+        a = XorShift32(seed=1)
+        b = XorShift32(seed=2)
+        assert [a.next_word() for _ in range(10)] != [b.next_word() for _ in range(10)]
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ConfigError):
+            XorShift32(seed=0)
+
+    def test_words_in_range(self):
+        rng = XorShift32(seed=7)
+        for _ in range(1000):
+            assert 0 <= rng.next_word() <= 0xFFFFFFFF
+
+    def test_unit_in_range(self):
+        rng = XorShift32(seed=7)
+        for _ in range(1000):
+            assert 0.0 <= rng.next_unit() < 1.0
+
+    def test_next_below_uniform_enough(self):
+        rng = XorShift32(seed=7)
+        counts = [0] * 8
+        for _ in range(8000):
+            counts[rng.next_below(8)] += 1
+        assert min(counts) > 800
+        assert max(counts) < 1200
+
+    def test_next_below_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            XorShift32(seed=1).next_below(0)
+
+    def test_no_short_cycles(self):
+        rng = XorShift32(seed=99)
+        seen = set()
+        for _ in range(10_000):
+            word = rng.next_word()
+            assert word not in seen
+            seen.add(word)

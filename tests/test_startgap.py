@@ -1,0 +1,74 @@
+"""Tests for Start-Gap wear leveling."""
+
+import pytest
+
+from repro.config import StartGapConfig
+from repro.errors import ConfigError
+from repro.pcm.array import PCMArray
+from repro.wearlevel.start_gap import StartGap
+
+
+def _make(n_pages=17, interval=4, randomize=False):
+    array = PCMArray.uniform(n_pages, 10_000)
+    config = StartGapConfig(gap_move_interval=interval, randomize=randomize)
+    return array, StartGap(array, config=config, seed=1)
+
+
+class TestMapping:
+    def test_reserves_one_spare(self):
+        array, scheme = _make(17)
+        assert scheme.logical_pages == 16
+
+    def test_initial_identity(self):
+        _, scheme = _make(randomize=False)
+        for la in range(16):
+            assert scheme.translate(la) == la
+
+    def test_mapping_is_injective_always(self):
+        array, scheme = _make(interval=1)
+        for step in range(200):
+            scheme.write(step % 16)
+            frames = [scheme.translate(la) for la in range(16)]
+            assert len(set(frames)) == 16
+
+    def test_gap_moves_after_interval(self):
+        _, scheme = _make(interval=4)
+        before = [scheme.translate(la) for la in range(16)]
+        for _ in range(4):
+            scheme.write(0)
+        after = [scheme.translate(la) for la in range(16)]
+        assert before != after
+
+    def test_randomized_mapping_still_injective(self):
+        array, scheme = _make(interval=2, randomize=True)
+        for step in range(100):
+            scheme.write(step % 16)
+        frames = [scheme.translate(la) for la in range(16)]
+        assert len(set(frames)) == 16
+
+
+class TestWear:
+    def test_gap_move_costs_one_write(self):
+        array, scheme = _make(interval=4)
+        total = sum(scheme.write(0) for _ in range(4))
+        assert total == 5  # 4 demand + 1 gap move
+        assert scheme.swap_writes == 1
+
+    def test_spreads_repeat_writes_over_time(self):
+        array, scheme = _make(n_pages=9, interval=1)
+        for _ in range(2000):
+            scheme.write(3)
+        worn_pages = int((array.write_counts() > 0).sum())
+        assert worn_pages == 9  # rotation reaches every frame
+
+    def test_overhead_ratio(self):
+        _, scheme = _make(interval=4)
+        for _ in range(400):
+            scheme.write(0)
+        assert scheme.swap_write_ratio() == pytest.approx(0.25, rel=0.1)
+
+
+class TestValidation:
+    def test_rejects_single_frame(self):
+        with pytest.raises(ConfigError):
+            StartGap(PCMArray.uniform(1, 100))

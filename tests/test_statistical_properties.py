@@ -1,0 +1,106 @@
+"""Statistical properties of the stochastic components.
+
+These tests check distributional behaviour (uniformity, avalanche,
+trigger frequency) rather than point values, with thresholds loose
+enough to be deterministic at the fixed seeds used.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.config import SecurityRefreshConfig
+from repro.pcm.array import PCMArray
+from repro.rng.feistel import FeistelNetwork, FeistelRNG
+from repro.tables.write_counter import WriteCounterTable
+from repro.wearlevel.security_refresh import SecurityRefresh
+
+
+class TestFeistelStatistics:
+    def test_avalanche_single_bit_flip(self):
+        """Flipping one input bit should flip ~half the output bits."""
+        network = FeistelNetwork(bits=16, seed=5)
+        flips = 0
+        samples = 512
+        for value in range(samples):
+            base = network.encrypt(value)
+            neighbour = network.encrypt(value ^ 1)
+            flips += bin(base ^ neighbour).count("1")
+        mean_flips = flips / samples
+        assert 5.0 < mean_flips < 11.0  # ideal 8 for 16-bit blocks
+
+    def test_counter_mode_uniformity(self):
+        generator = FeistelRNG(bits=8, seed=9)
+        counts = np.zeros(16, dtype=int)
+        for _ in range(4096):
+            counts[generator.next_word() % 16] += 1
+        # Full-period structure makes this extremely uniform.
+        chi2 = ((counts - 256.0) ** 2 / 256.0).sum()
+        assert chi2 < 25.0
+
+    def test_permutation_fixed_points_rare(self):
+        network = FeistelNetwork(bits=12, seed=3)
+        fixed = sum(1 for v in range(4096) if network.encrypt(v) == v)
+        # A random permutation has ~1 fixed point on average.
+        assert fixed < 10
+
+
+class TestSRUniformity:
+    def test_stationary_wear_is_uniform(self):
+        """Chi-square test of SR's wear distribution under repeat writes."""
+        array = PCMArray.uniform(64, 10**9)
+        scheme = SecurityRefresh(
+            array, SecurityRefreshConfig(refresh_interval=8), seed=4
+        )
+        for _ in range(120_000):
+            scheme.write(0)
+        counts = array.write_counts().astype(float)
+        expected = counts.mean()
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        # 63 degrees of freedom; the 0.1% critical value is ~103 for
+        # i.i.d. placement.  SR deposits geometric bursts (mean 8,
+        # second moment ~2*8^2) per frame visit, inflating the variance
+        # by E[B^2]/E[B] ~ 2*interval; bound accordingly.
+        assert chi2 < 103.4 * 2.5 * 8
+        # No frame drifts beyond a factor band of the mean.
+        assert counts.max() / counts.min() < 2.0
+
+    def test_no_frame_starved(self):
+        array = PCMArray.uniform(64, 10**9)
+        scheme = SecurityRefresh(
+            array, SecurityRefreshConfig(refresh_interval=8), seed=4
+        )
+        for _ in range(120_000):
+            scheme.write(0)
+        assert int(array.write_counts().min()) > 0
+
+
+class TestWCTFrequency:
+    @pytest.mark.parametrize("interval", [1, 2, 5, 16, 127])
+    def test_trigger_rate_exact(self, interval):
+        table = WriteCounterTable(1, bits=7, interval=interval)
+        writes = interval * 50
+        triggers = sum(table.record_write(0) for _ in range(writes))
+        assert triggers == 50
+
+    def test_interleaved_pages_independent(self):
+        table = WriteCounterTable(3, interval=4)
+        triggers = {0: 0, 1: 0, 2: 0}
+        for step in range(120):
+            page = step % 3
+            if table.record_write(page):
+                triggers[page] += 1
+        assert triggers == {0: 10, 1: 10, 2: 10}
+
+
+class TestEnduranceStrata:
+    def test_quantiles_match_distribution(self, rng):
+        from repro.pcm.endurance import sample_tail_faithful
+
+        sample = sample_tail_faithful(2048, 1 << 23, 10_000, 0.11, rng)
+        # Kolmogorov-Smirnov against the target normal: the stratified
+        # body should fit tightly.
+        statistic, _ = scipy_stats.kstest(
+            sample, "norm", args=(10_000, 1100)
+        )
+        assert statistic < 0.05

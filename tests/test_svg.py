@@ -1,0 +1,114 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import (
+    save_svg,
+    svg_grouped_bars,
+    svg_line_chart,
+    svg_wear_heatmap,
+)
+
+_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestGroupedBars:
+    def test_well_formed(self):
+        svg = svg_grouped_bars(["a", "b"], {"s1": [1.0, 2.0], "s2": [0.5, 1.5]})
+        root = _parse(svg)
+        assert root.tag == f"{_NS}svg"
+
+    def test_bar_count(self):
+        svg = svg_grouped_bars(["a", "b", "c"], {"x": [1, 2, 3], "y": [3, 2, 1]})
+        root = _parse(svg)
+        rects = root.findall(f"{_NS}rect")
+        # background + 6 bars + 2 legend swatches
+        assert len(rects) == 1 + 6 + 2
+
+    def test_title_and_labels_escaped(self):
+        svg = svg_grouped_bars(["a<b"], {"s&t": [1.0]}, title="x < y")
+        _parse(svg)  # would raise on bad escaping
+
+    def test_bar_heights_proportional(self):
+        svg = svg_grouped_bars(["g"], {"x": [1.0], "y": [2.0]})
+        root = _parse(svg)
+        bars = [r for r in root.findall(f"{_NS}rect") if r.find(f"{_NS}title") is not None]
+        heights = sorted(float(b.get("height")) for b in bars)
+        assert heights[1] == pytest.approx(2 * heights[0], rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            svg_grouped_bars([], {})
+        with pytest.raises(ValueError):
+            svg_grouped_bars(["a"], {"s": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            svg_grouped_bars(["a"], {"s": [-1.0]})
+
+
+class TestLineChart:
+    def test_well_formed_with_polylines(self):
+        svg = svg_line_chart([1, 2, 4], {"twl": [1, 2, 3], "sr": [3, 2, 1]})
+        root = _parse(svg)
+        assert len(root.findall(f"{_NS}polyline")) == 2
+
+    def test_log_axis(self):
+        svg = svg_line_chart(
+            [1, 2, 4, 8, 16], {"ratio": [0.4, 0.2, 0.1, 0.05, 0.025]}, log_x=True
+        )
+        root = _parse(svg)
+        points = root.find(f"{_NS}polyline").get("points").split()
+        xs = [float(p.split(",")[0]) for p in points]
+        # Log spacing: equal gaps between powers of two.
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert max(gaps) - min(gaps) < 1.0
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            svg_line_chart([0, 1], {"s": [1, 2]}, log_x=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            svg_line_chart([], {})
+        with pytest.raises(ValueError):
+            svg_line_chart([1], {"s": [1, 2]})
+
+
+class TestHeatmap:
+    def test_cell_per_page(self):
+        svg = svg_wear_heatmap([0.1] * 50, columns=10)
+        root = _parse(svg)
+        rects = root.findall(f"{_NS}rect")
+        assert len(rects) == 1 + 50  # background + cells
+
+    def test_dead_page_marked(self):
+        svg = svg_wear_heatmap([0.2, 1.0], columns=2)
+        root = _parse(svg)
+        cells = [r for r in root.findall(f"{_NS}rect") if r.find(f"{_NS}title") is not None]
+        strokes = {c.get("stroke") for c in cells}
+        assert "black" in strokes
+
+    def test_color_ramp(self):
+        svg = svg_wear_heatmap([0.0, 1.0], columns=2)
+        assert "rgb(255,255,255)" in svg
+        assert "rgb(255,0,0)" in svg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            svg_wear_heatmap([])
+        with pytest.raises(ValueError):
+            svg_wear_heatmap([0.5], columns=0)
+        with pytest.raises(ValueError):
+            svg_wear_heatmap([-0.1])
+
+
+class TestSave:
+    def test_save_creates_dirs(self, tmp_path):
+        path = str(tmp_path / "figures" / "demo.svg")
+        save_svg(svg_wear_heatmap([0.5]), path)
+        assert _parse(open(path).read()).tag == f"{_NS}svg"

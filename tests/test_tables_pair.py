@@ -1,0 +1,135 @@
+"""Tests for the strong-weak pair table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError, TableError
+from repro.tables.pair_table import PairTable
+
+
+def _assert_involution(table: PairTable) -> None:
+    for la in range(table.n_pages):
+        assert table.partner(table.partner(la)) == la
+
+
+class TestBuilders:
+    def test_strong_weak_binds_extremes(self):
+        endurance = np.array([10, 20, 30, 40, 50, 60])
+        table = PairTable.strong_weak(endurance)
+        assert table.partner(0) == 5  # weakest with strongest
+        assert table.partner(1) == 4
+        assert table.partner(2) == 3
+        _assert_involution(table)
+
+    def test_strong_weak_odd_count_self_pairs_median(self):
+        endurance = np.array([10, 20, 30, 40, 50])
+        table = PairTable.strong_weak(endurance)
+        assert table.partner(2) == 2  # median self-paired
+        _assert_involution(table)
+
+    def test_adjacent(self):
+        table = PairTable.adjacent(6)
+        assert table.partner(0) == 1
+        assert table.partner(4) == 5
+        _assert_involution(table)
+
+    def test_adjacent_odd(self):
+        table = PairTable.adjacent(5)
+        assert table.partner(4) == 4
+        _assert_involution(table)
+
+    def test_random_is_perfect_matching(self, rng):
+        table = PairTable.random(64, rng)
+        _assert_involution(table)
+        self_paired = sum(1 for la in range(64) if table.partner(la) == la)
+        assert self_paired == 0
+
+    def test_rejects_non_involution(self):
+        with pytest.raises(TableError):
+            PairTable([1, 2, 0])
+
+    def test_rejects_out_of_range_partner(self):
+        with pytest.raises(TableError):
+            PairTable([5, 0])
+
+
+class TestPairsListing:
+    def test_pairs_cover_all_pages(self):
+        table = PairTable.adjacent(8)
+        pairs = table.pairs()
+        covered = {page for pair in pairs for page in pair}
+        assert covered == set(range(8))
+        assert len(pairs) == 4
+
+    def test_self_pair_listed_once(self):
+        table = PairTable.adjacent(3)
+        assert (2, 2) in table.pairs()
+
+
+class TestExchangeRoles:
+    def test_same_pair_exchange_is_noop(self):
+        table = PairTable.adjacent(4)
+        table.exchange_roles(0, 1)
+        assert table.partner(0) == 1
+
+    def test_cross_pair_exchange(self):
+        table = PairTable.adjacent(4)  # pairs (0,1) (2,3)
+        table.exchange_roles(0, 2)
+        # Frame under 0 went to 2 and vice versa; physical sets preserved
+        # means 2 now pairs with 1 and 0 pairs with 3.
+        assert table.partner(2) == 1
+        assert table.partner(0) == 3
+        _assert_involution(table)
+
+    def test_exchange_with_self_paired(self):
+        table = PairTable.adjacent(5)  # 4 is self-paired
+        table.exchange_roles(0, 4)
+        # Page 4 took 0's frame, so it inherits 0's partner (1); page 0
+        # took the lone frame and becomes self-paired.
+        assert table.partner(4) == 1
+        assert table.partner(0) == 0
+        _assert_involution(table)
+
+    def test_identity_exchange(self):
+        table = PairTable.adjacent(4)
+        table.exchange_roles(2, 2)
+        assert table.partner(2) == 3
+
+    def test_out_of_range(self):
+        table = PairTable.adjacent(4)
+        with pytest.raises(AddressError):
+            table.exchange_roles(0, 4)
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_involution_preserved_property(self, exchanges):
+        table = PairTable.adjacent(16)
+        for a, b in exchanges:
+            table.exchange_roles(a, b)
+        _assert_involution(table)
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_physical_pairs_preserved_property(self, exchanges):
+        """Frame pair-sets stay invariant when SWPT tracks frame moves.
+
+        Simulate the remapping table alongside: pairs of *frames*
+        (computed through the mapping) must equal the initial frame
+        pairing after any sequence of exchanges.
+        """
+        n = 16
+        table = PairTable.adjacent(n)
+        frame_of = list(range(n))
+        initial_frame_pairs = {
+            frozenset((frame_of[a], frame_of[table.partner(a)])) for a in range(n)
+        }
+        for a, b in exchanges:
+            if a == b:
+                continue
+            frame_of[a], frame_of[b] = frame_of[b], frame_of[a]
+            table.exchange_roles(a, b)
+        current = {
+            frozenset((frame_of[a], frame_of[table.partner(a)])) for a in range(n)
+        }
+        assert current == initial_frame_pairs

@@ -1,0 +1,68 @@
+"""Tests for the remapping table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError, TableError
+from repro.tables.remap import RemappingTable
+
+
+class TestRemappingTable:
+    def test_identity_initially(self):
+        table = RemappingTable(8)
+        assert table.mapping() == list(range(8))
+
+    def test_swap_logical(self):
+        table = RemappingTable(8)
+        table.swap_logical(0, 5)
+        assert table.lookup(0) == 5
+        assert table.lookup(5) == 0
+        assert table.inverse(5) == 0
+
+    def test_swap_physical(self):
+        table = RemappingTable(8)
+        table.swap_physical(2, 3)
+        assert table.lookup(2) == 3
+        assert table.lookup(3) == 2
+
+    def test_self_swap_noop(self):
+        table = RemappingTable(4)
+        table.swap_logical(1, 1)
+        assert table.mapping() == [0, 1, 2, 3]
+
+    def test_entry_bits(self):
+        assert RemappingTable(8 * 1024 * 1024).entry_bits == 23  # the paper's RT width
+        assert RemappingTable(1024).entry_bits == 10
+        assert RemappingTable(1).entry_bits == 1
+
+    def test_validate_passes(self):
+        table = RemappingTable(16)
+        table.swap_logical(3, 9)
+        table.swap_physical(1, 14)
+        table.validate()
+
+    def test_out_of_range(self):
+        table = RemappingTable(4)
+        with pytest.raises(AddressError):
+            table.lookup(4)
+        with pytest.raises(AddressError):
+            table.swap_logical(0, 7)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TableError):
+            RemappingTable(0)
+
+    def test_len(self):
+        assert len(RemappingTable(12)) == 12
+
+    @given(st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_bijection_invariant_property(self, swaps):
+        table = RemappingTable(32)
+        for a, b in swaps:
+            if a % 2:
+                table.swap_logical(a, b)
+            else:
+                table.swap_physical(a, b)
+        table.validate()
+        assert sorted(table.mapping()) == list(range(32))

@@ -1,0 +1,91 @@
+"""Tests for the wear timeline and the Markdown report builder."""
+
+import pytest
+
+from repro.analysis.report import build_report
+from repro.analysis.timeline import WearTimeline
+from repro.attacks.repeat import RepeatWriteAttack
+from repro.attacks.scan import ScanWriteAttack
+from repro.config import ScaledArrayConfig
+from repro.errors import SimulationError
+from repro.experiments.setups import ExperimentSetup
+from repro.pcm.array import PCMArray
+from repro.sim.drivers import AttackDriver
+from repro.wearlevel.nowl import NoWearLeveling
+
+
+class TestWearTimeline:
+    def _timeline(self, n=16, endurance=1000):
+        array = PCMArray.uniform(n, endurance)
+        scheme = NoWearLeveling(array)
+        return WearTimeline(scheme, AttackDriver(ScanWriteAttack(n)))
+
+    def test_snapshots_taken(self):
+        timeline = self._timeline()
+        points = timeline.run(1000, snapshots=10)
+        assert len(points) == 10
+        assert points[-1].demand_writes == 1000
+
+    def test_series_extraction(self):
+        timeline = self._timeline()
+        timeline.run(800, snapshots=4)
+        gini = timeline.series("wear_gini")
+        assert len(gini) == 4
+        # Scan writes on NOWL are perfectly even per full pass.
+        assert gini[-1] < 0.1
+
+    def test_stops_at_failure(self):
+        array = PCMArray.uniform(4, 50)
+        scheme = NoWearLeveling(array)
+        timeline = WearTimeline(scheme, AttackDriver(RepeatWriteAttack(4)))
+        points = timeline.run(10_000, snapshots=10)
+        assert array.has_failure
+        assert points[-1].stats.max_wear_fraction >= 1.0
+
+    def test_monotone_wear(self):
+        timeline = self._timeline()
+        timeline.run(1000, snapshots=5)
+        maxima = timeline.series("max_wear_fraction")
+        assert all(b >= a for a, b in zip(maxima, maxima[1:]))
+
+    def test_unknown_field(self):
+        timeline = self._timeline()
+        timeline.run(100, snapshots=1)
+        with pytest.raises(SimulationError):
+            timeline.series("nonsense")
+
+    def test_validation(self):
+        timeline = self._timeline()
+        with pytest.raises(SimulationError):
+            timeline.run(0)
+        with pytest.raises(SimulationError):
+            timeline.run(10, snapshots=0)
+
+    def test_empty_series(self):
+        assert self._timeline().series("wear_gini") == []
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def tiny_setup(self):
+        return ExperimentSetup(
+            scaled=ScaledArrayConfig(n_pages=128, endurance_mean=1536.0),
+            benchmarks=("vips",),
+            trace_writes=20_000,
+            overhead_writes=15_000,
+        )
+
+    def test_single_section(self, tiny_setup):
+        text = build_report(tiny_setup, sections=("overhead",))
+        assert "# TWL reproduction report" in text
+        assert "Section 5.4" in text
+        assert "Figure 6" not in text
+
+    def test_fig6_section_runs(self, tiny_setup):
+        text = build_report(tiny_setup, sections=("fig6",))
+        assert "Figure 6" in text
+        assert "twl_swp" in text
+
+    def test_unknown_section_rejected(self, tiny_setup):
+        with pytest.raises(ValueError):
+            build_report(tiny_setup, sections=("fig99",))

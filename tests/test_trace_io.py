@@ -1,0 +1,53 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.io import load_trace, save_trace
+from repro.traces.trace import Trace
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace.writes_only([1, 5, 5, 2], name="demo", write_bandwidth_mbps=42.0)
+        path = str(tmp_path / "demo.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "demo"
+        assert loaded.write_bandwidth_mbps == 42.0
+        assert (loaded.pages == trace.pages).all()
+        assert (loaded.ops == trace.ops).all()
+
+    def test_roundtrip_without_bandwidth(self, tmp_path):
+        trace = Trace.writes_only([0])
+        path = str(tmp_path / "nb.npz")
+        save_trace(trace, path)
+        assert load_trace(path).write_bandwidth_bytes is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(str(tmp_path / "nope.npz"))
+
+    def test_malformed_archive(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, junk=np.array([1]))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "t.npz")
+        save_trace(Trace.writes_only([3]), path)
+        assert load_trace(path).n_writes == 1
+
+    def test_version_checked(self, tmp_path):
+        path = str(tmp_path / "v.npz")
+        metadata = np.frombuffer(b'{"version": 99}', dtype=np.uint8)
+        np.savez(
+            path,
+            ops=np.array([1], dtype=np.uint8),
+            pages=np.array([0], dtype=np.int64),
+            metadata=metadata,
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)

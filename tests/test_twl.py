@@ -1,0 +1,174 @@
+"""Tests for the full Toss-up Wear Leveling engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import TWLConfig
+from repro.core.pairing import build_pair_table
+from repro.core.twl import TossUpWearLeveling
+from repro.errors import ConfigError
+from repro.pcm.array import PCMArray
+from repro.tables.pair_table import PairTable
+
+
+def _make(endurance, **config_overrides):
+    array = PCMArray(np.asarray(endurance))
+    defaults = dict(toss_up_interval=1, inter_pair_swap_interval=10**6)
+    defaults.update(config_overrides)
+    scheme = TossUpWearLeveling(array, config=TWLConfig(**defaults), seed=1)
+    return array, scheme
+
+
+class TestPairing:
+    def test_swp_builder(self):
+        table = build_pair_table(np.array([5, 1, 9, 3]), "swp")
+        assert table.partner(1) == 2  # weakest with strongest
+
+    def test_ap_builder(self):
+        table = build_pair_table(np.array([5, 1, 9, 3]), "ap")
+        assert table.partner(0) == 1
+
+    def test_random_builder_deterministic(self):
+        a = build_pair_table(np.arange(1, 17), "random", seed=4)
+        b = build_pair_table(np.arange(1, 17), "random", seed=4)
+        assert [a.partner(i) for i in range(16)] == [b.partner(i) for i in range(16)]
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            build_pair_table(np.array([1, 2]), "bogus")
+
+    def test_explicit_pair_table_size_checked(self):
+        array = PCMArray.uniform(4, 100)
+        with pytest.raises(ValueError):
+            TossUpWearLeveling(array, pair_table=PairTable.adjacent(8))
+
+
+class TestWriteFlow:
+    def test_direct_write_costs_one(self):
+        array, scheme = _make([1000, 1000], toss_up_interval=32)
+        assert scheme.write(0) == 1
+        assert array.total_writes == 1
+
+    def test_toss_up_triggers_at_interval(self):
+        array, scheme = _make([1000, 1000], toss_up_interval=4)
+        for _ in range(3):
+            scheme.write(0)
+        assert scheme.toss_up_activations == 0
+        scheme.write(0)
+        assert scheme.toss_up_activations == 1
+
+    def test_swap_exchanges_remapping(self):
+        # With an extreme endurance ratio the first toss from the weak
+        # frame will move the page to the strong one.
+        array, scheme = _make([10**6, 1])
+        original = scheme.translate(1)
+        for _ in range(20):
+            scheme.write(1)
+        assert scheme.translate(1) == 0  # parked on the strong frame
+        assert scheme.translate(0) == original or scheme.translate(0) == 1
+
+    def test_swap_costs_two_writes(self):
+        array, scheme = _make([10**6, 1])
+        writes = scheme.write(1)  # toss: almost surely chooses frame 0
+        assert writes == 2
+        assert array.page_writes(0) == 1
+        assert array.page_writes(1) == 1
+
+    def test_self_paired_page_never_tosses(self):
+        array, scheme = _make([100, 200, 300])  # odd count: median self-paired
+        median_la = next(
+            la for la in range(3) if scheme.pair_table.partner(la) == la
+        )
+        for _ in range(10):
+            scheme.write(median_la)
+        assert scheme.swap_judge.swapped == 0
+
+    def test_mapping_bijective_under_load(self):
+        endurance = np.arange(1, 17) * 100
+        array, scheme = _make(endurance, toss_up_interval=2, inter_pair_swap_interval=16)
+        for step in range(2000):
+            scheme.write(step % 16)
+        scheme.remap.validate()
+
+    def test_wear_accounting_consistent(self):
+        array, scheme = _make(np.full(16, 10**6), toss_up_interval=2,
+                              inter_pair_swap_interval=32)
+        for step in range(1000):
+            scheme.write(step % 16)
+        assert array.total_writes == scheme.demand_writes + scheme.swap_writes
+
+
+class TestEnduranceProportionality:
+    def test_repeat_writes_split_by_endurance(self):
+        array, scheme = _make([3000, 1000])
+        for _ in range(4000):
+            scheme.write(0)
+            if array.failed:
+                break
+        wear = array.write_counts()
+        # Direct writes split ~3:1 plus symmetric swap writes.
+        assert wear[0] > wear[1] * 1.5
+
+    def test_remaining_endurance_mode(self):
+        array, scheme = _make([2000, 2000], use_remaining_endurance=True)
+        # Pre-wear frame 0 heavily through direct array writes.
+        array.write_many(0, 1500)
+        for _ in range(500):
+            scheme.write(0)
+        wear = array.write_counts()
+        # Remaining-endurance toss-up must steer new wear to frame 1.
+        assert wear[1] > 250
+
+
+class TestInterPairSwap:
+    def test_inter_pair_swap_occurs(self):
+        endurance = np.full(8, 10**6)
+        array, scheme = _make(endurance, toss_up_interval=64,
+                              inter_pair_swap_interval=4)
+        for _ in range(40):
+            scheme.write(0)
+        assert scheme.inter_pair_swaps >= 9
+
+    def test_inter_pair_swap_costs_two(self):
+        endurance = np.full(8, 10**6)
+        array, scheme = _make(endurance, toss_up_interval=64,
+                              inter_pair_swap_interval=2)
+        scheme.write(0)
+        writes = scheme.write(0)  # second write fires the inter-pair swap
+        assert writes == 3  # 2 migration + 1 demand
+
+    def test_repeat_traffic_spreads_across_pairs(self):
+        endurance = np.full(64, 10**6)
+        array, scheme = _make(endurance, toss_up_interval=64,
+                              inter_pair_swap_interval=8)
+        for _ in range(5000):
+            scheme.write(0)
+        touched = int((array.write_counts() > 0).sum())
+        assert touched > 32
+
+    def test_physical_pairs_maintained(self):
+        endurance = np.arange(1, 17) * 100
+        array, scheme = _make(
+            endurance,
+            toss_up_interval=2,
+            inter_pair_swap_interval=4,
+            maintain_physical_pairs=True,
+        )
+        initial_frame_pairs = {
+            frozenset((scheme.remap.lookup(la), scheme.remap.lookup(scheme.pair_table.partner(la))))
+            for la in range(16)
+        }
+        for step in range(500):
+            scheme.write(step % 16)
+        current = {
+            frozenset((scheme.remap.lookup(la), scheme.remap.lookup(scheme.pair_table.partner(la))))
+            for la in range(16)
+        }
+        assert current == initial_frame_pairs
+
+    def test_stats_exposed(self):
+        array, scheme = _make([100, 200])
+        scheme.write(0)
+        stats = scheme.stats()
+        for key in ("toss_up_activations", "toss_up_swaps", "inter_pair_swaps"):
+            assert key in stats

@@ -1,0 +1,91 @@
+"""Tests for the WearLeveler base class contract."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.pcm.array import PCMArray
+from repro.wearlevel.base import SWAP_VISIBLE_THRESHOLD, WearLeveler
+
+
+class _Dummy(WearLeveler):
+    """Minimal subclass: identity mapping, swap every 4th write."""
+
+    name = "dummy"
+
+    def __init__(self, array):
+        super().__init__(array)
+        self._count = 0
+
+    def translate(self, logical):
+        self.check_logical(logical)
+        return logical
+
+    def write(self, logical):
+        self.check_logical(logical)
+        self.array.write(logical)
+        self._count_demand()
+        self._count += 1
+        if self._count % 4 == 0:
+            partner = (logical + 1) % self.array.n_pages
+            self.array.write(partner)
+            self._count_swap(1)
+            return 2
+        return 1
+
+
+@pytest.fixture
+def dummy():
+    return _Dummy(PCMArray.uniform(8, 10_000))
+
+
+class TestBaseContract:
+    def test_logical_pages_defaults_to_physical(self, dummy):
+        assert dummy.logical_pages == 8
+
+    def test_check_logical_bounds(self, dummy):
+        with pytest.raises(AddressError):
+            dummy.check_logical(-1)
+        with pytest.raises(AddressError):
+            dummy.check_logical(8)
+        dummy.check_logical(0)
+        dummy.check_logical(7)
+
+    def test_read_is_translate(self, dummy):
+        assert dummy.read(3) == dummy.translate(3)
+        assert dummy.array.total_writes == 0
+
+    def test_counters_accumulate(self, dummy):
+        for _ in range(8):
+            dummy.write(0)
+        assert dummy.demand_writes == 8
+        assert dummy.swap_events == 2
+        assert dummy.swap_writes == 2
+        assert dummy.total_physical_writes == 10
+
+    def test_swap_write_ratio(self, dummy):
+        for _ in range(8):
+            dummy.write(0)
+        assert dummy.swap_write_ratio() == pytest.approx(0.25)
+
+    def test_ratio_zero_before_writes(self, dummy):
+        assert dummy.swap_write_ratio() == 0.0
+
+    def test_stats_shape(self, dummy):
+        dummy.write(0)
+        stats = dummy.stats()
+        assert set(stats) >= {
+            "demand_writes",
+            "swap_writes",
+            "swap_events",
+            "swap_write_ratio",
+        }
+
+    def test_swap_visibility_threshold(self, dummy):
+        # The side channel: a swap-carrying request returns >= threshold.
+        results = [dummy.write(0) for _ in range(4)]
+        assert results[-1] >= SWAP_VISIBLE_THRESHOLD
+        assert all(r < SWAP_VISIBLE_THRESHOLD for r in results[:-1])
+
+    def test_repr_contains_counts(self, dummy):
+        dummy.write(0)
+        assert "demand_writes=1" in repr(dummy)
