@@ -1,6 +1,6 @@
 # Convenience targets for the TWL reproduction.
 
-.PHONY: install test bench bench-quick examples report clean
+.PHONY: install test bench bench-quick quick-parallel examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -13,6 +13,11 @@ bench:
 
 bench-quick:
 	REPRO_QUICK=1 pytest benchmarks/ --benchmark-only
+
+# Smoke the parallel executor path end-to-end (also covered by
+# tests/test_exec.py so it stays green under tier-1).
+quick-parallel:
+	PYTHONPATH=src python -m repro.cli fig6 --quick --jobs 2
 
 examples:
 	python examples/quickstart.py

@@ -4,6 +4,14 @@ The harness runs every experiment at the default scale (set
 ``REPRO_QUICK=1`` to shrink it for smoke runs) and records each
 reproduced table under ``benchmarks/results/`` so runs can be diffed
 against EXPERIMENTS.md.
+
+The experiment grids run through ``repro.exec``, so the harness honours
+the executor environment knobs (read by ``active_setup``):
+
+* ``REPRO_JOBS=N`` — fan independent cells across N worker processes
+  (bit-identical results to the serial run);
+* ``REPRO_CACHE_DIR=path`` — reuse completed cells from the on-disk
+  result cache there, e.g. a previous ``twl-repro all`` campaign.
 """
 
 from __future__ import annotations

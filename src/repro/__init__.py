@@ -39,6 +39,7 @@ from .errors import (
     TraceError,
     SimulationError,
     ExtrapolationError,
+    CellExecutionError,
 )
 from .pcm import PCMArray, FirstFailure, WearStatistics
 from .core import TossUpWearLeveling
@@ -79,6 +80,16 @@ from .sim import (
     measure_attack_lifetime,
     measure_trace_lifetime,
 )
+from .exec import (
+    ExperimentCell,
+    attack_cell,
+    trace_cell,
+    overheads_cell,
+    run_cells,
+    CellCache,
+    cell_fingerprint,
+    default_cache_dir,
+)
 from .analysis import (
     geometric_mean,
     attack_ideal_lifetime_years,
@@ -109,6 +120,7 @@ __all__ = [
     "TraceError",
     "SimulationError",
     "ExtrapolationError",
+    "CellExecutionError",
     # device
     "PCMArray",
     "FirstFailure",
@@ -147,6 +159,15 @@ __all__ = [
     "build_array",
     "measure_attack_lifetime",
     "measure_trace_lifetime",
+    # parallel execution + result cache
+    "ExperimentCell",
+    "attack_cell",
+    "trace_cell",
+    "overheads_cell",
+    "run_cells",
+    "CellCache",
+    "cell_fingerprint",
+    "default_cache_dir",
     # analysis
     "geometric_mean",
     "attack_ideal_lifetime_years",

@@ -4,18 +4,26 @@
 
     twl-repro table2
     twl-repro fig6 --quick
-    twl-repro all
+    twl-repro fig6 --quick --jobs 4
+    twl-repro all --jobs 8
 
 ``--quick`` runs at the reduced CI scale (same mechanisms, smaller
-array, subsampled benchmark list).
+array, subsampled benchmark list).  ``--jobs N`` fans independent
+experiment cells across N worker processes; results are bit-identical
+to the serial run.  Completed cells are cached on disk (default
+``~/.cache/twl-repro/``), so re-running a figure is near-instant —
+``--no-cache`` disables that, ``--cache-dir`` relocates it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
+from .errors import ReproError
+from .exec.cache import default_cache_dir
 from .experiments import ablations, energy, fig6, fig7, fig8, fig9, overhead, table1, table2
 from .experiments.setups import ExperimentSetup, default_setup, quick_setup
 
@@ -119,6 +127,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run at the reduced CI scale",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiment cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: ~/.cache/twl-repro)",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="for 'report': write the Markdown report to this file",
@@ -130,22 +156,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     setup = quick_setup() if args.quick else default_setup()
-    if args.experiment == "report":
-        from .analysis.report import build_report
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    setup = replace(setup, jobs=max(1, args.jobs), cache_dir=cache_dir)
+    try:
+        if args.experiment == "report":
+            from .analysis.report import build_report
 
-        text = build_report(setup)
-        if args.output:
-            with open(args.output, "w") as handle:
-                handle.write(text)
-            print(f"report written to {args.output}")
+            text = build_report(setup)
+            if args.output:
+                with open(args.output, "w") as handle:
+                    handle.write(text)
+                print(f"report written to {args.output}")
+            else:
+                print(text)
+            return 0
+        if args.experiment == "all":
+            for name in ("table1", "table2", "fig6", "fig7", "fig8", "fig9", "overhead", "energy", "ablations"):
+                _EXPERIMENTS[name](setup)
         else:
-            print(text)
-        return 0
-    if args.experiment == "all":
-        for name in ("table1", "table2", "fig6", "fig7", "fig8", "fig9", "overhead", "energy", "ablations"):
-            _EXPERIMENTS[name](setup)
-    else:
-        _EXPERIMENTS[args.experiment](setup)
+            _EXPERIMENTS[args.experiment](setup)
+    except ReproError as error:
+        print(f"twl-repro: error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

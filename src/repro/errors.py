@@ -7,6 +7,8 @@ still letting programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
@@ -51,3 +53,28 @@ class SimulationError(ReproError):
 
 class ExtrapolationError(ReproError):
     """Fast-forward lifetime extrapolation could not converge."""
+
+
+class CellExecutionError(SimulationError):
+    """An experiment cell failed inside the executor.
+
+    Always constructed with a single message string so it survives
+    pickling across :class:`concurrent.futures.ProcessPoolExecutor`
+    boundaries (exceptions with multi-argument constructors, such as
+    :class:`PageWornOutError`, cannot be unpickled by the pool).
+    """
+
+
+@contextmanager
+def error_context(label: str, error_type: type = SimulationError):
+    """Re-raise any :class:`ReproError` with ``label`` prepended.
+
+    Shared by the experiment executor (which labels failures with the
+    failing cell's identity) and the replicate runner (which labels them
+    with the replicate index and derived seed).  Programming errors
+    (``TypeError`` etc.) propagate unwrapped, per the package policy.
+    """
+    try:
+        yield
+    except ReproError as error:
+        raise error_type(f"{label}: {error}") from error

@@ -1,0 +1,59 @@
+"""Parallel experiment execution with on-disk result caching.
+
+The executor layer turns the reproduction's figure/table loops into
+declarative grids of independent cells:
+
+* :mod:`repro.exec.cells` — :class:`ExperimentCell` specs and the
+  single-cell runner;
+* :mod:`repro.exec.hashing` — stable content fingerprints keying the
+  cache;
+* :mod:`repro.exec.cache` — :class:`CellCache`, one JSON file per cell
+  under ``~/.cache/twl-repro/``;
+* :mod:`repro.exec.executor` — serial or process-pool execution with
+  progress lines and per-cell timing.
+
+Typical use::
+
+    from repro.exec import attack_cell, run_cells, CellCache, default_cache_dir
+
+    cells = [attack_cell(s, a) for s in ("twl_swp", "bwl") for a in ("scan", "repeat")]
+    results = run_cells(cells, jobs=4, cache=CellCache(default_cache_dir()))
+
+``twl-repro <experiment> --jobs N`` is the CLI face of the same layer.
+"""
+
+from .cells import (
+    KIND_ATTACK,
+    KIND_OVERHEADS,
+    KIND_TRACE,
+    CellResult,
+    ExperimentCell,
+    attack_cell,
+    overheads_cell,
+    run_cell,
+    trace_cell,
+)
+from .hashing import CACHE_FORMAT_VERSION, canonical_value, cell_fingerprint
+from .cache import CellCache, default_cache_dir
+from .executor import CellOutcome, execute_cells, run_cells, run_setup_cells
+
+__all__ = [
+    "KIND_ATTACK",
+    "KIND_OVERHEADS",
+    "KIND_TRACE",
+    "CellResult",
+    "ExperimentCell",
+    "attack_cell",
+    "overheads_cell",
+    "run_cell",
+    "trace_cell",
+    "CACHE_FORMAT_VERSION",
+    "canonical_value",
+    "cell_fingerprint",
+    "CellCache",
+    "default_cache_dir",
+    "CellOutcome",
+    "execute_cells",
+    "run_cells",
+    "run_setup_cells",
+]

@@ -1,0 +1,149 @@
+"""Content-addressed on-disk cache of experiment-cell results.
+
+Every cell is deterministic given its spec (see
+:mod:`repro.exec.cells`), so its result can be stored once and replayed
+forever — a full ``twl-repro all`` campaign re-run after an unrelated
+edit becomes near-instant.  Entries live one-file-per-cell under a
+cache directory (default ``~/.cache/twl-repro/``, override with
+``--cache-dir`` / ``TWL_REPRO_CACHE_DIR``), named by the cell's
+:func:`~repro.exec.hashing.cell_fingerprint`:
+
+    ~/.cache/twl-repro/
+        6c53…e2a1.json    {"cell": "twl_swp×scan seed=2017", "kind": …}
+
+One file per entry (rather than one big JSON) keeps concurrent
+campaigns safe: writes are atomic ``os.replace`` renames and two
+processes caching the same cell simply produce the same file.
+
+Invalidation is by construction: the fingerprint covers the cell spec
+and ``repro.version.__version__``, so any spec or version change maps
+to a fresh key and the stale file is simply never read again.  What the
+fingerprint *cannot* see is an edit to the simulation code itself —
+after changing scheme behaviour, bump the version or pass
+``--no-cache`` (the rules are spelled out in ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from ..errors import ConfigError
+from ..sim.cache import deserialize_result, serialize_result
+from ..sim.lifetime import LifetimeResult
+from ..sim.metrics import SchemeOverheads
+from .cells import CellResult, ExperimentCell
+from .hashing import CACHE_FORMAT_VERSION, cell_fingerprint
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "TWL_REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """The default on-disk cache location.
+
+    ``$TWL_REPRO_CACHE_DIR`` wins, then ``$XDG_CACHE_HOME/twl-repro``,
+    then ``~/.cache/twl-repro``.
+    """
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "twl-repro")
+
+
+def _serialize_overheads(result: SchemeOverheads) -> Dict:
+    return {
+        "scheme": result.scheme,
+        "workload": result.workload,
+        "demand_writes": result.demand_writes,
+        "swap_write_ratio": result.swap_write_ratio,
+        "swap_event_ratio": result.swap_event_ratio,
+        "extra_stats": dict(result.extra_stats),
+    }
+
+
+def _deserialize_overheads(record: Dict) -> SchemeOverheads:
+    return SchemeOverheads(
+        scheme=record["scheme"],
+        workload=record["workload"],
+        demand_writes=record["demand_writes"],
+        swap_write_ratio=record["swap_write_ratio"],
+        swap_event_ratio=record["swap_event_ratio"],
+        extra_stats=dict(record["extra_stats"]),
+    )
+
+
+class CellCache:
+    """File-per-entry result cache addressed by cell fingerprint.
+
+    ``hits`` / ``misses`` count lookups over the instance's lifetime so
+    callers (the CLI progress line, the acceptance test) can report
+    cache effectiveness.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        # Fail fast on an unusable location (e.g. --cache-dir pointing
+        # at a regular file) instead of mid-campaign on the first put.
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as error:
+            raise ConfigError(
+                f"cache directory {directory!r} is not usable: {error}"
+            ) from error
+
+    def path_for(self, fingerprint: str) -> str:
+        """File backing one cache entry."""
+        return os.path.join(self.directory, f"{fingerprint}.json")
+
+    def get(self, cell: ExperimentCell) -> Optional[CellResult]:
+        """Cached result for ``cell``, or None.
+
+        A corrupt or unreadable entry counts as a miss (it will be
+        overwritten on the next :meth:`put`), so a half-written file
+        can never poison a campaign.
+        """
+        path = self.path_for(cell_fingerprint(cell))
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if record.get("format") != CACHE_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if record["kind"] == "overheads":
+            return _deserialize_overheads(record["payload"])
+        return deserialize_result(record["payload"])
+
+    def put(self, cell: ExperimentCell, result: CellResult) -> None:
+        """Persist ``result`` atomically under the cell's fingerprint."""
+        os.makedirs(self.directory, exist_ok=True)
+        fingerprint = cell_fingerprint(cell)
+        if isinstance(result, LifetimeResult):
+            kind, payload = "lifetime", serialize_result(result)
+        else:
+            kind, payload = "overheads", _serialize_overheads(result)
+        record = {
+            "format": CACHE_FORMAT_VERSION,
+            "cell": cell.describe(),
+            "kind": kind,
+            "payload": payload,
+        }
+        path = self.path_for(fingerprint)
+        temp_path = f"{path}.{os.getpid()}.tmp"
+        with open(temp_path, "w") as handle:
+            json.dump(record, handle)
+        os.replace(temp_path, path)
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.directory):
+            return 0
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))

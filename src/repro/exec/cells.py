@@ -1,0 +1,221 @@
+"""Declarative experiment cells.
+
+Every figure and table of the reproduction decomposes into *cells*: one
+scheme driven by one workload at one scale with one seed.  Cells are
+fully independent — each derives every random stream it needs from its
+own seed (``repro.rng.streams``) — which is what makes them safe to fan
+out across worker processes and to cache on disk.
+
+:class:`ExperimentCell` is a picklable, declarative spec of one such
+cell; :func:`run_cell` executes it.  Three cell kinds exist:
+
+* ``attack`` — run a scheme to first failure under a named attack
+  (:func:`repro.sim.runner.measure_attack_lifetime`), yielding a
+  :class:`~repro.sim.lifetime.LifetimeResult`;
+* ``trace`` — run a scheme to first failure looping a synthetic
+  benchmark trace regenerated inside the worker from the profile,
+  yielding a :class:`~repro.sim.lifetime.LifetimeResult`;
+* ``overheads`` — drive a bounded write budget and report the scheme's
+  measured swap behaviour
+  (:class:`~repro.sim.metrics.SchemeOverheads`), used by the Figure-9
+  timing model and the Figure-7(a) swap-ratio sweep.
+
+Because a worker only receives the spec (never a live trace, array or
+scheme object), executing a cell in a subprocess is bit-identical to
+executing it in the parent — the tests in ``tests/test_exec.py`` assert
+exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..config import ScaledArrayConfig
+from ..errors import ConfigError
+from ..sim.drivers import TraceDriver
+from ..sim.lifetime import LifetimeResult
+from ..sim.metrics import SchemeOverheads, measure_scheme_overheads
+from ..sim.runner import (
+    DEFAULT_SCALED,
+    build_array,
+    measure_attack_lifetime,
+    measure_trace_lifetime,
+)
+from ..traces.parsec import BenchmarkProfile, get_profile, make_benchmark_trace
+from ..wearlevel.registry import make_scheme
+
+#: Cell kinds.
+KIND_ATTACK = "attack"
+KIND_TRACE = "trace"
+KIND_OVERHEADS = "overheads"
+_KINDS = (KIND_ATTACK, KIND_TRACE, KIND_OVERHEADS)
+
+#: Union of the result types a cell can produce.
+CellResult = Union[LifetimeResult, SchemeOverheads]
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """Spec of one scheme × workload × seed experiment cell.
+
+    ``workload`` names an attack (``attack`` kind) or a benchmark
+    profile (``trace`` / ``overheads`` kinds); a custom
+    :class:`BenchmarkProfile` can be supplied via ``profile`` for
+    workloads that are not in the registry.  ``scheme_kwargs`` /
+    ``attack_kwargs`` are passed through to the factories, so
+    configuration dataclasses (``TWLConfig`` etc.) ride along and
+    participate in the cache fingerprint.
+    """
+
+    kind: str
+    scheme: str
+    workload: str
+    scaled: ScaledArrayConfig = DEFAULT_SCALED
+    seed: int = 2017
+    scheme_kwargs: Dict = field(default_factory=dict)
+    attack_kwargs: Dict = field(default_factory=dict)
+    #: Length of the synthetic trace (``trace``/``overheads`` kinds).
+    trace_writes: int = 0
+    #: Demand writes to drive (``overheads`` kind only).
+    drive_writes: int = 0
+    #: Override of the profile's sparse-footprint fraction.
+    footprint_override: Optional[float] = None
+    #: Explicit profile for non-registry workloads.
+    profile: Optional[BenchmarkProfile] = None
+    #: Display label for progress lines and error messages.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigError(f"unknown cell kind {self.kind!r}; expected {_KINDS}")
+        if self.kind in (KIND_TRACE, KIND_OVERHEADS) and self.trace_writes < 1:
+            raise ConfigError(f"{self.kind} cells need trace_writes >= 1")
+        if self.kind == KIND_OVERHEADS and self.drive_writes < 1:
+            raise ConfigError("overheads cells need drive_writes >= 1")
+
+    def describe(self) -> str:
+        """Human-readable identity: ``twl_swp×scan seed=2017``."""
+        base = f"{self.scheme}×{self.workload} seed={self.seed}"
+        if self.label:
+            return f"{base} [{self.label}]"
+        return base
+
+
+def attack_cell(
+    scheme: str,
+    attack: str,
+    scaled: ScaledArrayConfig = DEFAULT_SCALED,
+    seed: int = 2017,
+    scheme_kwargs: Optional[dict] = None,
+    attack_kwargs: Optional[dict] = None,
+    label: str = "",
+) -> ExperimentCell:
+    """Cell spec for a run-to-failure attack experiment."""
+    return ExperimentCell(
+        kind=KIND_ATTACK,
+        scheme=scheme,
+        workload=attack,
+        scaled=scaled,
+        seed=seed,
+        scheme_kwargs=dict(scheme_kwargs or {}),
+        attack_kwargs=dict(attack_kwargs or {}),
+        label=label,
+    )
+
+
+def trace_cell(
+    scheme: str,
+    benchmark: str,
+    trace_writes: int,
+    scaled: ScaledArrayConfig = DEFAULT_SCALED,
+    seed: int = 2017,
+    scheme_kwargs: Optional[dict] = None,
+    footprint_override: Optional[float] = None,
+    profile: Optional[BenchmarkProfile] = None,
+    label: str = "",
+) -> ExperimentCell:
+    """Cell spec for a run-to-failure benchmark-trace experiment."""
+    return ExperimentCell(
+        kind=KIND_TRACE,
+        scheme=scheme,
+        workload=benchmark,
+        scaled=scaled,
+        seed=seed,
+        scheme_kwargs=dict(scheme_kwargs or {}),
+        trace_writes=trace_writes,
+        footprint_override=footprint_override,
+        profile=profile,
+        label=label,
+    )
+
+
+def overheads_cell(
+    scheme: str,
+    benchmark: str,
+    trace_writes: int,
+    drive_writes: int,
+    scaled: ScaledArrayConfig = DEFAULT_SCALED,
+    seed: int = 2017,
+    scheme_kwargs: Optional[dict] = None,
+    profile: Optional[BenchmarkProfile] = None,
+    label: str = "",
+) -> ExperimentCell:
+    """Cell spec for a bounded-drive swap-overhead measurement."""
+    return ExperimentCell(
+        kind=KIND_OVERHEADS,
+        scheme=scheme,
+        workload=benchmark,
+        scaled=scaled,
+        seed=seed,
+        scheme_kwargs=dict(scheme_kwargs or {}),
+        trace_writes=trace_writes,
+        drive_writes=drive_writes,
+        profile=profile,
+        label=label,
+    )
+
+
+def _benchmark_trace(cell: ExperimentCell):
+    profile = cell.profile or get_profile(cell.workload)
+    return make_benchmark_trace(
+        profile,
+        cell.scaled.n_pages,
+        cell.trace_writes,
+        seed=cell.seed,
+        footprint_override=cell.footprint_override,
+    )
+
+
+def run_cell(cell: ExperimentCell) -> CellResult:
+    """Execute one cell exactly as the serial experiment code would.
+
+    Everything stochastic inside — endurance sampling, trace
+    generation, scheme and attack RNGs — derives from ``cell.seed`` and
+    ``cell.scaled.seed``, so the result is a pure function of the spec.
+    """
+    if cell.kind == KIND_ATTACK:
+        return measure_attack_lifetime(
+            cell.scheme,
+            cell.workload,
+            scaled=cell.scaled,
+            seed=cell.seed,
+            scheme_kwargs=dict(cell.scheme_kwargs),
+            attack_kwargs=dict(cell.attack_kwargs),
+        )
+    if cell.kind == KIND_TRACE:
+        return measure_trace_lifetime(
+            cell.scheme,
+            _benchmark_trace(cell),
+            scaled=cell.scaled,
+            seed=cell.seed,
+            scheme_kwargs=dict(cell.scheme_kwargs),
+        )
+    # KIND_OVERHEADS — mirror experiments.fig9.measure_overheads.
+    trace = _benchmark_trace(cell)
+    array = build_array(cell.scaled)
+    scheme = make_scheme(
+        cell.scheme, array, seed=cell.seed, **dict(cell.scheme_kwargs)
+    )
+    driver = TraceDriver(trace, scheme.logical_pages)
+    return measure_scheme_overheads(scheme, driver, cell.drive_writes)

@@ -1,0 +1,186 @@
+"""Process-pool execution of experiment cells.
+
+:func:`execute_cells` takes a list of :class:`ExperimentCell` specs and
+returns their results in input order, fanning the uncached cells out
+across a :class:`concurrent.futures.ProcessPoolExecutor` when
+``jobs > 1``.  Guarantees:
+
+* **Bit-identical to serial.**  A cell's result is a pure function of
+  its spec (all RNG streams derive from the cell seed), and workers
+  receive only the spec, so ``jobs=N`` reproduces ``jobs=1`` exactly —
+  enforced by ``tests/test_exec.py``.
+* **Failures keep their identity.**  Workers wrap any
+  :class:`~repro.errors.ReproError` into a single-string
+  :class:`~repro.errors.CellExecutionError` naming the failing cell
+  (``cell twl_swp×scan seed=3: …``) — both because a bare pool
+  traceback is useless at 40 cells, and because multi-argument
+  exceptions like ``PageWornOutError`` do not survive unpickling
+  across the pool boundary.
+* **Observable progress.**  Each completed cell emits one line —
+  ``[12/40] twl_swp×scan seed=3 … 1.8s (cached)`` — through the
+  ``progress`` callback (default: stderr), with per-cell wall-clock
+  timing collected in the returned :class:`CellOutcome` records.
+
+The cache (:class:`~repro.exec.cache.CellCache`) is consulted in the
+parent before any work is scheduled and written back from the parent as
+results arrive, so workers never touch cache files.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..errors import CellExecutionError, error_context
+from .cache import CellCache
+from .cells import CellResult, ExperimentCell, run_cell
+
+#: ``progress=False`` silences output; ``None`` selects the default
+#: stderr printer; a callable receives each formatted line.
+ProgressHook = Union[None, bool, Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed (or cache-served) cell with its timing."""
+
+    cell: ExperimentCell
+    result: CellResult
+    seconds: float
+    cached: bool
+
+
+def _default_progress(line: str) -> None:
+    print(line, file=sys.stderr, flush=True)
+
+
+def _resolve_progress(progress: ProgressHook) -> Optional[Callable[[str], None]]:
+    if progress is None or progress is True:
+        return _default_progress
+    if progress is False:
+        return None
+    return progress
+
+
+def _progress_line(
+    index: int, total: int, cell: ExperimentCell, seconds: float, cached: bool
+) -> str:
+    suffix = " (cached)" if cached else ""
+    return f"[{index}/{total}] {cell.describe()} … {seconds:.1f}s{suffix}"
+
+
+def _execute_one(cell: ExperimentCell) -> CellResult:
+    """Worker entry point (module-level so it pickles under spawn)."""
+    with error_context(f"cell {cell.describe()}", CellExecutionError):
+        return run_cell(cell)
+
+
+def execute_cells(
+    cells: Sequence[ExperimentCell],
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+    progress: ProgressHook = None,
+) -> List[CellOutcome]:
+    """Run every cell, in parallel when ``jobs > 1``, returning outcomes.
+
+    Results come back in input order regardless of completion order.
+    On the first cell failure the remaining futures are cancelled and
+    the :class:`~repro.errors.CellExecutionError` is re-raised; results
+    of cells that did finish are still written to the cache, so a
+    repaired re-run resumes where the failure struck.
+    """
+    report = _resolve_progress(progress)
+    total = len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+    pending: List[int] = []
+    done = 0
+
+    for index, cell in enumerate(cells):
+        cached = cache.get(cell) if cache is not None else None
+        if cached is not None:
+            done += 1
+            outcomes[index] = CellOutcome(cell, cached, 0.0, cached=True)
+            if report:
+                report(_progress_line(done, total, cell, 0.0, cached=True))
+        else:
+            pending.append(index)
+
+    if not pending:
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def finish(index: int, result: CellResult, seconds: float) -> None:
+        nonlocal done
+        done += 1
+        cell = cells[index]
+        outcomes[index] = CellOutcome(cell, result, seconds, cached=False)
+        if cache is not None:
+            cache.put(cell, result)
+        if report:
+            report(_progress_line(done, total, cell, seconds, cached=False))
+
+    if jobs <= 1 or len(pending) == 1:
+        for index in pending:
+            start = time.perf_counter()
+            result = _execute_one(cells[index])
+            finish(index, result, time.perf_counter() - start)
+    else:
+        workers = min(jobs, len(pending))
+        start_times = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for index in pending:
+                start_times[index] = time.perf_counter()
+                futures[pool.submit(_execute_one, cells[index])] = index
+            not_done = set(futures)
+            while not_done:
+                finished, not_done = wait(not_done, return_when=FIRST_EXCEPTION)
+                for future in finished:
+                    index = futures[future]
+                    # .result() re-raises a worker failure; cancel the
+                    # rest so the campaign stops at the first error.
+                    try:
+                        result = future.result()
+                    except Exception:
+                        for other in not_done:
+                            other.cancel()
+                        raise
+                    finish(index, result, time.perf_counter() - start_times[index])
+
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def run_cells(
+    cells: Sequence[ExperimentCell],
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+    progress: ProgressHook = False,
+) -> List[CellResult]:
+    """Like :func:`execute_cells` but returning bare results."""
+    return [
+        outcome.result
+        for outcome in execute_cells(cells, jobs=jobs, cache=cache, progress=progress)
+    ]
+
+
+def run_setup_cells(
+    cells: Sequence[ExperimentCell],
+    setup,
+    progress: ProgressHook = None,
+) -> List[CellResult]:
+    """Run cells under an :class:`~repro.experiments.setups.ExperimentSetup`.
+
+    Reads the setup's ``jobs`` and ``cache_dir`` fields — the single
+    integration point through which every figure/ablation module gets
+    parallelism and caching.  Progress defaults to the stderr printer
+    only when a cell actually has to run or more than one is requested
+    (a single cached lookup stays quiet so helper calls don't chatter).
+    """
+    cache = CellCache(setup.cache_dir) if getattr(setup, "cache_dir", None) else None
+    if progress is None and len(cells) <= 1:
+        progress = False
+    return run_cells(
+        cells, jobs=getattr(setup, "jobs", 1), cache=cache, progress=progress
+    )

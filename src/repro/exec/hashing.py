@@ -1,0 +1,101 @@
+"""Stable content hashes for experiment cells.
+
+The on-disk result cache keys each cell on a digest of *everything that
+determines its outcome*: the full cell spec (scheme, workload, scaled
+array, seed, kwargs with their configuration dataclasses) plus the
+package version.  The digest must be stable across processes and Python
+versions — ``hash()`` is salted per interpreter, so the canonical form
+is built by hand and hashed with BLAKE2b.
+
+Dataclasses are canonicalized field-by-field (recursively), so changing
+any knob of a nested config — say ``TWLConfig.toss_up_interval`` inside
+``scheme_kwargs`` — changes the fingerprint and invalidates the cached
+entry.  Bumping ``repro.version.__version__`` invalidates *every*
+entry, which is the documented escape hatch after editing scheme code
+(see ``docs/performance.md``).
+
+>>> from repro.config import ScaledArrayConfig
+>>> from repro.exec.cells import attack_cell
+>>> scaled = ScaledArrayConfig(n_pages=64, endurance_mean=768.0)
+>>> cell = attack_cell("twl_swp", "scan", scaled=scaled, seed=7)
+
+The fingerprint is a pure function of the spec — rebuilding an
+equivalent cell reproduces it exactly:
+
+>>> cell_fingerprint(cell) == cell_fingerprint(
+...     attack_cell("twl_swp", "scan", scaled=scaled, seed=7))
+True
+
+Any spec change — a different seed, scheme, or nested config field —
+yields a different key:
+
+>>> cell_fingerprint(cell) == cell_fingerprint(
+...     attack_cell("twl_swp", "scan", scaled=scaled, seed=8))
+False
+>>> from repro.config import TWLConfig
+>>> cell_fingerprint(cell) == cell_fingerprint(attack_cell(
+...     "twl_swp", "scan", scaled=scaled, seed=7,
+...     scheme_kwargs={"config": TWLConfig(toss_up_interval=16)}))
+False
+
+So does a version bump:
+
+>>> cell_fingerprint(cell, version="0.0.0") == cell_fingerprint(cell)
+False
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from ..version import __version__
+
+#: Bump when the serialized cache payload layout changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def canonical_value(value: Any) -> Any:
+    """JSON-representable canonical form of ``value``.
+
+    Dataclasses become tagged ``{field: canonical(value)}`` mappings,
+    dicts are key-sorted, tuples become lists; anything else falls back
+    to ``repr``.  The result round-trips deterministically through
+    ``json.dumps(..., sort_keys=True)``.
+
+    >>> canonical_value({"b": 2, "a": (1, None)})
+    {'a': [1, None], 'b': 2}
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, "fields": fields}
+    if isinstance(value, dict):
+        return {str(key): canonical_value(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def cell_fingerprint(cell, version: str = __version__) -> str:
+    """Hex digest keying ``cell`` in the on-disk result cache.
+
+    The digest covers the canonicalized cell spec, the package
+    ``version`` and the cache format version; see the module docstring
+    for the invalidation rules this implies.
+    """
+    payload = json.dumps(
+        {
+            "cell": canonical_value(cell),
+            "version": version,
+            "format": CACHE_FORMAT_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()

@@ -17,7 +17,7 @@ from ..analysis.calibration import attack_ideal_lifetime_years
 from ..analysis.stats import geometric_mean
 from ..analysis.tables import ResultTable
 from ..config import ScaledArrayConfig
-from ..sim.runner import measure_attack_lifetime
+from ..exec import attack_cell, run_setup_cells, trace_cell
 from .setups import ATTACKS, ExperimentSetup, default_setup
 
 INTER_PAIR_INTERVALS: Sequence[int] = (16, 32, 64, 128, 256, 512)
@@ -29,18 +29,20 @@ def pairing_ablation(setup: Optional[ExperimentSetup] = None) -> ResultTable:
     """A1: lifetime (years) per pairing policy per attack."""
     setup = setup or default_setup()
     ideal = attack_ideal_lifetime_years()
-    table = ResultTable(["pairing"] + list(ATTACKS) + ["gmean"])
-    for scheme, label in (
+    policies = (
         ("twl_swp", "strong-weak"),
         ("twl_ap", "adjacent"),
         ("twl_random", "random"),
-    ):
-        years = {}
-        for attack in ATTACKS:
-            result = measure_attack_lifetime(
-                scheme, attack, scaled=setup.scaled, seed=setup.seed
-            )
-            years[attack] = result.lifetime_fraction * ideal
+    )
+    cells = [
+        attack_cell(scheme, attack, scaled=setup.scaled, seed=setup.seed)
+        for scheme, _ in policies
+        for attack in ATTACKS
+    ]
+    results = iter(run_setup_cells(cells, setup))
+    table = ResultTable(["pairing"] + list(ATTACKS) + ["gmean"])
+    for scheme, label in policies:
+        years = {attack: next(results).lifetime_fraction * ideal for attack in ATTACKS}
         row = {attack: round(years[attack], 2) for attack in ATTACKS}
         row["pairing"] = label
         row["gmean"] = round(geometric_mean(list(years.values())), 2)
@@ -54,16 +56,22 @@ def inter_pair_interval_ablation(
     """A2: repeat-attack lifetime and wear overhead vs inter-pair interval."""
     setup = setup or default_setup()
     ideal = attack_ideal_lifetime_years()
-    table = ResultTable(["inter_pair_interval", "repeat_years", "overhead_ratio"])
-    for interval in INTER_PAIR_INTERVALS:
-        config = replace(setup.twl_config, inter_pair_swap_interval=interval)
-        result = measure_attack_lifetime(
+    cells = [
+        attack_cell(
             "twl_swp",
             "repeat",
             scaled=setup.scaled,
             seed=setup.seed,
-            scheme_kwargs={"config": config},
+            scheme_kwargs={
+                "config": replace(setup.twl_config, inter_pair_swap_interval=interval)
+            },
+            label=f"inter_pair={interval}",
         )
+        for interval in INTER_PAIR_INTERVALS
+    ]
+    results = run_setup_cells(cells, setup)
+    table = ResultTable(["inter_pair_interval", "repeat_years", "overhead_ratio"])
+    for interval, result in zip(INTER_PAIR_INTERVALS, results):
         table.add_row(
             inter_pair_interval=interval,
             repeat_years=round(result.lifetime_fraction * ideal, 2),
@@ -76,7 +84,7 @@ def sigma_ablation(setup: Optional[ExperimentSetup] = None) -> ResultTable:
     """A3: how process-variation magnitude moves TWL vs SR (random attack)."""
     setup = setup or default_setup()
     ideal = attack_ideal_lifetime_years()
-    table = ResultTable(["sigma_fraction", "twl_years", "sr_years"])
+    cells = []
     for sigma in SIGMA_FRACTIONS:
         scaled = ScaledArrayConfig(
             n_pages=setup.scaled.n_pages,
@@ -85,8 +93,20 @@ def sigma_ablation(setup: Optional[ExperimentSetup] = None) -> ResultTable:
             tail_faithful=sigma > 0,
             seed=setup.scaled.seed,
         )
-        twl = measure_attack_lifetime("twl_swp", "random", scaled=scaled, seed=setup.seed)
-        sr = measure_attack_lifetime("sr", "random", scaled=scaled, seed=setup.seed)
+        for scheme in ("twl_swp", "sr"):
+            cells.append(
+                attack_cell(
+                    scheme,
+                    "random",
+                    scaled=scaled,
+                    seed=setup.seed,
+                    label=f"sigma={sigma}",
+                )
+            )
+    results = iter(run_setup_cells(cells, setup))
+    table = ResultTable(["sigma_fraction", "twl_years", "sr_years"])
+    for sigma in SIGMA_FRACTIONS:
+        twl, sr = next(results), next(results)
         table.add_row(
             sigma_fraction=sigma,
             twl_years=round(twl.lifetime_fraction * ideal, 2),
@@ -101,19 +121,24 @@ def remaining_endurance_ablation(
     """A4: toss-up on initial vs remaining endurance, per attack."""
     setup = setup or default_setup()
     ideal = attack_ideal_lifetime_years()
+    cells = [
+        attack_cell(
+            "twl_swp",
+            attack,
+            scaled=setup.scaled,
+            seed=setup.seed,
+            scheme_kwargs={
+                "config": replace(setup.twl_config, use_remaining_endurance=remaining)
+            },
+            label=f"remaining={remaining}",
+        )
+        for remaining in (False, True)
+        for attack in ATTACKS
+    ]
+    results = iter(run_setup_cells(cells, setup))
     table = ResultTable(["mode"] + list(ATTACKS) + ["gmean"])
     for remaining in (False, True):
-        config = replace(setup.twl_config, use_remaining_endurance=remaining)
-        years = {}
-        for attack in ATTACKS:
-            result = measure_attack_lifetime(
-                "twl_swp",
-                attack,
-                scaled=setup.scaled,
-                seed=setup.seed,
-                scheme_kwargs={"config": config},
-            )
-            years[attack] = result.lifetime_fraction * ideal
+        years = {attack: next(results).lifetime_fraction * ideal for attack in ATTACKS}
         row = {attack: round(years[attack], 2) for attack in ATTACKS}
         row["mode"] = "remaining" if remaining else "initial"
         row["gmean"] = round(geometric_mean(list(years.values())), 2)
@@ -132,26 +157,27 @@ def footprint_ablation(
     PV-aware placement gains exactly where idle pages exist to park on
     weak frames, while SR (footprint-blind randomization) barely moves.
     """
-    from ..sim.runner import measure_trace_lifetime
-    from ..traces.parsec import get_profile, make_benchmark_trace
-
     setup = setup or default_setup()
-    profile = get_profile(benchmark)
-    table = ResultTable(["footprint_fraction", "twl", "bwl", "sr", "nowl"])
-    for footprint in FOOTPRINT_FRACTIONS:
-        trace = make_benchmark_trace(
-            profile,
-            setup.n_pages,
-            setup.trace_writes,
+    schemes = ("twl", "bwl", "sr", "nowl")
+    cells = [
+        trace_cell(
+            scheme,
+            benchmark,
+            trace_writes=setup.trace_writes,
+            scaled=setup.scaled,
             seed=setup.seed,
             footprint_override=footprint,
+            label=f"footprint={footprint}",
         )
+        for footprint in FOOTPRINT_FRACTIONS
+        for scheme in schemes
+    ]
+    results = iter(run_setup_cells(cells, setup))
+    table = ResultTable(["footprint_fraction", "twl", "bwl", "sr", "nowl"])
+    for footprint in FOOTPRINT_FRACTIONS:
         row = {"footprint_fraction": footprint}
-        for scheme in ("twl", "bwl", "sr", "nowl"):
-            result = measure_trace_lifetime(
-                scheme, trace, scaled=setup.scaled, seed=setup.seed
-            )
-            row[scheme] = round(result.lifetime_fraction, 3)
+        for scheme in schemes:
+            row[scheme] = round(next(results).lifetime_fraction, 3)
         table.add_row(**row)
     return table
 
@@ -160,14 +186,18 @@ def sr_level_ablation(setup: Optional[ExperimentSetup] = None) -> ResultTable:
     """A6: behavioral (two-level-equivalent) SR vs single-level sweep SR."""
     setup = setup or default_setup()
     ideal = attack_ideal_lifetime_years()
+    schemes = ("sr", "sr_single")
+    cells = [
+        attack_cell(scheme, attack, scaled=setup.scaled, seed=setup.seed)
+        for scheme in schemes
+        for attack in ATTACKS
+    ]
+    results = iter(run_setup_cells(cells, setup))
     table = ResultTable(["scheme"] + list(ATTACKS))
-    for scheme in ("sr", "sr_single"):
+    for scheme in schemes:
         row = {"scheme": scheme}
         for attack in ATTACKS:
-            result = measure_attack_lifetime(
-                scheme, attack, scaled=setup.scaled, seed=setup.seed
-            )
-            row[attack] = round(result.lifetime_fraction * ideal, 2)
+            row[attack] = round(next(results).lifetime_fraction * ideal, 2)
         table.add_row(**row)
     return table
 
@@ -189,28 +219,37 @@ def retirement_ablation(setup: Optional[ExperimentSetup] = None) -> ResultTable:
 
     setup = setup or default_setup()
     ideal = attack_ideal_lifetime_years()
-    table = ResultTable(["scheme", "random_years", "repeat_years", "inconsistent_years"])
+    attacks = ("random", "repeat", "inconsistent")
+    cells = []
     for margin in RETIREMENT_MARGINS:
         config = RetirementConfig(
             margin_fraction=margin, estimate_sigma_fraction=0.03
         )
-        row = {"scheme": f"retire(m={margin:.2f})"}
-        for attack in ("random", "repeat", "inconsistent"):
-            result = measure_attack_lifetime(
-                "retire",
-                attack,
-                scaled=setup.scaled,
-                seed=setup.seed,
-                scheme_kwargs={"config": config},
+        for attack in attacks:
+            cells.append(
+                attack_cell(
+                    "retire",
+                    attack,
+                    scaled=setup.scaled,
+                    seed=setup.seed,
+                    scheme_kwargs={"config": config},
+                    label=f"margin={margin:.2f}",
+                )
             )
-            row[f"{attack}_years"] = round(result.lifetime_fraction * ideal, 2)
+    for attack in attacks:
+        cells.append(
+            attack_cell("twl_swp", attack, scaled=setup.scaled, seed=setup.seed)
+        )
+    results = iter(run_setup_cells(cells, setup))
+    table = ResultTable(["scheme", "random_years", "repeat_years", "inconsistent_years"])
+    for margin in RETIREMENT_MARGINS:
+        row = {"scheme": f"retire(m={margin:.2f})"}
+        for attack in attacks:
+            row[f"{attack}_years"] = round(next(results).lifetime_fraction * ideal, 2)
         table.add_row(**row)
     twl_row = {"scheme": "twl_swp"}
-    for attack in ("random", "repeat", "inconsistent"):
-        result = measure_attack_lifetime(
-            "twl_swp", attack, scaled=setup.scaled, seed=setup.seed
-        )
-        twl_row[f"{attack}_years"] = round(result.lifetime_fraction * ideal, 2)
+    for attack in attacks:
+        twl_row[f"{attack}_years"] = round(next(results).lifetime_fraction * ideal, 2)
     table.add_row(**twl_row)
     return table
 

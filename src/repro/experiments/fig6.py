@@ -26,8 +26,8 @@ from ..analysis.extrapolate import targeted_attack_full_scale_seconds
 from ..analysis.stats import geometric_mean
 from ..analysis.tables import ResultTable
 from ..config import TWLConfig
+from ..exec import ExperimentCell, attack_cell, run_setup_cells
 from ..sim.lifetime import LifetimeResult
-from ..sim.runner import measure_attack_lifetime
 from ..units import format_duration
 from .setups import ATTACKS, FIG6_SCHEMES, ExperimentSetup, default_setup
 
@@ -44,14 +44,8 @@ def _scheme_kwargs(scheme: str, twl_config: TWLConfig) -> dict:
     return {}
 
 
-def run_cell(
-    scheme: str,
-    attack: str,
-    setup: Optional[ExperimentSetup] = None,
-) -> LifetimeResult:
-    """Run one scheme/attack cell of Figure 6."""
-    setup = setup or default_setup()
-    return measure_attack_lifetime(
+def _cell(scheme: str, attack: str, setup: ExperimentSetup) -> ExperimentCell:
+    return attack_cell(
         scheme,
         attack,
         scaled=setup.scaled,
@@ -60,17 +54,32 @@ def run_cell(
     )
 
 
+def run_cell(
+    scheme: str,
+    attack: str,
+    setup: Optional[ExperimentSetup] = None,
+) -> LifetimeResult:
+    """Run one scheme/attack cell of Figure 6."""
+    setup = setup or default_setup()
+    return run_setup_cells([_cell(scheme, attack, setup)], setup)[0]
+
+
 def run(setup: Optional[ExperimentSetup] = None) -> ResultTable:
     """Reproduce Figure 6 (rows = schemes, columns = attacks + gmean)."""
     setup = setup or default_setup()
     ideal_years = attack_ideal_lifetime_years()
+    cells = [
+        _cell(scheme, attack, setup)
+        for scheme in FIG6_SCHEMES
+        for attack in ATTACKS
+    ]
+    results = iter(run_setup_cells(cells, setup))
     columns = ["scheme"] + [f"{attack}_years" for attack in ATTACKS] + ["gmean_years"]
     table = ResultTable(columns)
     for scheme in FIG6_SCHEMES:
         years: Dict[str, float] = {}
         for attack in ATTACKS:
-            result = run_cell(scheme, attack, setup)
-            years[attack] = result.lifetime_fraction * ideal_years
+            years[attack] = next(results).lifetime_fraction * ideal_years
         row = {f"{attack}_years": round(years[attack], 2) for attack in ATTACKS}
         row["scheme"] = scheme
         row["gmean_years"] = round(geometric_mean(list(years.values())), 2)
@@ -85,8 +94,10 @@ def quick_death_report(
     setup = setup or default_setup()
     ideal_years = attack_ideal_lifetime_years()
     table = ResultTable(["scheme", "attack", "fraction", "full_scale_time"])
-    for scheme, attack in _quick_death_cells(setup):
-        result = run_cell(scheme, attack, setup)
+    pairs = _quick_death_cells(setup)
+    cells = [_cell(scheme, attack, setup) for scheme, attack in pairs]
+    results = run_setup_cells(cells, setup)
+    for (scheme, attack), result in zip(pairs, results):
         fraction = result.lifetime_fraction
         if fraction * ideal_years >= QUICK_DEATH_FRACTION * ideal_years:
             continue

@@ -14,19 +14,20 @@ members of every pair equally, so the toss-up cannot bias wear inside a
 pair regardless of how often it runs (the paper's own Case-4 analysis);
 more frequent toss-ups only add swap-write wear.  The measured trend is
 therefore overhead-dominated — see EXPERIMENTS.md for the discussion.
+
+Both panels run through ``repro.exec``: each (interval, benchmark)
+swap-ratio measurement and each interval's scan run is one independent
+cell, so the whole sweep parallelizes under ``setup.jobs``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..analysis.calibration import attack_ideal_lifetime_years
 from ..analysis.stats import geometric_mean
 from ..analysis.tables import ResultTable
-from ..sim.drivers import TraceDriver
-from ..sim.runner import build_array, measure_attack_lifetime
-from ..traces.parsec import get_profile, make_benchmark_trace
-from ..wearlevel.registry import make_scheme
+from ..exec import ExperimentCell, attack_cell, overheads_cell, run_setup_cells
 from .setups import ExperimentSetup, default_setup
 
 #: The interval sweep of Figure 7.  The paper's axis tops out at 128,
@@ -38,24 +39,49 @@ INTERVALS: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 127)
 MINIMUM_REQUIREMENT_YEARS = 3.0
 
 
+def _ratio_cells(interval: int, setup: ExperimentSetup) -> List[ExperimentCell]:
+    config = setup.twl_config.with_interval(interval)
+    return [
+        overheads_cell(
+            "twl",
+            name,
+            trace_writes=setup.trace_writes,
+            drive_writes=setup.overhead_writes,
+            scaled=setup.scaled,
+            seed=setup.seed,
+            scheme_kwargs={"config": config},
+            label=f"interval={interval}",
+        )
+        for name in setup.benchmarks
+    ]
+
+
+def _scan_cell(interval: int, setup: ExperimentSetup) -> ExperimentCell:
+    config = setup.twl_config.with_interval(interval)
+    return attack_cell(
+        "twl_swp",
+        "scan",
+        scaled=setup.scaled,
+        seed=setup.seed,
+        scheme_kwargs={"config": config},
+        label=f"interval={interval}",
+    )
+
+
+def _gmean_swap_ratio(overheads) -> float:
+    # Guard the gmean against an exactly-zero ratio at long intervals.
+    return geometric_mean(
+        [max(o.extra_stats["toss_up_swap_ratio"], 1e-9) for o in overheads]
+    )
+
+
 def swap_ratio_for_interval(
     interval: int,
     setup: Optional[ExperimentSetup] = None,
 ) -> float:
     """Figure 7(a): PARSEC-gmean toss-up swap/write ratio at an interval."""
     setup = setup or default_setup()
-    ratios = []
-    config = setup.twl_config.with_interval(interval)
-    for name in setup.benchmarks:
-        trace = make_benchmark_trace(
-            get_profile(name), setup.n_pages, setup.trace_writes, seed=setup.seed
-        )
-        array = build_array(setup.scaled)
-        scheme = make_scheme("twl", array, seed=setup.seed, config=config)
-        TraceDriver(trace, scheme.logical_pages).drive(scheme, setup.overhead_writes)
-        # Guard the gmean against an exactly-zero ratio at long intervals.
-        ratios.append(max(scheme.toss_up_swap_ratio(), 1e-9))
-    return geometric_mean(ratios)
+    return _gmean_swap_ratio(run_setup_cells(_ratio_cells(interval, setup), setup))
 
 
 def scan_lifetime_for_interval(
@@ -64,26 +90,29 @@ def scan_lifetime_for_interval(
 ) -> float:
     """Figure 7(b): scan-attack lifetime (years) at an interval."""
     setup = setup or default_setup()
-    config = setup.twl_config.with_interval(interval)
-    result = measure_attack_lifetime(
-        "twl_swp",
-        "scan",
-        scaled=setup.scaled,
-        seed=setup.seed,
-        scheme_kwargs={"config": config},
-    )
+    result = run_setup_cells([_scan_cell(interval, setup)], setup)[0]
     return result.lifetime_fraction * attack_ideal_lifetime_years()
 
 
 def run(setup: Optional[ExperimentSetup] = None) -> ResultTable:
     """Reproduce both panels over the interval sweep."""
     setup = setup or default_setup()
-    table = ResultTable(["toss_up_interval", "swap_write_ratio", "scan_lifetime_years"])
+    ideal = attack_ideal_lifetime_years()
+    per_interval = len(setup.benchmarks)
+    cells: List[ExperimentCell] = []
     for interval in INTERVALS:
+        cells.extend(_ratio_cells(interval, setup))
+        cells.append(_scan_cell(interval, setup))
+    results = run_setup_cells(cells, setup)
+    table = ResultTable(["toss_up_interval", "swap_write_ratio", "scan_lifetime_years"])
+    for position, interval in enumerate(INTERVALS):
+        offset = position * (per_interval + 1)
+        overheads = results[offset : offset + per_interval]
+        scan = results[offset + per_interval]
         table.add_row(
             toss_up_interval=interval,
-            swap_write_ratio=round(swap_ratio_for_interval(interval, setup), 4),
-            scan_lifetime_years=round(scan_lifetime_for_interval(interval, setup), 2),
+            swap_write_ratio=round(_gmean_swap_ratio(overheads), 4),
+            scan_lifetime_years=round(scan.lifetime_fraction * ideal, 2),
         )
     return table
 

@@ -11,10 +11,21 @@ from typing import Dict, Optional
 
 from ..analysis.stats import geometric_mean
 from ..analysis.tables import ResultTable
+from ..exec import ExperimentCell, run_setup_cells, trace_cell
 from ..sim.lifetime import LifetimeResult
-from ..sim.runner import measure_trace_lifetime
-from ..traces.parsec import get_profile, make_benchmark_trace
 from .setups import FIG8_SCHEMES, ExperimentSetup, default_setup
+
+
+def _cell(scheme: str, benchmark: str, setup: ExperimentSetup) -> ExperimentCell:
+    kwargs = {"config": setup.twl_config} if scheme.startswith("twl") else {}
+    return trace_cell(
+        scheme,
+        benchmark,
+        trace_writes=setup.trace_writes,
+        scaled=setup.scaled,
+        seed=setup.seed,
+        scheme_kwargs=kwargs,
+    )
 
 
 def run_cell(
@@ -24,25 +35,25 @@ def run_cell(
 ) -> LifetimeResult:
     """Run one scheme/benchmark cell of Figure 8."""
     setup = setup or default_setup()
-    trace = make_benchmark_trace(
-        get_profile(benchmark), setup.n_pages, setup.trace_writes, seed=setup.seed
-    )
-    kwargs = {"config": setup.twl_config} if scheme.startswith("twl") else {}
-    return measure_trace_lifetime(
-        scheme, trace, scaled=setup.scaled, seed=setup.seed, scheme_kwargs=kwargs
-    )
+    return run_setup_cells([_cell(scheme, benchmark, setup)], setup)[0]
 
 
 def run(setup: Optional[ExperimentSetup] = None) -> ResultTable:
     """Reproduce Figure 8 (rows = benchmarks, columns = schemes)."""
     setup = setup or default_setup()
+    cells = [
+        _cell(scheme, benchmark, setup)
+        for benchmark in setup.benchmarks
+        for scheme in FIG8_SCHEMES
+    ]
+    results = iter(run_setup_cells(cells, setup))
     columns = ["benchmark"] + list(FIG8_SCHEMES)
     table = ResultTable(columns)
     sums: Dict[str, list] = {scheme: [] for scheme in FIG8_SCHEMES}
     for benchmark in setup.benchmarks:
         row = {"benchmark": benchmark}
         for scheme in FIG8_SCHEMES:
-            fraction = run_cell(scheme, benchmark, setup).lifetime_fraction
+            fraction = next(results).lifetime_fraction
             row[scheme] = round(fraction, 3)
             sums[scheme].append(max(fraction, 1e-9))
         table.add_row(**row)

@@ -16,13 +16,24 @@ import numpy as np
 
 from ..analysis.tables import ResultTable
 from ..config import TimingConfig
-from ..sim.drivers import TraceDriver
-from ..sim.metrics import SchemeOverheads, measure_scheme_overheads
-from ..sim.runner import build_array
+from ..exec import ExperimentCell, overheads_cell, run_setup_cells
+from ..sim.metrics import SchemeOverheads
 from ..timing.perf_model import PerfModelConfig, normalized_execution_time
-from ..traces.parsec import get_profile, make_benchmark_trace
-from ..wearlevel.registry import make_scheme
+from ..traces.parsec import get_profile
 from .setups import FIG9_SCHEMES, ExperimentSetup, default_setup
+
+
+def _cell(scheme: str, benchmark: str, setup: ExperimentSetup) -> ExperimentCell:
+    kwargs = {"config": setup.twl_config} if scheme.startswith("twl") else {}
+    return overheads_cell(
+        scheme,
+        benchmark,
+        trace_writes=setup.trace_writes,
+        drive_writes=setup.overhead_writes,
+        scaled=setup.scaled,
+        seed=setup.seed,
+        scheme_kwargs=kwargs,
+    )
 
 
 def measure_overheads(
@@ -32,14 +43,7 @@ def measure_overheads(
 ) -> SchemeOverheads:
     """Measured swap ratios for one scheme on one benchmark."""
     setup = setup or default_setup()
-    trace = make_benchmark_trace(
-        get_profile(benchmark), setup.n_pages, setup.trace_writes, seed=setup.seed
-    )
-    array = build_array(setup.scaled)
-    kwargs = {"config": setup.twl_config} if scheme.startswith("twl") else {}
-    instance = make_scheme(scheme, array, seed=setup.seed, **kwargs)
-    driver = TraceDriver(trace, instance.logical_pages)
-    return measure_scheme_overheads(instance, driver, setup.overhead_writes)
+    return run_setup_cells([_cell(scheme, benchmark, setup)], setup)[0]
 
 
 def run(
@@ -49,6 +53,12 @@ def run(
 ) -> ResultTable:
     """Reproduce Figure 9 (rows = benchmarks, columns = schemes)."""
     setup = setup or default_setup()
+    cells = [
+        _cell(scheme, benchmark, setup)
+        for benchmark in setup.benchmarks
+        for scheme in FIG9_SCHEMES
+    ]
+    results = iter(run_setup_cells(cells, setup))
     columns = ["benchmark"] + list(FIG9_SCHEMES)
     table = ResultTable(columns)
     totals: Dict[str, list] = {scheme: [] for scheme in FIG9_SCHEMES}
@@ -56,7 +66,7 @@ def run(
         profile = get_profile(benchmark)
         row = {"benchmark": benchmark}
         for scheme in FIG9_SCHEMES:
-            overheads = measure_overheads(scheme, benchmark, setup)
+            overheads = next(results)
             normalized = normalized_execution_time(
                 scheme,
                 overheads,

@@ -5,13 +5,20 @@ array (1024 pages, endurance-to-footprint ratio matching the paper's
 full-scale memory).  The quick setup shrinks the array and subsamples
 the benchmark list for CI/tests; set the environment variable
 ``REPRO_QUICK=1`` to make every benchmark target use it.
+
+Execution knobs ride along on the setup: ``jobs`` fans the experiment
+grids out across worker processes (``repro.exec``) and ``cache_dir``
+enables the on-disk result cache.  ``active_setup`` reads them from
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` so the benchmark harness can be
+parallelized without touching code; the CLI sets them from ``--jobs`` /
+``--cache-dir`` / ``--no-cache``.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
 
 from ..config import ScaledArrayConfig, TWLConfig
 
@@ -51,6 +58,10 @@ class ExperimentSetup:
     overhead_writes: int
     seed: int = 2017
     twl_config: TWLConfig = field(default_factory=TWLConfig)
+    #: Worker processes for experiment grids (1 = serial).
+    jobs: int = 1
+    #: On-disk result cache directory (None = caching off).
+    cache_dir: Optional[str] = None
 
     @property
     def n_pages(self) -> int:
@@ -79,7 +90,20 @@ def quick_setup() -> ExperimentSetup:
 
 
 def active_setup() -> ExperimentSetup:
-    """Setup selected by the ``REPRO_QUICK`` environment variable."""
+    """Setup selected by the ``REPRO_*`` environment variables.
+
+    ``REPRO_QUICK=1`` picks the reduced scale; ``REPRO_JOBS=N`` fans
+    experiment grids across N worker processes; ``REPRO_CACHE_DIR=path``
+    enables the on-disk result cache there.
+    """
     if os.environ.get("REPRO_QUICK", "").strip() in ("1", "true", "yes"):
-        return quick_setup()
-    return default_setup()
+        setup = quick_setup()
+    else:
+        setup = default_setup()
+    jobs = os.environ.get("REPRO_JOBS", "").strip()
+    if jobs:
+        setup = replace(setup, jobs=max(1, int(jobs)))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if cache_dir:
+        setup = replace(setup, cache_dir=cache_dir)
+    return setup

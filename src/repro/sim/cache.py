@@ -43,6 +43,16 @@ def cache_key(**fields) -> str:
     return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
 
 
+def serialize_result(result: LifetimeResult) -> Dict:
+    """JSON-ready record for a :class:`LifetimeResult` (public alias)."""
+    return _serialize(result)
+
+
+def deserialize_result(record: Dict) -> LifetimeResult:
+    """Rebuild a :class:`LifetimeResult` from its JSON record."""
+    return _deserialize(record)
+
+
 def _serialize(result: LifetimeResult) -> Dict:
     record = {
         "scheme": result.scheme,

@@ -6,21 +6,30 @@ move the result).  :func:`replicate_attack_lifetime` and
 :func:`replicate_trace_lifetime` rerun an experiment across derived
 seeds — every stochastic component re-derives its stream from the
 replicate seed — and summarize the lifetime-fraction distribution.
+
+Replicates are independent experiment cells, so they run through
+``repro.exec``: pass ``jobs=N`` to fan them across worker processes
+and ``cache`` to reuse results across sessions.  A failing replicate
+surfaces its identity (``replicate=3 seed=…``) rather than a bare
+traceback.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..config import ScaledArrayConfig
 from ..errors import SimulationError
+from ..exec.cache import CellCache
+from ..exec.cells import ExperimentCell, attack_cell, trace_cell
+from ..exec.executor import run_cells
 from ..rng.streams import derive_seed
-from ..traces.parsec import BenchmarkProfile, make_benchmark_trace
+from ..traces.parsec import BenchmarkProfile
 from .lifetime import LifetimeResult
-from .runner import DEFAULT_SCALED, measure_attack_lifetime, measure_trace_lifetime
+from .runner import DEFAULT_SCALED
 
 
 @dataclass(frozen=True)
@@ -64,15 +73,17 @@ class ReplicatedLifetime:
         return 1.96 * self.std / np.sqrt(self.n_replicates)
 
 
-def _replicate(
-    run_one: Callable[[int], LifetimeResult],
-    n_replicates: int,
+def _replicate_cells(
+    cells: List[ExperimentCell],
+    jobs: int,
+    cache: Optional[CellCache],
 ) -> ReplicatedLifetime:
-    if n_replicates < 1:
+    if not cells:
         raise SimulationError("need at least one replicate")
-    results: List[LifetimeResult] = []
-    for index in range(n_replicates):
-        results.append(run_one(index))
+    # Each cell's label carries ``replicate=i seed=…``, so a failing
+    # replicate names itself (via the executor's shared error wrapping)
+    # instead of surfacing a bare traceback.
+    results: List[LifetimeResult] = run_cells(cells, jobs=jobs, cache=cache)
     return ReplicatedLifetime(
         scheme=results[0].scheme,
         workload=results[0].workload,
@@ -89,22 +100,25 @@ def replicate_attack_lifetime(
     seed: int = 2017,
     scheme_kwargs: Optional[dict] = None,
     attack_kwargs: Optional[dict] = None,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
 ) -> ReplicatedLifetime:
     """Attack lifetime across ``n_replicates`` independent seeds."""
-
-    def run_one(index: int) -> LifetimeResult:
+    cells = []
+    for index in range(n_replicates):
         replicate_seed = derive_seed(seed, "replicate", index)
-        replicate_scaled = replace(scaled, seed=replicate_seed)
-        return measure_attack_lifetime(
-            scheme_name,
-            attack_name,
-            scaled=replicate_scaled,
-            seed=replicate_seed,
-            scheme_kwargs=dict(scheme_kwargs or {}),
-            attack_kwargs=dict(attack_kwargs or {}),
+        cells.append(
+            attack_cell(
+                scheme_name,
+                attack_name,
+                scaled=replace(scaled, seed=replicate_seed),
+                seed=replicate_seed,
+                scheme_kwargs=scheme_kwargs,
+                attack_kwargs=attack_kwargs,
+                label=f"replicate={index} seed={replicate_seed}",
+            )
         )
-
-    return _replicate(run_one, n_replicates)
+    return _replicate_cells(cells, jobs, cache)
 
 
 def replicate_trace_lifetime(
@@ -115,21 +129,23 @@ def replicate_trace_lifetime(
     scaled: ScaledArrayConfig = DEFAULT_SCALED,
     seed: int = 2017,
     scheme_kwargs: Optional[dict] = None,
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
 ) -> ReplicatedLifetime:
     """Benchmark lifetime across seeds (fresh trace + array per seed)."""
-
-    def run_one(index: int) -> LifetimeResult:
+    cells = []
+    for index in range(n_replicates):
         replicate_seed = derive_seed(seed, "replicate", index)
-        replicate_scaled = replace(scaled, seed=replicate_seed)
-        trace = make_benchmark_trace(
-            profile, scaled.n_pages, trace_writes, seed=replicate_seed
+        cells.append(
+            trace_cell(
+                scheme_name,
+                profile.name,
+                trace_writes=trace_writes,
+                scaled=replace(scaled, seed=replicate_seed),
+                seed=replicate_seed,
+                scheme_kwargs=scheme_kwargs,
+                profile=profile,
+                label=f"replicate={index} seed={replicate_seed}",
+            )
         )
-        return measure_trace_lifetime(
-            scheme_name,
-            trace,
-            scaled=replicate_scaled,
-            seed=replicate_seed,
-            scheme_kwargs=dict(scheme_kwargs or {}),
-        )
-
-    return _replicate(run_one, n_replicates)
+    return _replicate_cells(cells, jobs, cache)

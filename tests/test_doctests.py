@@ -10,6 +10,7 @@ import pytest
 
 import repro.analysis.models
 import repro.analysis.stats
+import repro.exec.hashing
 import repro.pcm.stats
 import repro.rng.streams
 import repro.units
@@ -20,6 +21,7 @@ _MODULES = (
     repro.analysis.stats,
     repro.analysis.models,
     repro.pcm.stats,
+    repro.exec.hashing,
 )
 
 

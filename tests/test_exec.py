@@ -1,0 +1,295 @@
+"""Tests for the parallel experiment executor and on-disk result cache."""
+
+import pytest
+
+from repro.config import ScaledArrayConfig, TWLConfig
+from repro.errors import CellExecutionError, ConfigError, SimulationError
+from repro.exec import (
+    CellCache,
+    ExperimentCell,
+    attack_cell,
+    cell_fingerprint,
+    execute_cells,
+    overheads_cell,
+    run_cells,
+    trace_cell,
+)
+from repro.sim.replicates import replicate_attack_lifetime
+
+SCALED = ScaledArrayConfig(n_pages=64, endurance_mean=768.0)
+
+
+def _grid():
+    """A 2×2 scheme/attack cell grid, small enough to run in <1 s."""
+    return [
+        attack_cell(scheme, attack, scaled=SCALED, seed=11)
+        for scheme in ("nowl", "sr")
+        for attack in ("repeat", "scan")
+    ]
+
+
+class TestCellSpecs:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            ExperimentCell(kind="nope", scheme="sr", workload="scan")
+
+    def test_trace_cell_needs_length(self):
+        with pytest.raises(ConfigError):
+            ExperimentCell(kind="trace", scheme="sr", workload="vips")
+
+    def test_overheads_cell_needs_budget(self):
+        with pytest.raises(ConfigError):
+            ExperimentCell(
+                kind="overheads", scheme="sr", workload="vips", trace_writes=100
+            )
+
+    def test_describe_includes_identity(self):
+        cell = attack_cell("twl_swp", "scan", scaled=SCALED, seed=3, label="row=1")
+        described = cell.describe()
+        assert "twl_swp" in described
+        assert "scan" in described
+        assert "seed=3" in described
+        assert "row=1" in described
+
+
+class TestParallelIdentity:
+    def test_parallel_bit_identical_to_serial(self):
+        cells = _grid()
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=2)
+        assert serial == parallel  # LifetimeResult dataclass equality
+
+    def test_trace_and_overheads_cells_parallel(self):
+        cells = [
+            trace_cell("sr", "vips", trace_writes=5_000, scaled=SCALED, seed=5),
+            trace_cell("nowl", "vips", trace_writes=5_000, scaled=SCALED, seed=5),
+            overheads_cell(
+                "twl",
+                "vips",
+                trace_writes=5_000,
+                drive_writes=4_000,
+                scaled=SCALED,
+                seed=5,
+                scheme_kwargs={"config": TWLConfig()},
+            ),
+        ]
+        assert run_cells(cells, jobs=2) == run_cells(cells, jobs=1)
+
+    def test_results_keep_input_order(self):
+        cells = _grid()
+        outcomes = execute_cells(cells, jobs=2)
+        assert [o.cell for o in outcomes] == cells
+        for outcome in outcomes:
+            assert outcome.seconds >= 0.0
+            assert not outcome.cached
+
+
+class TestCache:
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        cells = _grid()
+        first_cache = CellCache(str(tmp_path))
+        first = run_cells(cells, cache=first_cache)
+        assert first_cache.misses == len(cells)
+        assert first_cache.hits == 0
+
+        second_cache = CellCache(str(tmp_path))
+        second = run_cells(cells, cache=second_cache)
+        assert second_cache.hits == len(cells)
+        assert second_cache.misses == 0
+        assert first == second
+
+    def test_cache_hit_skips_simulation(self, tmp_path, monkeypatch):
+        cells = _grid()
+        run_cells(cells, cache=CellCache(str(tmp_path)))
+
+        def boom(cell):
+            raise AssertionError("simulation ran despite a warm cache")
+
+        monkeypatch.setattr("repro.exec.executor.run_cell", boom)
+        results = run_cells(cells, cache=CellCache(str(tmp_path)))
+        assert len(results) == len(cells)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cell = _grid()[0]
+        cache = CellCache(str(tmp_path))
+        cache.put(cell, run_cells([cell])[0])
+        cache.path_for(cell_fingerprint(cell))
+        with open(cache.path_for(cell_fingerprint(cell)), "w") as handle:
+            handle.write("{not json")
+        fresh = CellCache(str(tmp_path))
+        assert fresh.get(cell) is None
+        assert fresh.misses == 1
+
+    def test_overheads_round_trip(self, tmp_path):
+        cell = overheads_cell(
+            "twl", "vips", trace_writes=5_000, drive_writes=4_000,
+            scaled=SCALED, seed=5,
+        )
+        cache = CellCache(str(tmp_path))
+        direct = run_cells([cell], cache=cache)[0]
+        cached = CellCache(str(tmp_path)).get(cell)
+        assert cached == direct
+
+
+class TestFingerprint:
+    def test_stable_for_equal_specs(self):
+        assert cell_fingerprint(_grid()[0]) == cell_fingerprint(_grid()[0])
+
+    def test_changes_with_spec(self):
+        base = attack_cell("sr", "scan", scaled=SCALED, seed=11)
+        assert cell_fingerprint(base) != cell_fingerprint(
+            attack_cell("sr", "scan", scaled=SCALED, seed=12)
+        )
+        assert cell_fingerprint(base) != cell_fingerprint(
+            attack_cell("nowl", "scan", scaled=SCALED, seed=11)
+        )
+
+    def test_changes_with_nested_config(self):
+        base = attack_cell("twl_swp", "scan", scaled=SCALED, seed=11)
+        tweaked = attack_cell(
+            "twl_swp",
+            "scan",
+            scaled=SCALED,
+            seed=11,
+            scheme_kwargs={"config": TWLConfig(toss_up_interval=16)},
+        )
+        assert cell_fingerprint(base) != cell_fingerprint(tweaked)
+
+    def test_changes_with_version(self):
+        cell = _grid()[0]
+        assert cell_fingerprint(cell) != cell_fingerprint(cell, version="0.0.0")
+
+    def test_version_change_invalidates_cache_entry(self, tmp_path):
+        # The cache file is addressed by fingerprint, so a version bump
+        # maps the same cell to a new key: nothing is found there.
+        cell = _grid()[0]
+        cache = CellCache(str(tmp_path))
+        result = run_cells([cell], cache=cache)[0]
+        stale_path = cache.path_for(cell_fingerprint(cell, version="0.0.0"))
+        fresh_path = cache.path_for(cell_fingerprint(cell))
+        import os
+
+        assert os.path.exists(fresh_path)
+        assert not os.path.exists(stale_path)
+        assert result is not None
+
+
+class TestFailureIdentity:
+    def test_worker_error_names_cell_serial(self):
+        cells = [attack_cell("no_such_scheme", "scan", scaled=SCALED, seed=9)]
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(cells, jobs=1)
+        message = str(excinfo.value)
+        assert "no_such_scheme" in message
+        assert "seed=9" in message
+
+    def test_worker_error_names_cell_parallel(self):
+        cells = _grid() + [attack_cell("no_such_scheme", "scan", scaled=SCALED, seed=9)]
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(cells, jobs=2)
+        message = str(excinfo.value)
+        assert "no_such_scheme" in message
+        assert "seed=9" in message
+
+    def test_cell_error_is_a_simulation_error(self):
+        # Callers catching the package hierarchy keep working.
+        assert issubclass(CellExecutionError, SimulationError)
+
+    def test_replicate_failure_names_replicate(self):
+        with pytest.raises(SimulationError) as excinfo:
+            replicate_attack_lifetime(
+                "no_such_scheme", "scan", n_replicates=1, scaled=SCALED
+            )
+        assert "replicate=0" in str(excinfo.value)
+        assert "seed=" in str(excinfo.value)
+
+
+class TestCLIParallelSmoke:
+    """`make quick-parallel` path: fig6 --quick --jobs 2 through the CLI."""
+
+    def _tiny_setup(self):
+        from repro.experiments.setups import ExperimentSetup
+
+        return ExperimentSetup(
+            scaled=ScaledArrayConfig(n_pages=64, endurance_mean=768.0),
+            benchmarks=("vips",),
+            trace_writes=5_000,
+            overhead_writes=4_000,
+        )
+
+    def test_fig6_quick_parallel_and_cached_rerun(self, tmp_path, capsys, monkeypatch):
+        from repro import cli
+
+        monkeypatch.setattr(cli, "quick_setup", self._tiny_setup)
+        argv = [
+            "fig6",
+            "--quick",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert cli.main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Figure 6" in first
+
+        # Immediate re-run: identical output, every cell a cache hit.
+        assert cli.main(argv) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        progress = captured.err
+        assert "(cached)" in progress
+        assert progress.count("(cached)") == progress.count("…")
+
+    def test_no_cache_flag(self, tmp_path, monkeypatch):
+        from repro import cli
+
+        monkeypatch.setattr(cli, "quick_setup", self._tiny_setup)
+        assert cli.main(["fig6", "--quick", "--jobs", "2", "--no-cache"]) == 0
+
+    def test_unusable_cache_dir_is_a_clean_error(self, tmp_path, capsys, monkeypatch):
+        from repro import cli
+
+        monkeypatch.setattr(cli, "quick_setup", self._tiny_setup)
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        rc = cli.main(["fig6", "--quick", "--cache-dir", str(blocker)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "twl-repro: error:" in err
+        assert str(blocker) in err
+
+    def test_parser_accepts_executor_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["fig8", "--quick", "--jobs", "4", "--cache-dir", "/tmp/x"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert not args.no_cache
+
+
+class TestSetupWiring:
+    def test_setup_has_executor_fields(self):
+        from repro.experiments.setups import default_setup
+
+        setup = default_setup()
+        assert setup.jobs == 1
+        assert setup.cache_dir is None
+
+    def test_active_setup_reads_env(self, monkeypatch):
+        from repro.experiments.setups import active_setup
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/twl-cache")
+        setup = active_setup()
+        assert setup.jobs == 3
+        assert setup.cache_dir == "/tmp/twl-cache"
+
+    def test_replicates_parallel_identical(self):
+        serial = replicate_attack_lifetime("sr", "scan", n_replicates=3, scaled=SCALED)
+        parallel = replicate_attack_lifetime(
+            "sr", "scan", n_replicates=3, scaled=SCALED, jobs=2
+        )
+        assert serial.fractions == parallel.fractions
