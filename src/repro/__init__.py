@@ -69,6 +69,14 @@ from .traces import (
     get_profile,
     make_benchmark_trace,
 )
+from .engine import (
+    SimulationEngine,
+    EngineOutcome,
+    EngineObserver,
+    BatchSnapshot,
+    SchemeOverheadsObserver,
+    WearTimelineObserver,
+)
 from .sim import (
     LifetimeResult,
     run_to_failure,
@@ -149,6 +157,13 @@ __all__ = [
     "PARSEC_TABLE2",
     "get_profile",
     "make_benchmark_trace",
+    # engine
+    "SimulationEngine",
+    "EngineOutcome",
+    "EngineObserver",
+    "BatchSnapshot",
+    "SchemeOverheadsObserver",
+    "WearTimelineObserver",
     # simulation
     "LifetimeResult",
     "run_to_failure",

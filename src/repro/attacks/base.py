@@ -37,6 +37,17 @@ class AttackWorkload(abc.ABC):
         uses it to detect swap phases.
         """
 
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether the attack reacts to response-time feedback.
+
+        Detected from whether :meth:`observe_response` is overridden.
+        Adaptive attacks need the per-request feedback loop, so the
+        batched simulation protocol degrades them to batches of one
+        write; non-adaptive streams batch freely.
+        """
+        return type(self).observe_response is not AttackWorkload.observe_response
+
     def _emit(self, logical: int) -> int:
         self.writes_emitted += 1
         return logical

@@ -10,7 +10,9 @@
 ``--quick`` runs at the reduced CI scale (same mechanisms, smaller
 array, subsampled benchmark list).  ``--jobs N`` fans independent
 experiment cells across N worker processes; results are bit-identical
-to the serial run.  Completed cells are cached on disk (default
+to the serial run.  ``--batch-size N`` serves demand writes through the
+engine's batched write protocol (also bit-identical; see
+``docs/performance.md``).  Completed cells are cached on disk (default
 ``~/.cache/twl-repro/``), so re-running a figure is near-instant —
 ``--no-cache`` disables that, ``--cache-dir`` relocates it.
 """
@@ -107,6 +109,17 @@ _EXPERIMENTS: Dict[str, Callable[[ExperimentSetup], None]] = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for strictly positive integer options."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -134,6 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for experiment cells (default: 1, serial)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "demand writes per engine step (default: 1, the legacy "
+            "per-write path); results are bit-identical at any value"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache",
@@ -157,7 +180,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup = quick_setup() if args.quick else default_setup()
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
-    setup = replace(setup, jobs=max(1, args.jobs), cache_dir=cache_dir)
+    setup = replace(
+        setup,
+        jobs=max(1, args.jobs),
+        cache_dir=cache_dir,
+        batch_size=args.batch_size,
+    )
     try:
         if args.experiment == "report":
             from .analysis.report import build_report

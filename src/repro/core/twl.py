@@ -23,6 +23,8 @@ immune to the inconsistent-write attack.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..config import TWLConfig
 from ..pcm.array import PCMArray
 from ..rng.streams import derive_seed
@@ -35,6 +37,26 @@ from ..wearlevel.base import WearLeveler
 from .pairing import build_pair_table
 from .swap_judge import SwapJudge
 from .tossup import TossUp
+
+
+def _cumcount(values: np.ndarray) -> np.ndarray:
+    """Occurrences of ``values[i]`` strictly before index ``i``.
+
+    Stable-sort grouping trick: sort values (stably), rank inside each
+    group, scatter the ranks back to the original order.
+    """
+    order = np.argsort(values, kind="stable")
+    ordered = values[order]
+    new_group = np.empty(values.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = ordered[1:] != ordered[:-1]
+    indices = np.arange(values.size)
+    group_starts = indices[new_group]
+    group_ids = np.cumsum(new_group) - 1
+    ranks = indices - group_starts[group_ids]
+    out = np.empty(values.size, dtype=np.int64)
+    out[order] = ranks
+    return out
 
 
 class TossUpWearLeveling(WearLeveler):
@@ -101,6 +123,108 @@ class TossUpWearLeveling(WearLeveler):
             writes += 1
         self._count_demand()
         return writes
+
+    #: Quiet runs shorter than this are served by the scalar path: at
+    #: small run lengths the per-call cost of the vector machinery
+    #: (bincounts, bounds checks, mirror folds) exceeds the per-write
+    #: cost of the plain Python loop.
+    _MIN_VECTOR_RUN = 64
+    #: After two consecutive short runs, serve this many writes scalar
+    #: without re-planning (planning itself costs several numpy calls,
+    #: a bad trade when events are known to be dense), then re-probe.
+    _SCALAR_BURST = 1024
+
+    def write_batch(self, addresses) -> np.ndarray:
+        """Batch path: vectorize the non-toss-up straight-through writes.
+
+        Most demand writes neither fire a toss-up (one in
+        ``toss_up_interval`` writes to a page) nor an inter-pair swap
+        (one in ``inter_pair_swap_interval`` demand writes).  Between
+        those events the remapping table is static and the write
+        counters move predictably, so the run of straight-through writes
+        up to the next event is computed from the counter state and
+        applied in one vector step; each event write is then served by
+        the exact scalar :meth:`write`.  Runs shorter than
+        :data:`_MIN_VECTOR_RUN` (dense-trigger configurations) fall back
+        to the scalar path wholesale, so batched TWL never loses much to
+        the per-write path even when events are frequent.
+        """
+        seq = np.asarray(addresses, dtype=np.int64)
+        if self.array.failed:
+            return np.zeros(0, dtype=np.int64)
+        n = self.remap.n_pages
+        if seq.size and ((seq < 0).any() or (seq >= n).any()):
+            bad = int(seq[(seq < 0) | (seq >= n)][0])
+            self.check_logical(bad)
+        out = np.ones(seq.size, dtype=np.int64)
+        array = self.array
+        interval = self.write_counters.interval
+        position = 0
+        short_runs = 0
+        while position < seq.size:
+            if short_runs >= 2:
+                # Events are dense here: burst scalar, then re-probe.
+                # Stage through plain Python lists — element-wise numpy
+                # indexing would double the cost of the scalar loop.
+                stop = min(position + self._SCALAR_BURST, seq.size)
+                write = self.write
+                costs = []
+                for logical in seq[position:stop].tolist():
+                    costs.append(write(logical))
+                    if array.failed:
+                        break
+                out[position : position + len(costs)] = costs
+                position += len(costs)
+                if array.failed:
+                    return out[:position]
+                short_runs = 0
+                continue
+            # Writes before the next inter-pair swap fires (the firing
+            # write itself is an event, served by the scalar path).
+            quiet = self.config.inter_pair_swap_interval - self._interpair_counter - 1
+            run_limit = min(seq.size - position, quiet)
+            run = 0
+            if run_limit > 0:
+                window = seq[position : position + run_limit]
+                occurrences = _cumcount(window)
+                # record_write triggers when counter + occurrences + 1
+                # reaches the interval.
+                thresholds = interval - 1 - self.write_counters.values_array()[window]
+                triggers = np.flatnonzero(occurrences >= thresholds)
+                run = int(triggers[0]) if triggers.size else run_limit
+            if run >= self._MIN_VECTOR_RUN:
+                short_runs = 0
+                chunk = window[:run]
+                physical = self.remap.mapping_array()[chunk]
+                served = array.apply_batch(physical)
+                self.write_counters.bulk_record_quiet(
+                    np.bincount(chunk[:served], minlength=n)
+                )
+                self._interpair_counter += served
+                self.demand_writes += served
+                position += served
+                if array.failed:
+                    return out[:position]
+                if position < seq.size:
+                    out[position] = self.write(int(seq[position]))
+                    position += 1
+                    if array.failed:
+                        return out[:position]
+            else:
+                # Short quiet run: serve it and its event write scalar.
+                short_runs += 1
+                stop = min(position + run + 1, seq.size)
+                write = self.write
+                costs = []
+                for logical in seq[position:stop].tolist():
+                    costs.append(write(logical))
+                    if array.failed:
+                        break
+                out[position : position + len(costs)] = costs
+                position += len(costs)
+                if array.failed:
+                    return out[:position]
+        return out
 
     def _pair_endurance(self, frame: int) -> int:
         """Endurance feeding the toss-up probability for ``frame``."""

@@ -1,0 +1,28 @@
+"""The composable simulation engine and its observer interface.
+
+* :mod:`repro.engine.core` — :class:`SimulationEngine`, the one step
+  loop every simulation path (exact lifetime, fast-forward, overhead
+  measurement) is configured from, plus the batched write protocol;
+* :mod:`repro.engine.observers` — per-batch observer hooks and the
+  built-in observers (overhead collection, wear timelines).
+"""
+
+from .core import DEFAULT_CHUNK_DEMAND, EngineOutcome, SimulationEngine
+from .observers import (
+    BatchSnapshot,
+    EngineObserver,
+    SchemeOverheads,
+    SchemeOverheadsObserver,
+    WearTimelineObserver,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_DEMAND",
+    "EngineOutcome",
+    "SimulationEngine",
+    "BatchSnapshot",
+    "EngineObserver",
+    "SchemeOverheads",
+    "SchemeOverheadsObserver",
+    "WearTimelineObserver",
+]

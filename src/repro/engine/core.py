@@ -1,0 +1,234 @@
+"""The composable simulation engine.
+
+:class:`SimulationEngine` owns the step loop every simulation path in
+the package runs through: pull demand writes from a workload driver,
+push them through a wear-leveling scheme, watch the PCM array for its
+first failure, and notify observers after every batch.  The lifetime,
+fast-forward and overhead modules in :mod:`repro.sim` are thin
+configurations of this one loop — none of them implements stepping or
+failure detection of its own.
+
+Two data paths, selected by ``batch_size``:
+
+* ``batch_size == 1`` (legacy, the default) delegates each chunk to the
+  driver's per-write hot loop (:meth:`WorkloadDriver.drive`), whose
+  locals-bound Python loop is the fastest way to serve writes one at a
+  time;
+* ``batch_size > 1`` runs the batched write protocol: the driver yields
+  logical-address arrays (:meth:`WorkloadDriver.next_batch`), the scheme
+  serves them in one call (:meth:`WearLeveler.write_batch`), and the
+  per-request physical write counts are fed back to the driver
+  (:meth:`WorkloadDriver.observe_batch`).  Batched runs are
+  **bit-identical** to per-write runs — same failure page, same write
+  counts, same swap counters — a contract every scheme's ``write_batch``
+  must uphold and ``tests/test_engine_identity.py`` enforces.
+
+Observers (:mod:`repro.engine.observers`) receive a
+:class:`~repro.engine.observers.BatchSnapshot` after every engine step:
+cumulative demand/device writes, the scheme's swap counters, simulated
+time, and lazy access to the wear state.  They are the single
+attachment point for metrics, timelines and detection logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
+
+from ..config import TimingConfig
+from ..errors import SimulationError
+from ..pcm.faults import FirstFailure
+from .observers import BatchSnapshot, EngineObserver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..sim.drivers import WorkloadDriver
+    from ..wearlevel.base import WearLeveler
+
+#: Per-write-path chunking quota: drivers serve at most this many demand
+#: writes per engine step, so observers fire at a bounded granularity
+#: even in legacy mode.
+DEFAULT_CHUNK_DEMAND = 1 << 20
+
+
+@dataclass(frozen=True)
+class EngineOutcome:
+    """State of an engine run when control returns to the caller."""
+
+    #: Demand writes served by this engine (all ``drive`` calls).
+    demand_writes: int
+    #: Device writes on the array at the end of the run (unclipped).
+    device_writes: int
+    #: Whether the array recorded its first failure.
+    failed: bool
+    #: The first wear-out event, if any.
+    failure: Optional[FirstFailure]
+    #: Engine steps taken (observer callbacks fired per step).
+    batches: int
+    #: Simulated time at the response-latency model, in cycles.
+    simulated_cycles: float
+
+
+class SimulationEngine:
+    """Composable step loop: driver -> scheme -> array, with observers.
+
+    Parameters
+    ----------
+    scheme:
+        The wear-leveling scheme under test (owns the PCM array).
+    driver:
+        The workload driver producing demand writes.
+    batch_size:
+        Demand writes per engine step.  1 selects the legacy per-write
+        path; larger values select the batched write protocol.
+    observers:
+        :class:`EngineObserver` instances notified per batch and at run
+        boundaries.
+    timing:
+        Latency parameters for the simulated-time accumulator (one page
+        write costs ``timing.write_cycles``).
+    """
+
+    def __init__(
+        self,
+        scheme: "WearLeveler",
+        driver: "WorkloadDriver",
+        batch_size: int = 1,
+        observers: Iterable[EngineObserver] = (),
+        timing: TimingConfig = TimingConfig(),
+        chunk_demand: int = DEFAULT_CHUNK_DEMAND,
+    ):
+        if batch_size < 1:
+            raise SimulationError(f"batch size must be positive, got {batch_size}")
+        if chunk_demand < 1:
+            raise SimulationError(f"chunk size must be positive, got {chunk_demand}")
+        self.scheme = scheme
+        self.driver = driver
+        self.batch_size = batch_size
+        self.timing = timing
+        self._chunk_demand = chunk_demand
+        self._observers: Tuple[EngineObserver, ...] = tuple(observers)
+        #: Cumulative demand writes served by this engine instance.
+        self.demand_served = 0
+        #: Engine steps taken so far.
+        self.batches = 0
+        #: Simulated time spent serving those writes, in cycles.
+        self.simulated_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # Observer management
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: EngineObserver) -> None:
+        """Attach ``observer`` to subsequent steps of this engine."""
+        self._observers = self._observers + (observer,)
+
+    # ------------------------------------------------------------------
+    # The step loop
+    # ------------------------------------------------------------------
+    def drive(self, max_demand: int) -> int:
+        """Serve up to ``max_demand`` demand writes; stop at failure.
+
+        This is the one step loop of the package.  Returns the number of
+        demand writes actually served (less than ``max_demand`` when the
+        array fails or the driver stalls).
+        """
+        if max_demand < 0:
+            raise ValueError("max_demand must be non-negative")
+        scheme = self.scheme
+        driver = self.driver
+        array = scheme.array
+        batched = self.batch_size > 1
+        write_cycles = float(self.timing.write_cycles)
+        served_total = 0
+        while served_total < max_demand and not array.failed:
+            quota = max_demand - served_total
+            device_before = array.total_writes
+            if batched:
+                addresses = driver.next_batch(min(self.batch_size, quota))
+                if len(addresses) == 0:
+                    break
+                counts = scheme.write_batch(addresses)
+                driver.observe_batch(counts)
+                served = int(len(counts))
+            else:
+                served = driver.drive(scheme, min(self._chunk_demand, quota))
+            if served == 0:
+                break
+            served_total += served
+            self.demand_served += served
+            self.batches += 1
+            self.simulated_cycles += write_cycles * (
+                array.total_writes - device_before
+            )
+            if self._observers:
+                snapshot = BatchSnapshot(
+                    index=self.batches - 1,
+                    served=served,
+                    demand_writes=self.demand_served,
+                    device_writes=array.total_writes,
+                    swap_writes=scheme.swap_writes,
+                    swap_events=scheme.swap_events,
+                    simulated_cycles=self.simulated_cycles,
+                    failed=array.failed,
+                    scheme=scheme,
+                )
+                for observer in self._observers:
+                    observer.on_batch(snapshot)
+        return served_total
+
+    # ------------------------------------------------------------------
+    # Run orchestration
+    # ------------------------------------------------------------------
+    def begin_run(self) -> None:
+        """Notify observers that a run is starting (multi-phase runs
+        like fast-forward call this once up front)."""
+        for observer in self._observers:
+            observer.on_run_start(self)
+
+    def end_run(self) -> EngineOutcome:
+        """Build the outcome and notify observers the run is over."""
+        outcome = self.outcome()
+        for observer in self._observers:
+            observer.on_run_end(self, outcome)
+        return outcome
+
+    def outcome(self) -> EngineOutcome:
+        """Snapshot of the run state, without ending the run."""
+        array = self.scheme.array
+        return EngineOutcome(
+            demand_writes=self.demand_served,
+            device_writes=array.total_writes,
+            failed=array.failed,
+            failure=array.first_failure,
+            batches=self.batches,
+            simulated_cycles=self.simulated_cycles,
+        )
+
+    def run(self, max_demand: int, require_failure: bool = False) -> EngineOutcome:
+        """One complete run: serve up to ``max_demand`` demand writes.
+
+        Raises :class:`SimulationError` if the array has already failed,
+        or — with ``require_failure`` — if the quota is exhausted without
+        a failure (a sign the scale was chosen too large for exact
+        simulation; use fast-forward instead).
+        """
+        if self.scheme.array.failed and self.demand_served == 0:
+            raise SimulationError("array already failed before simulation start")
+        self.begin_run()
+        self.drive(max_demand)
+        if require_failure and not self.scheme.array.failed:
+            raise SimulationError(
+                f"no failure within {max_demand} demand writes; "
+                "reduce the array scale or use fast_forward_to_failure"
+            )
+        return self.end_run()
+
+    def simulated_seconds(self) -> float:
+        """Simulated time at the configured clock, in seconds."""
+        return self.timing.cycles_to_seconds(self.simulated_cycles)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationEngine(scheme={self.scheme.name!r}, "
+            f"workload={self.driver.workload_name!r}, "
+            f"batch_size={self.batch_size}, demand_served={self.demand_served})"
+        )

@@ -85,6 +85,11 @@ class ExperimentCell:
     profile: Optional[BenchmarkProfile] = None
     #: Display label for progress lines and error messages.
     label: str = ""
+    #: Demand writes per engine step (1 = legacy per-write path).  By
+    #: the batch-identity contract the result is the same for every
+    #: value, so this field is *excluded* from the cache fingerprint —
+    #: it is an execution knob, not part of the experiment's identity.
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -93,6 +98,8 @@ class ExperimentCell:
             raise ConfigError(f"{self.kind} cells need trace_writes >= 1")
         if self.kind == KIND_OVERHEADS and self.drive_writes < 1:
             raise ConfigError("overheads cells need drive_writes >= 1")
+        if self.batch_size < 1:
+            raise ConfigError(f"batch size must be positive, got {self.batch_size}")
 
     def describe(self) -> str:
         """Human-readable identity: ``twl_swp×scan seed=2017``."""
@@ -202,6 +209,7 @@ def run_cell(cell: ExperimentCell) -> CellResult:
             seed=cell.seed,
             scheme_kwargs=dict(cell.scheme_kwargs),
             attack_kwargs=dict(cell.attack_kwargs),
+            batch_size=cell.batch_size,
         )
     if cell.kind == KIND_TRACE:
         return measure_trace_lifetime(
@@ -210,6 +218,7 @@ def run_cell(cell: ExperimentCell) -> CellResult:
             scaled=cell.scaled,
             seed=cell.seed,
             scheme_kwargs=dict(cell.scheme_kwargs),
+            batch_size=cell.batch_size,
         )
     # KIND_OVERHEADS — mirror experiments.fig9.measure_overheads.
     trace = _benchmark_trace(cell)
@@ -218,4 +227,6 @@ def run_cell(cell: ExperimentCell) -> CellResult:
         cell.scheme, array, seed=cell.seed, **dict(cell.scheme_kwargs)
     )
     driver = TraceDriver(trace, scheme.logical_pages)
-    return measure_scheme_overheads(scheme, driver, cell.drive_writes)
+    return measure_scheme_overheads(
+        scheme, driver, cell.drive_writes, batch_size=cell.batch_size
+    )

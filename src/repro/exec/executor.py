@@ -31,7 +31,7 @@ from __future__ import annotations
 import sys
 import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence, Union
 
 from ..errors import CellExecutionError, error_context
@@ -172,13 +172,21 @@ def run_setup_cells(
 ) -> List[CellResult]:
     """Run cells under an :class:`~repro.experiments.setups.ExperimentSetup`.
 
-    Reads the setup's ``jobs`` and ``cache_dir`` fields — the single
-    integration point through which every figure/ablation module gets
-    parallelism and caching.  Progress defaults to the stderr printer
-    only when a cell actually has to run or more than one is requested
-    (a single cached lookup stays quiet so helper calls don't chatter).
+    Reads the setup's ``jobs``, ``cache_dir`` and ``batch_size`` fields
+    — the single integration point through which every figure/ablation
+    module gets parallelism, caching and the batched write protocol
+    (cells that do not pin their own ``batch_size`` inherit the
+    setup's).  Progress defaults to the stderr printer only when a cell
+    actually has to run or more than one is requested (a single cached
+    lookup stays quiet so helper calls don't chatter).
     """
     cache = CellCache(setup.cache_dir) if getattr(setup, "cache_dir", None) else None
+    batch_size = getattr(setup, "batch_size", 1)
+    if batch_size > 1:
+        cells = [
+            replace(cell, batch_size=batch_size) if cell.batch_size == 1 else cell
+            for cell in cells
+        ]
     if progress is None and len(cells) <= 1:
         progress = False
     return run_cells(

@@ -42,6 +42,17 @@ So does a version bump:
 
 >>> cell_fingerprint(cell, version="0.0.0") == cell_fingerprint(cell)
 False
+
+``batch_size`` is the one spec field *excluded* from the digest: the
+engine's batch-identity contract guarantees batched execution is
+bit-identical to per-write execution, so it is an execution knob (like
+the worker count), not part of the experiment's identity — a cached
+result is valid at any batch size:
+
+>>> import dataclasses
+>>> cell_fingerprint(cell) == cell_fingerprint(
+...     dataclasses.replace(cell, batch_size=4096))
+True
 """
 
 from __future__ import annotations
@@ -90,9 +101,13 @@ def cell_fingerprint(cell, version: str = __version__) -> str:
     ``version`` and the cache format version; see the module docstring
     for the invalidation rules this implies.
     """
+    canonical_cell = canonical_value(cell)
+    if isinstance(canonical_cell, dict):
+        # Execution knob, not experiment identity (see module docstring).
+        canonical_cell.get("fields", {}).pop("batch_size", None)
     payload = json.dumps(
         {
-            "cell": canonical_value(cell),
+            "cell": canonical_cell,
             "version": version,
             "format": CACHE_FORMAT_VERSION,
         },

@@ -9,9 +9,10 @@ the benchmark list for CI/tests; set the environment variable
 Execution knobs ride along on the setup: ``jobs`` fans the experiment
 grids out across worker processes (``repro.exec``) and ``cache_dir``
 enables the on-disk result cache.  ``active_setup`` reads them from
-``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` so the benchmark harness can be
-parallelized without touching code; the CLI sets them from ``--jobs`` /
-``--cache-dir`` / ``--no-cache``.
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_BATCH_SIZE`` so the
+benchmark harness can be parallelized without touching code; the CLI
+sets them from ``--jobs`` / ``--cache-dir`` / ``--no-cache`` /
+``--batch-size``.
 """
 
 from __future__ import annotations
@@ -62,6 +63,10 @@ class ExperimentSetup:
     jobs: int = 1
     #: On-disk result cache directory (None = caching off).
     cache_dir: Optional[str] = None
+    #: Demand writes per engine step (1 = legacy per-write path).
+    #: Bit-identical results at any value, so — like ``jobs`` — this is
+    #: an execution knob, not part of a cell's cache identity.
+    batch_size: int = 1
 
     @property
     def n_pages(self) -> int:
@@ -94,7 +99,8 @@ def active_setup() -> ExperimentSetup:
 
     ``REPRO_QUICK=1`` picks the reduced scale; ``REPRO_JOBS=N`` fans
     experiment grids across N worker processes; ``REPRO_CACHE_DIR=path``
-    enables the on-disk result cache there.
+    enables the on-disk result cache there; ``REPRO_BATCH_SIZE=N``
+    selects the engine's batched write protocol.
     """
     if os.environ.get("REPRO_QUICK", "").strip() in ("1", "true", "yes"):
         setup = quick_setup()
@@ -106,4 +112,7 @@ def active_setup() -> ExperimentSetup:
     cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
     if cache_dir:
         setup = replace(setup, cache_dir=cache_dir)
+    batch_size = os.environ.get("REPRO_BATCH_SIZE", "").strip()
+    if batch_size:
+        setup = replace(setup, batch_size=max(1, int(batch_size)))
     return setup

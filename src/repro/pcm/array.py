@@ -6,12 +6,16 @@ the first wear-out event.  Data contents are not stored — wear-leveling
 behaviour depends only on *where* writes land — but swap operations still
 cost the correct number of physical page writes.
 
-Two write paths are provided:
+Three write paths are provided:
 
 * :meth:`write` — single page, exact failure detection (used inside
   scheme hot loops);
-* :meth:`apply_write_counts` — vectorized bulk application for fast-
-  forward simulation, with exact attribution of the first failure.
+* :meth:`apply_batch` — an *ordered* batch of single-page writes with
+  exact first-failure attribution, bit-identical to issuing the same
+  sequence through :meth:`write` (the batched-protocol substrate);
+* :meth:`apply_write_counts` — unordered vectorized bulk application for
+  fast-forward simulation, attributing the first failure by the fluid
+  approximation.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..config import PCMConfig
-from ..errors import AddressError, ConfigError, PageWornOutError
+from ..errors import AddressError, ConfigError, PageWornOutError, SimulationError
 from .endurance import sample_gaussian_endurance, sample_tail_faithful
 from .faults import FirstFailure
 
@@ -56,8 +60,15 @@ class PCMArray:
         self._first_failure: Optional[FirstFailure] = None
         # Plain Python lists mirror the numpy arrays for O(1) scalar access
         # in per-write hot loops (numpy scalar indexing is ~5x slower).
+        # Every bulk entry point funnels through _sync(), which folds the
+        # list-side updates back into numpy and checks the mirrors agree.
         self._endurance_list = self.endurance.tolist()
         self._writes_list = self.writes.tolist()
+        self._endurance_total = int(endurance_array.sum())
+        # True whenever the scalar hot path has mutated the list mirror
+        # since the last _sync(); lets clean bulk calls skip the O(n)
+        # fold-back entirely.
+        self._scalar_dirty = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -116,6 +127,7 @@ class PCMArray:
         count = writes[physical_page] + 1
         writes[physical_page] = count
         self.total_writes += 1
+        self._scalar_dirty = True
         if count >= self._endurance_list[physical_page] and self._first_failure is None:
             self.failed = True
             self._first_failure = FirstFailure(
@@ -143,6 +155,7 @@ class PCMArray:
         after = before + count
         writes[physical_page] = after
         self.total_writes += count
+        self._scalar_dirty = True
         endurance = self._endurance_list[physical_page]
         if after >= endurance and self._first_failure is None:
             # The failing write is the one that brought the count to the
@@ -158,6 +171,66 @@ class PCMArray:
             if self.fail_fast:
                 raise PageWornOutError(physical_page, after, int(endurance))
 
+    def apply_batch(self, physical_sequence: Sequence[int]) -> int:
+        """Apply an *ordered* batch of single-page writes.
+
+        ``physical_sequence`` lists one physical page per write, in
+        request order.  The batch is bit-identical to issuing the same
+        sequence through :meth:`write`: if some write in the sequence
+        wears out a page, the failure is attributed to that exact write
+        (page and device-write index), application stops there, and the
+        number of writes actually applied is returned — the contract the
+        batched write protocol and the ``repro.exec`` cache rely on.
+        """
+        seq = np.asarray(physical_sequence, dtype=np.int64)
+        if seq.ndim != 1:
+            raise ConfigError("physical_sequence must be 1-D")
+        if seq.size == 0:
+            return 0
+        if (seq < 0).any() or (seq >= self.n_pages).any():
+            bad = int(seq[(seq < 0) | (seq >= self.n_pages)][0])
+            raise AddressError(
+                f"physical page {bad} out of range [0, {self.n_pages})"
+            )
+        self._sync()
+        applied = seq
+        exact_failure = None
+        if self._first_failure is None:
+            counts = np.bincount(seq, minlength=self.n_pages)
+            remaining = self.endurance - self.writes
+            # No failure recorded => every page is strictly below its
+            # endurance, so remaining >= 1 everywhere.
+            crossing = np.flatnonzero(counts >= remaining)
+            if crossing.size:
+                fail_pos = seq.size
+                winner = -1
+                for page in crossing.tolist():
+                    # The remaining[page]-th occurrence of `page` in the
+                    # sequence is the write that exhausts it.
+                    position = int(
+                        np.flatnonzero(seq == page)[int(remaining[page]) - 1]
+                    )
+                    if position < fail_pos:
+                        fail_pos, winner = position, page
+                applied = seq[: fail_pos + 1]
+                exact_failure = (winner, fail_pos)
+        self.apply_write_counts(np.bincount(applied, minlength=self.n_pages))
+        if exact_failure is not None:
+            # Replace the fluid attribution apply_write_counts just made
+            # with the exact one: the failing write's position is known.
+            winner, fail_pos = exact_failure
+            self.failed = True
+            self._first_failure = FirstFailure(
+                physical_page=winner,
+                device_writes=self.total_writes - applied.size + fail_pos + 1,
+                page_endurance=int(self.endurance[winner]),
+            )
+            if self.fail_fast:
+                raise PageWornOutError(
+                    winner, int(self.writes[winner]), int(self.endurance[winner])
+                )
+        return int(applied.size)
+
     def apply_write_counts(self, per_page_writes: np.ndarray) -> None:
         """Vectorized bulk write application (fast-forward path).
 
@@ -165,7 +238,9 @@ class PCMArray:
         application wears out pages, the first failure is attributed to
         the page that would fail earliest assuming each page's writes are
         spread evenly across the bulk interval — the standard fluid
-        approximation used by fast-forward simulation.
+        approximation used by fast-forward simulation.  (Use
+        :meth:`apply_batch` when the write *order* is known and exact
+        attribution is required.)
         """
         counts = np.asarray(per_page_writes, dtype=np.int64)
         if counts.shape != (self.n_pages,):
@@ -174,11 +249,10 @@ class PCMArray:
             )
         if (counts < 0).any():
             raise ConfigError("write counts must be non-negative")
-        self._sync_lists_to_numpy()
+        self._sync()
         chunk_total = int(counts.sum())
         if chunk_total == 0:
             return
-        before = self.writes.copy()
         self.writes += counts
         self.total_writes += chunk_total
         if self._first_failure is None:
@@ -186,8 +260,9 @@ class PCMArray:
             if crossed.size:
                 # Fluid approximation: page p fails after fraction
                 # (endurance - before) / counts of the chunk.
+                before_crossed = self.writes[crossed] - counts[crossed]
                 fractions = (
-                    self.endurance[crossed] - before[crossed]
+                    self.endurance[crossed] - before_crossed
                 ) / counts[crossed].astype(np.float64)
                 winner = int(crossed[np.argmin(fractions)])
                 fraction = float(np.min(fractions))
@@ -202,9 +277,40 @@ class PCMArray:
                 )
         self._writes_list = self.writes.tolist()
 
-    def _sync_lists_to_numpy(self) -> None:
-        """Fold scalar-path updates back into the numpy arrays."""
-        self.writes = np.asarray(self._writes_list, dtype=np.int64)
+    def _sync(self) -> None:
+        """Fold scalar-path updates back into numpy; check the mirrors.
+
+        The scalar hot path (:meth:`write` / :meth:`write_many`) mutates
+        only the Python-list mirrors, the bulk paths mutate the numpy
+        arrays and re-derive the lists — so a caller that mutates one
+        side directly can silently desynchronize the two.  Both paths
+        keep ``total_writes`` equal to the sum of per-page writes, and
+        the endurance values are immutable, so those invariants are
+        asserted here (every bulk entry point calls ``_sync``) to turn a
+        silent divergence into a loud error.  The fold-back and checks
+        only run after scalar-path activity; back-to-back bulk calls
+        stay O(1).
+        """
+        if not self._scalar_dirty:
+            return
+        self._scalar_dirty = False
+        writes = np.asarray(self._writes_list, dtype=np.int64)
+        if writes.size != self.n_pages or int(writes.sum()) != self.total_writes:
+            raise SimulationError(
+                f"PCMArray write mirrors diverged: per-page writes sum to "
+                f"{int(writes.sum())} over {writes.size} pages but "
+                f"total_writes is {self.total_writes}; a caller mutated one "
+                "side of the numpy/list mirror directly"
+            )
+        if (
+            len(self._endurance_list) != self.n_pages
+            or int(self.endurance.sum()) != self._endurance_total
+        ):
+            raise SimulationError(
+                "PCMArray endurance mirrors diverged: endurance values are "
+                "immutable after construction"
+            )
+        self.writes = writes
 
     # ------------------------------------------------------------------
     # Inspection
@@ -237,17 +343,17 @@ class PCMArray:
 
     def write_counts(self) -> np.ndarray:
         """Copy of the per-page write counts."""
-        self._sync_lists_to_numpy()
+        self._sync()
         return self.writes.copy()
 
     def remaining(self) -> np.ndarray:
         """Per-page remaining endurance (clipped at zero)."""
-        self._sync_lists_to_numpy()
+        self._sync()
         return np.maximum(self.endurance - self.writes, 0)
 
     def wear_fraction(self) -> np.ndarray:
         """Per-page wear as a fraction of endurance."""
-        self._sync_lists_to_numpy()
+        self._sync()
         return self.writes / self.endurance.astype(np.float64)
 
     def utilization(self) -> float:
@@ -257,7 +363,7 @@ class PCMArray:
         paper's normalized lifetime is precisely this quantity at the
         failure point (modulo swap-write overhead).
         """
-        self._sync_lists_to_numpy()
+        self._sync()
         return float(self.writes.sum() / self.endurance.sum())
 
     def weakest_pages(self, k: int) -> np.ndarray:

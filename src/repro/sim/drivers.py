@@ -1,16 +1,24 @@
 """Workload drivers.
 
 A driver owns a position in an infinite write stream (a looping trace or
-an adaptive attack) and pushes demand writes through a wear-leveling
-scheme until a quota is met or the array records its first failure.
-Keeping the loop here — with locals bound outside the loop — is what
-makes exact run-to-failure simulation of tens of millions of writes
-practical in pure Python.
+an adaptive attack) and hands demand writes to the simulation engine in
+two granularities:
+
+* :meth:`WorkloadDriver.drive` pushes writes through a scheme one at a
+  time — the legacy per-write hot loop, with locals bound outside the
+  loop, which is what makes exact run-to-failure simulation of tens of
+  millions of writes practical in pure Python;
+* :meth:`WorkloadDriver.next_batch` yields the next ``n`` logical
+  addresses as an array without serving them, for the batched write
+  protocol (:mod:`repro.engine`); :meth:`WorkloadDriver.observe_batch`
+  feeds the per-request response costs back afterwards.
 """
 
 from __future__ import annotations
 
 import abc
+
+import numpy as np
 
 from ..attacks.base import AttackWorkload
 from ..config import TimingConfig
@@ -30,6 +38,26 @@ class WorkloadDriver(abc.ABC):
         writes actually served.
         """
 
+    def next_batch(self, n: int) -> np.ndarray:
+        """The next (up to) ``n`` logical addresses, without serving them.
+
+        Drivers may return fewer than ``n`` addresses (an adaptive
+        attack that needs per-request feedback returns one at a time);
+        an empty array means the stream is exhausted.  When a batch is
+        cut short by a failure, the unserved tail is *not* rewound —
+        the engine stops at first failure, so only post-failure driver
+        state (trace position, loop counter) can drift from a serial
+        run; everything that reaches a :class:`LifetimeResult` stays
+        bit-identical.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the batched write "
+            "protocol; use batch_size=1"
+        )
+
+    def observe_batch(self, physical_write_counts: np.ndarray) -> None:
+        """Feed back the per-request physical write counts of a batch."""
+
     @property
     @abc.abstractmethod
     def workload_name(self) -> str:
@@ -48,6 +76,7 @@ class TraceDriver(WorkloadDriver):
                 f"trace touches page {trace.max_page} outside array of {n_pages}"
             )
         self._writes = writes
+        self._writes_array = np.asarray(writes, dtype=np.int64)
         self._position = 0
         self._name = trace.name
         self.loops_completed = 0
@@ -74,6 +103,25 @@ class TraceDriver(WorkloadDriver):
                 self.loops_completed += 1
         self._position = position
         return served
+
+    def next_batch(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        writes = self._writes_array
+        length = writes.size
+        out = np.empty(n, dtype=np.int64)
+        position = self._position
+        filled = 0
+        while filled < n:
+            take = min(n - filled, length - position)
+            out[filled : filled + take] = writes[position : position + take]
+            filled += take
+            position += take
+            if position == length:
+                position = 0
+                self.loops_completed += 1
+        self._position = position
+        return out
 
 
 class AttackDriver(WorkloadDriver):
@@ -107,3 +155,26 @@ class AttackDriver(WorkloadDriver):
             observe(write_cycles * physical_writes)
             served += 1
         return served
+
+    def next_batch(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        attack = self.attack
+        if attack.is_adaptive and n > 1:
+            # Adaptive attacks steer on per-request response times, so
+            # later addresses of a batch would be computed on stale
+            # feedback.  Degrade to one-write batches: slower, but
+            # exactly the serial decision sequence.
+            n = 1
+        next_write = attack.next_write
+        return np.fromiter((next_write() for _ in range(n)), dtype=np.int64, count=n)
+
+    def observe_batch(self, physical_write_counts: np.ndarray) -> None:
+        attack = self.attack
+        if not attack.is_adaptive:
+            # observe_response is the no-op base implementation.
+            return
+        observe = attack.observe_response
+        write_cycles = float(self.timing.write_cycles)
+        for physical_writes in physical_write_counts.tolist():
+            observe(write_cycles * physical_writes)

@@ -42,9 +42,11 @@ Cross-validated against exact simulation in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
+from ..engine import EngineObserver, SimulationEngine
 from ..errors import ExtrapolationError, SimulationError
 from ..wearlevel.base import WearLeveler
 from .drivers import WorkloadDriver
@@ -81,13 +83,26 @@ def fast_forward_to_failure(
     scheme: WearLeveler,
     driver: WorkloadDriver,
     config: FastForwardConfig = FastForwardConfig(),
+    batch_size: int = 1,
+    observers: Iterable[EngineObserver] = (),
 ) -> LifetimeResult:
-    """Estimate lifetime by cumulative-rate extrapolation (module doc)."""
+    """Estimate lifetime by cumulative-rate extrapolation (module doc).
+
+    The exact warmup and measurement windows run through
+    :class:`repro.engine.SimulationEngine` (so ``batch_size`` and
+    ``observers`` behave exactly as in
+    :func:`repro.sim.lifetime.run_to_failure`); only the bulk jumps are
+    applied directly to the array.
+    """
     array = scheme.array
     if array.failed:
         raise SimulationError("array already failed before simulation start")
+    engine = SimulationEngine(
+        scheme, driver, batch_size=batch_size, observers=observers
+    )
+    engine.begin_run()
 
-    demand_total = driver.drive(scheme, config.warmup_demand)
+    demand_total = engine.drive(config.warmup_demand)
     baseline = array.write_counts()
     demand_measured = 0  # demand writes since baseline (exact + jumped)
 
@@ -99,7 +114,7 @@ def fast_forward_to_failure(
                 f"no failure after {rounds - 1} fast-forward rounds; "
                 "the workload's wear rates may not be stationary"
             )
-        served = driver.drive(scheme, config.window_demand)
+        served = engine.drive(config.window_demand)
         demand_total += served
         demand_measured += served
         if array.failed:
@@ -138,6 +153,7 @@ def fast_forward_to_failure(
         demand_total += demand_jumped
         demand_measured += demand_jumped
 
+    engine.end_run()
     failure = array.first_failure
     return LifetimeResult(
         scheme=scheme.name,

@@ -15,11 +15,11 @@ Figure 8 plots exactly this quantity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..analysis.calibration import PAPER_IDEAL_CALIBRATION, ideal_lifetime_seconds
 from ..config import PCMConfig, PAPER_PCM
-from ..errors import SimulationError
+from ..engine import EngineObserver, SimulationEngine
 from ..pcm.faults import FirstFailure
 from ..units import SECONDS_PER_YEAR, mbps_to_bytes_per_second
 from ..wearlevel.base import WearLeveler
@@ -83,31 +83,26 @@ def run_to_failure(
     driver: WorkloadDriver,
     max_demand: int = DEFAULT_MAX_DEMAND,
     require_failure: bool = True,
+    batch_size: int = 1,
+    observers: Iterable[EngineObserver] = (),
 ) -> LifetimeResult:
     """Exact simulation: drive demand writes until the first page failure.
 
-    Raises :class:`SimulationError` if the cap is reached without a
-    failure and ``require_failure`` is set — a sign the scale was chosen
-    too large for exact simulation (use fast-forward instead).
+    A thin configuration of :class:`repro.engine.SimulationEngine`:
+    ``batch_size`` selects the batched write protocol (bit-identical to
+    the default per-write path) and ``observers`` attach per-batch
+    hooks.  Raises :class:`~repro.errors.SimulationError` if the cap is
+    reached without a failure and ``require_failure`` is set — a sign
+    the scale was chosen too large for exact simulation (use
+    fast-forward instead).
     """
-    if scheme.array.failed:
-        raise SimulationError("array already failed before simulation start")
+    engine = SimulationEngine(
+        scheme, driver, batch_size=batch_size, observers=observers
+    )
     demand_before = scheme.demand_writes
-    chunk = 1 << 20
-    remaining = max_demand
-    while remaining > 0 and not scheme.array.failed:
-        served = driver.drive(scheme, min(chunk, remaining))
-        remaining -= served
-        if served == 0:
-            break
+    engine.run(max_demand, require_failure=require_failure)
     failed = scheme.array.failed
-    if require_failure and not failed:
-        raise SimulationError(
-            f"no failure within {max_demand} demand writes; "
-            "reduce the array scale or use fast_forward_to_failure"
-        )
     failure = scheme.array.first_failure
-    demand_total = scheme.demand_writes - demand_before
     if failed and failure is not None:
         # Clip device writes to the failure instant (the driver may have
         # completed the request that caused the failure).
@@ -119,7 +114,7 @@ def run_to_failure(
         workload=driver.workload_name,
         n_pages=scheme.array.n_pages,
         endurance_mean=float(scheme.array.endurance.mean()),
-        demand_writes=demand_total,
+        demand_writes=scheme.demand_writes - demand_before,
         device_writes=device_writes,
         failed=failed,
         failure=failure,

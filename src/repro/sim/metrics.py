@@ -2,49 +2,37 @@
 
 The Figure-9 timing model needs each scheme's *measured* swap behaviour
 on each workload (swap writes per demand write, swap events per demand
-write).  This module drives a bounded number of writes through a scheme
-and extracts those ratios from the scheme's counters.
+write).  This module configures a :class:`repro.engine.SimulationEngine`
+with a :class:`repro.engine.SchemeOverheadsObserver` — the ad-hoc
+counter plumbing that used to live here is now an observer any caller
+can attach to any run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
-
+from ..engine import SchemeOverheads, SchemeOverheadsObserver, SimulationEngine
 from ..errors import SimulationError
 from ..wearlevel.base import WearLeveler
 from .drivers import WorkloadDriver
 
-
-@dataclass(frozen=True)
-class SchemeOverheads:
-    """Measured per-demand-write overhead ratios for one scheme/workload."""
-
-    scheme: str
-    workload: str
-    demand_writes: int
-    swap_write_ratio: float
-    swap_event_ratio: float
-    extra_stats: Dict[str, float]
+__all__ = ["SchemeOverheads", "measure_scheme_overheads"]
 
 
 def measure_scheme_overheads(
     scheme: WearLeveler,
     driver: WorkloadDriver,
     n_demand_writes: int,
+    batch_size: int = 1,
 ) -> SchemeOverheads:
     """Drive ``n_demand_writes`` and report the scheme's overhead ratios."""
     if n_demand_writes < 1:
         raise ValueError("need at least one demand write")
-    served = driver.drive(scheme, n_demand_writes)
-    if served == 0:
-        raise SimulationError("driver produced no writes")
-    stats = scheme.stats()
-    return SchemeOverheads(
-        scheme=scheme.name,
-        workload=driver.workload_name,
-        demand_writes=served,
-        swap_write_ratio=stats["swap_write_ratio"],
-        swap_event_ratio=stats["swap_events"] / max(1.0, stats["demand_writes"]),
-        extra_stats=stats,
+    observer = SchemeOverheadsObserver()
+    engine = SimulationEngine(
+        scheme, driver, batch_size=batch_size, observers=(observer,)
     )
+    engine.run(n_demand_writes)
+    if engine.demand_served == 0:
+        raise SimulationError("driver produced no writes")
+    assert observer.overheads is not None
+    return observer.overheads

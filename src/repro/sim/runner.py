@@ -61,8 +61,15 @@ def measure_attack_lifetime(
     timing: TimingConfig = TimingConfig(),
     scheme_kwargs: Optional[dict] = None,
     attack_kwargs: Optional[dict] = None,
+    batch_size: int = 1,
 ) -> LifetimeResult:
-    """Lifetime of ``scheme_name`` under ``attack_name`` at scaled size."""
+    """Lifetime of ``scheme_name`` under ``attack_name`` at scaled size.
+
+    ``batch_size`` selects the engine's batched write protocol; results
+    are bit-identical to the default per-write path for every
+    registered scheme (adaptive attacks degrade to per-write batches to
+    preserve their feedback loop).
+    """
     array = build_array(scaled)
     scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
     attack = make_attack(
@@ -71,9 +78,12 @@ def measure_attack_lifetime(
     driver = AttackDriver(attack, timing=timing)
     if fastforward:
         return fast_forward_to_failure(
-            scheme, driver, config=ff_config or FastForwardConfig()
+            scheme,
+            driver,
+            config=ff_config or FastForwardConfig(),
+            batch_size=batch_size,
         )
-    return run_to_failure(scheme, driver)
+    return run_to_failure(scheme, driver, batch_size=batch_size)
 
 
 def measure_trace_lifetime(
@@ -84,13 +94,21 @@ def measure_trace_lifetime(
     fastforward: bool = False,
     ff_config: Optional[FastForwardConfig] = None,
     scheme_kwargs: Optional[dict] = None,
+    batch_size: int = 1,
 ) -> LifetimeResult:
-    """Lifetime of ``scheme_name`` looping ``trace`` at scaled size."""
+    """Lifetime of ``scheme_name`` looping ``trace`` at scaled size.
+
+    ``batch_size`` selects the engine's batched write protocol; results
+    are bit-identical to the default per-write path.
+    """
     array = build_array(scaled)
     scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
     driver = TraceDriver(trace, scheme.logical_pages)
     if fastforward:
         return fast_forward_to_failure(
-            scheme, driver, config=ff_config or FastForwardConfig()
+            scheme,
+            driver,
+            config=ff_config or FastForwardConfig(),
+            batch_size=batch_size,
         )
-    return run_to_failure(scheme, driver)
+    return run_to_failure(scheme, driver, batch_size=batch_size)

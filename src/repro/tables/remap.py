@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from ..errors import AddressError, TableError
 
 
@@ -23,6 +25,10 @@ class RemappingTable:
         self.n_pages = n_pages
         self._la_to_pa: List[int] = list(range(n_pages))
         self._pa_to_la: List[int] = list(range(n_pages))
+        # Lazy numpy mirror for the batch path: created on the first
+        # mapping_array() call and maintained in place by swaps from
+        # then on, so purely scalar runs never pay for it.
+        self._mapping_np: "np.ndarray | None" = None
 
     @property
     def entry_bits(self) -> int:
@@ -50,6 +56,9 @@ class RemappingTable:
         pa1, pa2 = la_to_pa[la1], la_to_pa[la2]
         la_to_pa[la1], la_to_pa[la2] = pa2, pa1
         pa_to_la[pa1], pa_to_la[pa2] = la2, la1
+        if self._mapping_np is not None:
+            self._mapping_np[la1] = pa2
+            self._mapping_np[la2] = pa1
 
     def swap_physical(self, pa1: int, pa2: int) -> None:
         """Exchange the logical owners of two physical frames."""
@@ -62,6 +71,16 @@ class RemappingTable:
     def mapping(self) -> List[int]:
         """Copy of the LA -> PA map."""
         return list(self._la_to_pa)
+
+    def mapping_array(self) -> np.ndarray:
+        """The LA -> PA map as an ``int64`` array (batch path).
+
+        Returns the live mirror — treat it as read-only; it stays
+        current across subsequent swaps.
+        """
+        if self._mapping_np is None:
+            self._mapping_np = np.asarray(self._la_to_pa, dtype=np.int64)
+        return self._mapping_np
 
     def validate(self) -> None:
         """Assert the bijection invariant (used by tests)."""

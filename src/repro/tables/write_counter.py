@@ -8,6 +8,8 @@ reaches the toss-up interval, then clears it (interval-triggered toss-up,
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import AddressError, TableError
 
 
@@ -27,6 +29,10 @@ class WriteCounterTable:
         self.bits = bits
         self.interval = interval
         self._counters = [0] * n_pages
+        # Lazy numpy mirror for batch planning: created on the first
+        # values_array() call and maintained in place by every mutator
+        # from then on, so purely scalar runs never pay for it.
+        self._values_np: np.ndarray | None = None
 
     @property
     def entry_bits(self) -> int:
@@ -42,10 +48,11 @@ class WriteCounterTable:
         self._check(page)
         count = self._counters[page] + 1
         if count >= self.interval:
-            self._counters[page] = 0
-            return True
+            count = 0
         self._counters[page] = count
-        return False
+        if self._values_np is not None:
+            self._values_np[page] = count
+        return count == 0
 
     def force_trigger_next(self, page: int) -> None:
         """Make the next write to ``page`` fire the interval trigger.
@@ -57,6 +64,41 @@ class WriteCounterTable:
         """
         self._check(page)
         self._counters[page] = self.interval - 1
+        if self._values_np is not None:
+            self._values_np[page] = self.interval - 1
+
+    def values_array(self) -> np.ndarray:
+        """All counters as an int64 array (for vectorized batch planning).
+
+        Returns the live mirror — treat it as read-only; it stays
+        current across subsequent mutations.
+        """
+        if self._values_np is None:
+            self._values_np = np.asarray(self._counters, dtype=np.int64)
+        return self._values_np
+
+    def bulk_record_quiet(self, per_page: np.ndarray) -> None:
+        """Record per-page write counts known not to fire the trigger.
+
+        The batched write path pre-computes, from :meth:`values_array`,
+        the longest run of writes during which no counter can reach the
+        interval, then folds that run's counts in here in one call.  The
+        no-trigger guarantee is the caller's to uphold and is re-checked
+        page by page (a crossing here means the batch planner is wrong).
+        """
+        counters = self._counters
+        interval = self.interval
+        mirror = self._values_np
+        for page in np.flatnonzero(per_page).tolist():
+            count = counters[page] + int(per_page[page])
+            if count >= interval:
+                raise TableError(
+                    f"bulk_record_quiet crossed the trigger interval on page "
+                    f"{page} ({count} >= {interval})"
+                )
+            counters[page] = count
+            if mirror is not None:
+                mirror[page] = count
 
     def value(self, page: int) -> int:
         """Current counter value for ``page``."""
@@ -67,6 +109,8 @@ class WriteCounterTable:
         """Clear the counter for ``page``."""
         self._check(page)
         self._counters[page] = 0
+        if self._values_np is not None:
+            self._values_np[page] = 0
 
     def _check(self, page: int) -> None:
         if not 0 <= page < self.n_pages:

@@ -8,6 +8,12 @@ fast:
   more when migrations/swaps happened).  A return value of 2 or more is
   what an attacker observes as a blocked, slow response — the timing side
   channel of Section 3.1.
+* :meth:`WearLeveler.write_batch` serves an ordered batch of logical
+  writes and returns the per-request physical write counts.  The base
+  implementation is the per-write loop, so batching is bit-identical by
+  construction; schemes with a cheap data path override it with a
+  vectorized fast path that must preserve that identity (enforced by
+  ``tests/test_engine_identity.py``).
 * :meth:`WearLeveler.translate` is the side-effect-free LA -> PA lookup
   used by reads.
 
@@ -19,7 +25,9 @@ experiment consume.
 from __future__ import annotations
 
 import abc
-from typing import Dict
+from typing import Dict, Sequence
+
+import numpy as np
 
 from ..errors import AddressError
 from ..pcm.array import PCMArray
@@ -75,6 +83,35 @@ class WearLeveler(abc.ABC):
     @abc.abstractmethod
     def write(self, logical: int) -> int:
         """Serve one logical write; return physical writes performed."""
+
+    def write_batch(self, addresses: Sequence[int]) -> np.ndarray:
+        """Serve an ordered batch of logical writes.
+
+        Returns the number of physical page writes each request
+        performed, as an ``int64`` array.  If some request wears out a
+        page, the batch stops after that request and the returned array
+        is truncated to the requests actually served — exactly where the
+        per-write simulation loop would have stopped, so a batched run
+        is bit-identical to a serial one (scheme counters, array state
+        and failure attribution included).
+
+        This default implementation is the per-write loop; schemes with
+        a vectorizable data path override it and must preserve the
+        identity contract.
+        """
+        seq = np.asarray(addresses, dtype=np.int64)
+        out = np.zeros(seq.size, dtype=np.int64)
+        array = self.array
+        if array.failed:
+            return out[:0]
+        write = self.write
+        served = 0
+        for logical in seq.tolist():
+            out[served] = write(logical)
+            served += 1
+            if array.failed:
+                break
+        return out[:served]
 
     # ------------------------------------------------------------------
     # Accounting

@@ -8,6 +8,8 @@ WL" column.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..pcm.array import PCMArray
 from .base import WearLeveler
 
@@ -31,3 +33,16 @@ class NoWearLeveling(WearLeveler):
         self._write_page(logical)
         self.demand_writes += 1
         return 1
+
+    def write_batch(self, addresses) -> np.ndarray:
+        # Identity mapping: the logical sequence *is* the physical
+        # sequence, so the whole batch lands in one apply_batch call.
+        seq = np.asarray(addresses, dtype=np.int64)
+        if self.array.failed:
+            return np.zeros(0, dtype=np.int64)
+        if seq.size and ((seq < 0).any() or (seq >= self.logical_pages).any()):
+            bad = int(seq[(seq < 0) | (seq >= self.logical_pages)][0])
+            self.check_logical(bad)
+        applied = self.array.apply_batch(seq)
+        self.demand_writes += applied
+        return np.ones(applied, dtype=np.int64)

@@ -15,6 +15,8 @@ process variation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..config import StartGapConfig
 from ..errors import ConfigError
 from ..pcm.array import PCMArray
@@ -43,6 +45,9 @@ class StartGap(WearLeveler):
         self._gap = self._n_logical  # gap begins at the last frame
         self._writes_since_move = 0
         self._permutation = None
+        #: Lazily built vector mirror of :meth:`_randomize` (the static
+        #: permutation never changes, so one table serves all batches).
+        self._randomize_table = None
         if config.randomize:
             bits = max(2, self._n_logical.bit_length())
             if bits % 2:
@@ -82,6 +87,55 @@ class StartGap(WearLeveler):
             self._writes_since_move = 0
             writes += self._move_gap()
         return writes
+
+    def write_batch(self, addresses) -> np.ndarray:
+        """Vectorized batch path: translation is fixed between gap moves.
+
+        The batch is cut into segments at gap-move boundaries; within a
+        segment the whole LA -> PA map is static, so the segment is one
+        vector translate plus one :meth:`PCMArray.apply_batch` call.
+        Gap moves (and the serial failure semantics, including the gap
+        move a failing boundary write still performs) are replayed
+        exactly as :meth:`write` would.
+        """
+        seq = np.asarray(addresses, dtype=np.int64)
+        if self.array.failed:
+            return np.zeros(0, dtype=np.int64)
+        if seq.size and ((seq < 0).any() or (seq >= self._n_logical).any()):
+            bad = int(seq[(seq < 0) | (seq >= self._n_logical)][0])
+            self.check_logical(bad)
+        out = np.ones(seq.size, dtype=np.int64)
+        array = self.array
+        interval = self.config.gap_move_interval
+        position = 0
+        while position < seq.size:
+            until_move = interval - self._writes_since_move
+            segment = seq[position : position + until_move]
+            if self._permutation is not None:
+                inner = self._randomize_vector()[segment]
+            else:
+                inner = segment
+            physical = (inner + self._start) % self._n_logical
+            physical = physical + (physical >= self._gap)
+            served = array.apply_batch(physical)
+            self.demand_writes += served
+            self._writes_since_move += served
+            position += served
+            if self._writes_since_move >= interval:
+                self._writes_since_move = 0
+                out[position - 1] += self._move_gap()
+            if array.failed:
+                return out[:position]
+        return out
+
+    def _randomize_vector(self) -> np.ndarray:
+        if self._randomize_table is None:
+            self._randomize_table = np.fromiter(
+                (self._randomize(page) for page in range(self._n_logical)),
+                dtype=np.int64,
+                count=self._n_logical,
+            )
+        return self._randomize_table
 
     def _move_gap(self) -> int:
         """Advance the gap by one frame (costs one migration write)."""

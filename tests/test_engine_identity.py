@@ -1,0 +1,111 @@
+"""Batch-identity contract: batched runs are bit-identical to serial.
+
+Every registered scheme × every registered attack is driven twice at
+1024 pages — once through the per-write path, once through the batched
+write protocol — and the full observable state is compared: the
+``LifetimeResult`` (failure page, demand/device writes), the per-page
+write counts, and the scheme's counters (swap writes, swap events, all
+``stats()`` entries).  This contract is what allows ``batch_size`` to be
+excluded from the exec-layer cache fingerprint.
+
+The endurance mean is kept low and the demand quota capped so the whole
+grid stays fast; cells that do not reach failure within the quota still
+compare their complete intermediate state, which exercises the identity
+on the no-failure path too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.registry import attack_names, make_attack
+from repro.pcm.array import PCMArray
+from repro.sim.drivers import AttackDriver, TraceDriver
+from repro.sim.lifetime import run_to_failure
+from repro.traces.trace import Trace
+from repro.wearlevel.registry import make_scheme, scheme_names
+
+_N_PAGES = 1024
+_ENDURANCE = 2048
+_MAX_DEMAND = 120_000
+_BATCH_SIZE = 64
+
+
+def _run_attack(scheme_name, attack_name, batch_size):
+    array = PCMArray.uniform(_N_PAGES, _ENDURANCE)
+    scheme = make_scheme(scheme_name, array, seed=11)
+    attack = make_attack(attack_name, scheme.logical_pages, seed=11)
+    result = run_to_failure(
+        scheme,
+        AttackDriver(attack),
+        max_demand=_MAX_DEMAND,
+        require_failure=False,
+        batch_size=batch_size,
+    )
+    return result, array.write_counts(), scheme.stats()
+
+
+@pytest.mark.parametrize("attack_name", attack_names())
+@pytest.mark.parametrize("scheme_name", scheme_names())
+def test_batched_identical_to_serial(scheme_name, attack_name):
+    serial, serial_counts, serial_stats = _run_attack(
+        scheme_name, attack_name, batch_size=1
+    )
+    batched, batched_counts, batched_stats = _run_attack(
+        scheme_name, attack_name, batch_size=_BATCH_SIZE
+    )
+    assert batched == serial
+    assert np.array_equal(batched_counts, serial_counts)
+    assert batched_stats == serial_stats
+
+
+@pytest.mark.parametrize("batch_size", [2, 17, 500, 8192])
+def test_identity_across_batch_sizes(batch_size):
+    """Odd, tiny and larger-than-run batch sizes all match serial."""
+    serial, serial_counts, serial_stats = _run_attack(
+        "twl", "repeat", batch_size=1
+    )
+    batched, batched_counts, batched_stats = _run_attack(
+        "twl", "repeat", batch_size=batch_size
+    )
+    assert batched == serial
+    assert np.array_equal(batched_counts, serial_counts)
+    assert batched_stats == serial_stats
+
+
+def _run_trace(scheme_name, batch_size):
+    array = PCMArray.uniform(_N_PAGES, _ENDURANCE)
+    scheme = make_scheme(scheme_name, array, seed=11)
+    rng = np.random.default_rng(7)
+    # Stay within the scheme's logical space (StartGap reserves a page).
+    writes = rng.integers(0, scheme.logical_pages, size=5000)
+    trace = Trace.writes_only(writes, name="synthetic")
+    driver = TraceDriver(trace, scheme.logical_pages)
+    result = run_to_failure(
+        scheme,
+        driver,
+        max_demand=_MAX_DEMAND,
+        require_failure=False,
+        batch_size=batch_size,
+    )
+    return result, array.write_counts(), scheme.stats()
+
+
+@pytest.mark.parametrize("scheme_name", ["nowl", "startgap", "twl", "sr"])
+def test_trace_driver_identity(scheme_name):
+    serial, serial_counts, serial_stats = _run_trace(scheme_name, 1)
+    batched, batched_counts, batched_stats = _run_trace(scheme_name, 256)
+    assert batched == serial
+    assert np.array_equal(batched_counts, serial_counts)
+    assert batched_stats == serial_stats
+
+
+def test_adaptive_attack_degrades_to_per_write_batches():
+    """Adaptive attacks keep their feedback loop under batching."""
+    attack = make_attack("inconsistent", _N_PAGES, seed=11)
+    if not attack.is_adaptive:
+        pytest.skip("inconsistent attack is not adaptive in this build")
+    driver = AttackDriver(attack)
+    batch = driver.next_batch(64)
+    assert len(batch) == 1

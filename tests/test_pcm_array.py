@@ -160,3 +160,105 @@ class TestInspection:
 
     def test_repr(self, tiny_array):
         assert "PCMArray" in repr(tiny_array)
+
+
+class TestApplyBatch:
+    """Ordered-batch application with exact first-failure attribution."""
+
+    def test_matches_serial_writes_exactly(self, tiny_array):
+        serial = PCMArray(tiny_array.endurance.copy())
+        sequence = [0, 1, 2, 0, 1, 0, 7, 7, 3]
+        for page in sequence:
+            serial.write(page)
+        applied = tiny_array.apply_batch(sequence)
+        assert applied == len(sequence)
+        assert np.array_equal(tiny_array.write_counts(), serial.write_counts())
+        assert tiny_array.total_writes == serial.total_writes
+
+    def test_failure_attributed_to_exact_write(self):
+        array = PCMArray(np.array([3, 100]))
+        # Page 0's 3rd write (position 4, device write 5) is the failure.
+        applied = array.apply_batch([0, 1, 0, 1, 0, 1, 1])
+        assert applied == 5  # application truncates at the failing write
+        assert array.failed
+        assert array.first_failure.physical_page == 0
+        assert array.first_failure.device_writes == 5
+        assert array.total_writes == 5
+
+    def test_earliest_crossing_wins(self):
+        array = PCMArray(np.array([2, 2]))
+        # Both pages cross in this batch; page 1 crosses first (pos 2).
+        array.apply_batch([0, 1, 1, 0])
+        assert array.first_failure.physical_page == 1
+        assert array.first_failure.device_writes == 3
+
+    def test_identical_to_serial_at_failure(self, rng):
+        endurance = rng.integers(20, 60, size=16)
+        sequence = rng.integers(0, 16, size=2000).tolist()
+        serial = PCMArray(endurance.copy())
+        for page in sequence:
+            serial.write(page)
+            if serial.failed:
+                break
+        batched = PCMArray(endurance.copy())
+        position = 0
+        while position < len(sequence) and not batched.failed:
+            batched.apply_batch(sequence[position : position + 37])
+            position += 37
+        assert batched.failed == serial.failed
+        assert batched.first_failure == serial.first_failure
+
+    def test_rejects_out_of_range(self, tiny_array):
+        with pytest.raises(AddressError):
+            tiny_array.apply_batch([0, 8])
+        with pytest.raises(AddressError):
+            tiny_array.apply_batch([-1])
+
+    def test_rejects_non_1d(self, tiny_array):
+        with pytest.raises(ConfigError):
+            tiny_array.apply_batch(np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_batch_is_noop(self, tiny_array):
+        assert tiny_array.apply_batch([]) == 0
+        assert tiny_array.total_writes == 0
+
+    def test_fail_fast_raises_on_batch_failure(self):
+        array = PCMArray(np.array([2, 50]), fail_fast=True)
+        with pytest.raises(PageWornOutError):
+            array.apply_batch([0, 0, 1])
+
+
+class TestMirrorSync:
+    """The scalar-path list mirrors and the numpy arrays stay coherent."""
+
+    def test_mixed_scalar_and_bulk_paths(self, tiny_array):
+        tiny_array.write(0)
+        tiny_array.write_many(1, 10)
+        tiny_array.apply_write_counts(
+            np.array([1, 0, 2, 0, 0, 0, 0, 0], dtype=np.int64)
+        )
+        tiny_array.write(2)
+        tiny_array.apply_batch([3, 3, 4])
+        tiny_array.write_many(5, 4)
+        counts = tiny_array.write_counts()
+        assert list(counts) == [2, 10, 3, 2, 1, 4, 0, 0]
+        assert tiny_array.total_writes == 22
+        assert tiny_array.page_writes(1) == 10  # list mirror agrees
+
+    def test_divergence_is_detected(self, tiny_array):
+        from repro.errors import SimulationError
+
+        tiny_array.write(0)
+        # Corrupt one side of the mirror: total_writes no longer equals
+        # the sum of per-page writes.
+        tiny_array.total_writes += 5
+        with pytest.raises(SimulationError, match="mirrors diverged"):
+            tiny_array.apply_batch([1])
+
+    def test_endurance_divergence_is_detected(self, tiny_array):
+        from repro.errors import SimulationError
+
+        tiny_array.write(0)
+        tiny_array.endurance[0] += 1  # endurance is immutable by contract
+        with pytest.raises(SimulationError, match="endurance"):
+            tiny_array.write_counts()
