@@ -1,6 +1,6 @@
 # Convenience targets for the TWL reproduction.
 
-.PHONY: install test bench bench-quick quick-parallel examples report clean
+.PHONY: install test bench bench-quick quick-parallel quick-resilient examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -18,6 +18,16 @@ bench-quick:
 # tests/test_exec.py so it stays green under tier-1).
 quick-parallel:
 	PYTHONPATH=src python -m repro.cli fig6 --quick --jobs 2
+
+# Smoke the fault-tolerance layer end-to-end: deterministic fault
+# injection makes every cell fail once with a transient error, and the
+# retry budget carries the campaign to completion with bit-identical
+# results (see docs/robustness.md; also covered by
+# tests/test_resilience.py).
+quick-resilient:
+	STATE=$$(mktemp -d) && \
+	REPRO_FAULTS="{\"mode\": \"transient\", \"rate\": 1.0, \"times\": 1, \"state_dir\": \"$$STATE\"}" \
+	PYTHONPATH=src python -m repro.cli fig6 --quick --jobs 2 --retries 2 --no-cache
 
 examples:
 	python examples/quickstart.py

@@ -15,6 +15,14 @@ engine's batched write protocol (also bit-identical; see
 ``docs/performance.md``).  Completed cells are cached on disk (default
 ``~/.cache/twl-repro/``), so re-running a figure is near-instant —
 ``--no-cache`` disables that, ``--cache-dir`` relocates it.
+
+Long campaigns can be hardened (``docs/robustness.md``): ``--retries``
+re-runs failed cells, ``--cell-timeout`` bounds each cell's wall
+clock, ``--keep-going`` finishes the campaign past failures (a single
+summary error is raised at the end), and ``--resume PATH`` checkpoints
+progress to an append-only journal so a killed campaign restarted with
+the same flag skips every finished cell — all execution knobs, so the
+results stay bit-identical to a clean serial run.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Callable, Dict, List, Optional
 
 from .errors import ReproError
 from .exec.cache import default_cache_dir
+from .exec.policy import ON_ERROR_FAIL_FAST, ON_ERROR_KEEP_GOING, FailurePolicy
 from .experiments import ablations, energy, fig6, fig7, fig8, fig9, overhead, table1, table2
 from .experiments.setups import ExperimentSetup, default_setup, quick_setup
 
@@ -120,6 +129,28 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _non_negative_int(text: str) -> int:
+    """Argparse type for integer options allowing zero."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for strictly positive float options."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -168,6 +199,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache location (default: ~/.cache/twl-repro)",
     )
     parser.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help=(
+            "extra attempts for a failed cell (default: 0); retried "
+            "cells are pure re-runs, so results stay bit-identical"
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; a cell running past it fails",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "finish every runnable cell despite failures and raise one "
+            "summary error at the end (default: stop at the first)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help=(
+            "checkpoint journal (JSONL) to append campaign progress to; "
+            "cells already recorded there are skipped, so re-running a "
+            "killed campaign with the same flag resumes it — works even "
+            "with --no-cache"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="for 'report': write the Markdown report to this file",
@@ -180,11 +247,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup = quick_setup() if args.quick else default_setup()
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    failure = FailurePolicy(
+        max_retries=args.retries,
+        timeout=args.cell_timeout,
+        on_error=ON_ERROR_KEEP_GOING if args.keep_going else ON_ERROR_FAIL_FAST,
+    )
     setup = replace(
         setup,
         jobs=max(1, args.jobs),
         cache_dir=cache_dir,
         batch_size=args.batch_size,
+        failure=failure,
+        resume=args.resume,
     )
     try:
         if args.experiment == "report":

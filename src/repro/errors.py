@@ -65,6 +65,36 @@ class CellExecutionError(SimulationError):
     """
 
 
+class CellTimeoutError(CellExecutionError):
+    """An experiment cell exceeded its per-cell wall-clock budget.
+
+    Raised by the executor when a :class:`repro.exec.FailurePolicy`
+    carries a ``timeout`` and the cell runs past it.  Subclasses
+    :class:`CellExecutionError` (single message string, pool-picklable)
+    so existing handlers keep working while callers that care can tell
+    a timeout from an in-simulation failure.
+    """
+
+
+class CampaignError(ReproError):
+    """One or more cells failed during a ``keep-going`` campaign.
+
+    Under :class:`repro.exec.FailurePolicy`'s ``on_error="keep-going"``
+    mode the executor finishes every runnable cell, records structured
+    ``CellFailure`` outcomes for the ones that exhausted their retry
+    budget, and raises a single :class:`CampaignError` summarizing them
+    at the end — the cells that did finish are already in the cache and
+    the checkpoint journal, so a repaired re-run only pays for the
+    failures.  ``failures`` preserves the structured records.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        summary = "; ".join(str(failure) for failure in self.failures)
+        count = len(self.failures)
+        super().__init__(f"{count} cell(s) failed: {summary}")
+
+
 @contextmanager
 def error_context(label: str, error_type: type = SimulationError):
     """Re-raise any :class:`ReproError` with ``label`` prepended.

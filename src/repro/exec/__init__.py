@@ -10,7 +10,13 @@ declarative grids of independent cells:
 * :mod:`repro.exec.cache` — :class:`CellCache`, one JSON file per cell
   under ``~/.cache/twl-repro/``;
 * :mod:`repro.exec.executor` — serial or process-pool execution with
-  progress lines and per-cell timing.
+  progress lines and per-cell timing;
+* :mod:`repro.exec.policy` — :class:`FailurePolicy` (retries with
+  deterministic backoff, per-cell timeout, fail-fast vs keep-going);
+* :mod:`repro.exec.checkpoint` — :class:`CheckpointJournal`,
+  append-only JSONL campaign manifest for crash-safe ``--resume``;
+* :mod:`repro.exec.faults` — deterministic, env-activated fault
+  injection used by ``tests/test_resilience.py`` and the CI smoke job.
 
 Typical use::
 
@@ -34,10 +40,31 @@ from .cells import (
     trace_cell,
 )
 from .hashing import CACHE_FORMAT_VERSION, canonical_value, cell_fingerprint
-from .cache import CellCache, default_cache_dir
+from .policy import (
+    DEFAULT_FAILURE_POLICY,
+    ON_ERROR_FAIL_FAST,
+    ON_ERROR_KEEP_GOING,
+    CellFailure,
+    FailurePolicy,
+)
+from .faults import FAULTS_ENV, FaultInjectionError, FaultPlan, active_plan
+from .cache import CellCache, decode_result, default_cache_dir, encode_result
+from .checkpoint import CheckpointJournal
 from .executor import CellOutcome, execute_cells, run_cells, run_setup_cells
 
 __all__ = [
+    "DEFAULT_FAILURE_POLICY",
+    "ON_ERROR_FAIL_FAST",
+    "ON_ERROR_KEEP_GOING",
+    "CellFailure",
+    "FailurePolicy",
+    "FAULTS_ENV",
+    "FaultInjectionError",
+    "FaultPlan",
+    "active_plan",
+    "CheckpointJournal",
+    "decode_result",
+    "encode_result",
     "KIND_ATTACK",
     "KIND_OVERHEADS",
     "KIND_TRACE",

@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigError
 from ..sim.cache import deserialize_result, serialize_result
 from ..sim.lifetime import LifetimeResult
 from ..sim.metrics import SchemeOverheads
 from .cells import CellResult, ExperimentCell
+from .faults import maybe_corrupt
 from .hashing import CACHE_FORMAT_VERSION, cell_fingerprint
 
 #: Environment variable overriding the default cache directory.
@@ -76,18 +77,42 @@ def _deserialize_overheads(record: Dict) -> SchemeOverheads:
     )
 
 
+def encode_result(result: CellResult) -> Tuple[str, Dict]:
+    """``(kind, payload)`` JSON form of a cell result.
+
+    Shared by the cache and the checkpoint journal so a result served
+    from either round-trips identically — the identity contract for
+    resumed campaigns rides on this.
+    """
+    if isinstance(result, LifetimeResult):
+        return "lifetime", serialize_result(result)
+    return "overheads", _serialize_overheads(result)
+
+
+def decode_result(kind: str, payload: Dict) -> CellResult:
+    """Inverse of :func:`encode_result`."""
+    if kind == "overheads":
+        return _deserialize_overheads(payload)
+    return deserialize_result(payload)
+
+
 class CellCache:
     """File-per-entry result cache addressed by cell fingerprint.
 
-    ``hits`` / ``misses`` count lookups over the instance's lifetime so
-    callers (the CLI progress line, the acceptance test) can report
-    cache effectiveness.
+    ``hits`` / ``misses`` / ``corrupt`` count lookups over the
+    instance's lifetime so callers (the CLI cache summary, the
+    acceptance test) can report cache effectiveness.  ``corrupt``
+    counts entries that existed but failed to decode — each one is
+    also a miss, and the bad file is quarantined as
+    ``<fingerprint>.json.corrupt`` for post-mortem instead of being
+    silently overwritten.
     """
 
     def __init__(self, directory: str):
         self.directory = directory
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         # Fail fast on an unusable location (e.g. --cache-dir pointing
         # at a regular file) instead of mid-campaign on the first put.
         try:
@@ -101,36 +126,59 @@ class CellCache:
         """File backing one cache entry."""
         return os.path.join(self.directory, f"{fingerprint}.json")
 
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside as ``<name>.corrupt``."""
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            # Quarantine is best-effort; a vanished or unmovable file
+            # still decodes as a miss and gets rewritten on put().
+            pass
+
     def get(self, cell: ExperimentCell) -> Optional[CellResult]:
         """Cached result for ``cell``, or None.
 
-        A corrupt or unreadable entry counts as a miss (it will be
-        overwritten on the next :meth:`put`), so a half-written file
-        can never poison a campaign.
+        A missing entry is a plain miss.  An entry that exists but
+        fails to decode is a miss *and* increments ``corrupt``; the bad
+        file is renamed to ``<fingerprint>.json.corrupt`` so a
+        half-written or bit-rotted file can never poison a campaign yet
+        stays around for diagnosis.
         """
         path = self.path_for(cell_fingerprint(cell))
         try:
             with open(path) as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            self.corrupt += 1
+            self._quarantine(path)
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            self.corrupt += 1
+            self._quarantine(path)
             return None
         if record.get("format") != CACHE_FORMAT_VERSION:
             self.misses += 1
             return None
+        try:
+            result = decode_result(record["kind"], record["payload"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            self.corrupt += 1
+            self._quarantine(path)
+            return None
         self.hits += 1
-        if record["kind"] == "overheads":
-            return _deserialize_overheads(record["payload"])
-        return deserialize_result(record["payload"])
+        return result
 
     def put(self, cell: ExperimentCell, result: CellResult) -> None:
         """Persist ``result`` atomically under the cell's fingerprint."""
         os.makedirs(self.directory, exist_ok=True)
         fingerprint = cell_fingerprint(cell)
-        if isinstance(result, LifetimeResult):
-            kind, payload = "lifetime", serialize_result(result)
-        else:
-            kind, payload = "overheads", _serialize_overheads(result)
+        kind, payload = encode_result(result)
         record = {
             "format": CACHE_FORMAT_VERSION,
             "cell": cell.describe(),
@@ -139,9 +187,26 @@ class CellCache:
         }
         path = self.path_for(fingerprint)
         temp_path = f"{path}.{os.getpid()}.tmp"
-        with open(temp_path, "w") as handle:
-            json.dump(record, handle)
-        os.replace(temp_path, path)
+        try:
+            with open(temp_path, "w") as handle:
+                json.dump(record, handle)
+            os.replace(temp_path, path)
+        except BaseException:
+            # json.dump can die mid-write (disk full, unserializable
+            # payload, Ctrl-C); never leave the orphaned temp behind.
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        maybe_corrupt(fingerprint, path)
+
+    def summary(self) -> str:
+        """One-line hit/miss/corrupt report for the CLI progress stream."""
+        line = f"cache: {self.hits} hit(s), {self.misses} miss(es)"
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt entr(ies) quarantined"
+        return line
 
     def __len__(self) -> int:
         if not os.path.isdir(self.directory):

@@ -1,0 +1,180 @@
+"""Campaign checkpoint journal: crash-safe progress on disk.
+
+A 40-cell Figure-6 sweep that dies at cell 37 — power cut, OOM kill,
+Ctrl-C — should cost 3 cells to finish, not 40.  The result cache
+already gives that *when it is enabled and trusted*; the journal gives
+it unconditionally.  :class:`CheckpointJournal` is an **append-only
+JSONL manifest** recording, per cell, a ``done`` line (with the
+serialized result payload, via the same
+:func:`~repro.exec.cache.encode_result` codec as the cache — so a
+resumed result is bit-identical to a recomputed one) or a ``failed``
+line (message only; failed cells are re-run on resume).
+
+Crash-safety model:
+
+* Every record is appended as one ``write()`` of a single
+  ``json.dumps`` line followed by ``flush`` + ``fsync`` — a record is
+  either durably complete or it is the final, truncated line.
+* The reader tolerates exactly that: lines that fail to decode are
+  skipped (the matching cell simply re-runs), so a journal truncated
+  mid-write by a crash is still a valid resume point.
+* Appending never rewrites history; duplicate ``done`` lines for one
+  fingerprint are harmless (last wins on load, first wins in memory).
+
+The journal lives wherever the caller points it — conventionally next
+to the cache (``<cache_dir>/checkpoint.jsonl``, what the CLI's
+``--resume`` defaults to writing) — but depends on the cache in no
+way: ``--no-cache --resume manifest.jsonl`` still skips finished
+cells, because the payload rides in the journal line itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from ..errors import ConfigError
+from .cache import decode_result, encode_result
+from .cells import CellResult, ExperimentCell
+
+#: Per-line schema version.
+JOURNAL_FORMAT_VERSION = 1
+
+#: Record statuses.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+class CheckpointJournal:
+    """Append-only JSONL manifest of completed/failed campaign cells.
+
+    Opening a path that already has records *is* resuming: existing
+    ``done`` results load into memory and
+    :meth:`result_for` serves them so the executor never re-runs those
+    cells.  ``resumed`` counts the records found at open time so
+    callers can report how much work the journal saved.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._done: Dict[str, CellResult] = {}
+        self._failed: Dict[str, str] = {}
+        parent = os.path.dirname(os.path.abspath(path))
+        try:
+            os.makedirs(parent, exist_ok=True)
+        except OSError as error:
+            raise ConfigError(
+                f"checkpoint journal location {path!r} is not usable: {error}"
+            ) from error
+        if os.path.isdir(path):
+            raise ConfigError(
+                f"checkpoint journal path {path!r} is a directory"
+            )
+        self._load()
+        self.resumed = len(self._done)
+
+    def _load(self) -> None:
+        try:
+            with open(self.path) as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A crash mid-append leaves at most one truncated line;
+                # skipping it just re-runs that cell.  (Any other
+                # garbage line degrades the same way: a re-run, never
+                # a wrong result.)
+                continue
+            if not isinstance(record, dict):
+                continue
+            if record.get("format") != JOURNAL_FORMAT_VERSION:
+                continue
+            fingerprint = record.get("fingerprint")
+            if not isinstance(fingerprint, str):
+                continue
+            status = record.get("status")
+            if status == STATUS_DONE:
+                try:
+                    result = decode_result(record["kind"], record["payload"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self._done[fingerprint] = result
+                self._failed.pop(fingerprint, None)
+            elif status == STATUS_FAILED:
+                if fingerprint not in self._done:
+                    self._failed[fingerprint] = str(record.get("error", ""))
+
+    def _append(self, record: Dict) -> None:
+        line = json.dumps(record) + "\n"
+        with open(self.path, "ab") as handle:
+            if handle.tell() > 0:
+                # A crash can leave a truncated, newline-less final
+                # line; terminate it first so the new record starts on
+                # its own line instead of merging into the garbage.
+                with open(self.path, "rb") as reader:
+                    reader.seek(-1, os.SEEK_END)
+                    if reader.read(1) != b"\n":
+                        handle.write(b"\n")
+            handle.write(line.encode())
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    @property
+    def failed_count(self) -> int:
+        """Failed records carried in the journal (informational)."""
+        return len(self._failed)
+
+    def result_for(self, fingerprint: str) -> Optional[CellResult]:
+        """The completed result recorded for ``fingerprint``, or None."""
+        return self._done.get(fingerprint)
+
+    def record_done(
+        self,
+        cell: ExperimentCell,
+        fingerprint: str,
+        result: CellResult,
+        seconds: float = 0.0,
+    ) -> None:
+        """Durably record a completed cell (idempotent per fingerprint)."""
+        if fingerprint in self._done:
+            return
+        kind, payload = encode_result(result)
+        self._append(
+            {
+                "format": JOURNAL_FORMAT_VERSION,
+                "status": STATUS_DONE,
+                "fingerprint": fingerprint,
+                "cell": cell.describe(),
+                "kind": kind,
+                "payload": payload,
+                "seconds": round(seconds, 3),
+            }
+        )
+        self._done[fingerprint] = result
+        self._failed.pop(fingerprint, None)
+
+    def record_failed(
+        self, cell: ExperimentCell, fingerprint: str, error: str
+    ) -> None:
+        """Durably record a cell that exhausted its retry budget."""
+        self._append(
+            {
+                "format": JOURNAL_FORMAT_VERSION,
+                "status": STATUS_FAILED,
+                "fingerprint": fingerprint,
+                "cell": cell.describe(),
+                "error": error,
+            }
+        )
+        if fingerprint not in self._done:
+            self._failed[fingerprint] = error

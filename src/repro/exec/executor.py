@@ -1,4 +1,4 @@
-"""Process-pool execution of experiment cells.
+"""Fault-tolerant process-pool execution of experiment cells.
 
 :func:`execute_cells` takes a list of :class:`ExperimentCell` specs and
 returns their results in input order, fanning the uncached cells out
@@ -8,7 +8,10 @@ across a :class:`concurrent.futures.ProcessPoolExecutor` when
 * **Bit-identical to serial.**  A cell's result is a pure function of
   its spec (all RNG streams derive from the cell seed), and workers
   receive only the spec, so ``jobs=N`` reproduces ``jobs=1`` exactly —
-  enforced by ``tests/test_exec.py``.
+  enforced by ``tests/test_exec.py``.  The same purity makes *retries,
+  pool rebuilds and checkpoint resume* identity-preserving: re-running
+  a cell can only reproduce the result the clean run would have
+  produced (``tests/test_resilience.py`` enforces that too).
 * **Failures keep their identity.**  Workers wrap any
   :class:`~repro.errors.ReproError` into a single-string
   :class:`~repro.errors.CellExecutionError` naming the failing cell
@@ -16,10 +19,26 @@ across a :class:`concurrent.futures.ProcessPoolExecutor` when
   traceback is useless at 40 cells, and because multi-argument
   exceptions like ``PageWornOutError`` do not survive unpickling
   across the pool boundary.
+* **Partial progress is never lost.**  Results are written to the
+  cache and the checkpoint journal *as they complete*, before any
+  sibling's failure can abort the campaign — including siblings that
+  finished in the same completion batch as, or were still running at,
+  the moment of a fail-fast abort.
 * **Observable progress.**  Each completed cell emits one line —
   ``[12/40] twl_swp×scan seed=3 … 1.8s (cached)`` — through the
   ``progress`` callback (default: stderr), with per-cell wall-clock
   timing collected in the returned :class:`CellOutcome` records.
+
+Resilience is governed by a :class:`~repro.exec.policy.FailurePolicy`
+(retries with deterministic backoff, per-cell wall-clock timeout,
+``fail-fast`` vs ``keep-going``) and a
+:class:`~repro.exec.checkpoint.CheckpointJournal` (crash-safe resume).
+A worker killed outright (OOM, SIGKILL) surfaces as
+``BrokenProcessPoolError``; the executor rebuilds the pool and
+re-submits the in-flight cells, degrading to serial execution once the
+pool has broken more than ``max_pool_rebuilds`` times.  The per-cell
+timeout is enforced *inside* the worker via ``SIGALRM`` so no pool
+teardown is needed to reclaim a hung cell.
 
 The cache (:class:`~repro.exec.cache.CellCache`) is consulted in the
 parent before any work is scheduled and written back from the parent as
@@ -28,15 +47,26 @@ results arrive, so workers never touch cache files.
 
 from __future__ import annotations
 
+import signal
 import sys
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import CellExecutionError, error_context
+from ..errors import (
+    CampaignError,
+    CellExecutionError,
+    CellTimeoutError,
+    error_context,
+)
 from .cache import CellCache
 from .cells import CellResult, ExperimentCell, run_cell
+from .checkpoint import CheckpointJournal
+from .faults import maybe_inject
+from .hashing import cell_fingerprint
+from .policy import DEFAULT_FAILURE_POLICY, CellFailure, FailurePolicy
 
 #: ``progress=False`` silences output; ``None`` selects the default
 #: stderr printer; a callable receives each formatted line.
@@ -45,12 +75,16 @@ ProgressHook = Union[None, bool, Callable[[str], None]]
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """One executed (or cache-served) cell with its timing."""
+    """One executed (or cache-/journal-served) cell with its timing."""
 
     cell: ExperimentCell
     result: CellResult
     seconds: float
     cached: bool
+    #: True when the result came from a checkpoint journal (a resumed
+    #: campaign) rather than fresh execution; such outcomes also report
+    #: ``cached=True``.
+    resumed: bool = False
 
 
 def _default_progress(line: str) -> None:
@@ -66,16 +100,58 @@ def _resolve_progress(progress: ProgressHook) -> Optional[Callable[[str], None]]
 
 
 def _progress_line(
-    index: int, total: int, cell: ExperimentCell, seconds: float, cached: bool
+    index: int,
+    total: int,
+    cell: ExperimentCell,
+    seconds: float,
+    cached: bool,
+    resumed: bool = False,
 ) -> str:
-    suffix = " (cached)" if cached else ""
+    suffix = ""
+    if resumed:
+        suffix = " (resumed)"
+    elif cached:
+        suffix = " (cached)"
     return f"[{index}/{total}] {cell.describe()} … {seconds:.1f}s{suffix}"
 
 
-def _execute_one(cell: ExperimentCell) -> CellResult:
-    """Worker entry point (module-level so it pickles under spawn)."""
-    with error_context(f"cell {cell.describe()}", CellExecutionError):
-        return run_cell(cell)
+class _TimeoutAlarm(Exception):
+    """Internal: the per-cell SIGALRM budget expired mid-cell."""
+
+
+def _execute_one(
+    cell: ExperimentCell, timeout: Optional[float] = None
+) -> CellResult:
+    """Worker entry point (module-level so it pickles under spawn).
+
+    When ``timeout`` is set, a ``SIGALRM`` interval timer guards the
+    cell: expiry raises :class:`~repro.errors.CellTimeoutError` naming
+    the cell.  The alarm is enforced worker-side so a hung cell never
+    requires tearing down the pool, and it works identically on the
+    serial path (the parent's main thread).  On platforms without
+    ``SIGALRM`` the timeout degrades to unenforced.
+    """
+    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+
+        def _on_alarm(signum, frame):
+            raise _TimeoutAlarm()
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        try:
+            with error_context(f"cell {cell.describe()}", CellExecutionError):
+                maybe_inject(cell)
+                return run_cell(cell)
+        except _TimeoutAlarm:
+            raise CellTimeoutError(
+                f"cell {cell.describe()} timed out after {timeout:.6g}s wall-clock"
+            ) from None
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 def execute_cells(
@@ -83,72 +159,227 @@ def execute_cells(
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     progress: ProgressHook = None,
+    policy: Optional[FailurePolicy] = None,
+    journal: Optional[CheckpointJournal] = None,
 ) -> List[CellOutcome]:
     """Run every cell, in parallel when ``jobs > 1``, returning outcomes.
 
     Results come back in input order regardless of completion order.
-    On the first cell failure the remaining futures are cancelled and
-    the :class:`~repro.errors.CellExecutionError` is re-raised; results
-    of cells that did finish are still written to the cache, so a
-    repaired re-run resumes where the failure struck.
+    ``policy`` (default: no retries, no timeout, ``fail-fast``) governs
+    failure handling; ``journal`` records completed/failed cells
+    durably and serves results recorded by a previous, interrupted run.
+
+    Under ``fail-fast`` the first cell to exhaust its retry budget
+    aborts the campaign with its :class:`~repro.errors.CellExecutionError`
+    — but only after every already-finished sibling's result has been
+    written to the cache and journal, so a repaired re-run resumes
+    where the failure struck.  Under ``keep-going`` every runnable cell
+    is finished and a single :class:`~repro.errors.CampaignError`
+    summarizing the structured :class:`~repro.exec.policy.CellFailure`
+    records is raised at the end.
     """
+    policy = policy if policy is not None else DEFAULT_FAILURE_POLICY
     report = _resolve_progress(progress)
     total = len(cells)
+    fingerprints = [cell_fingerprint(cell) for cell in cells]
     outcomes: List[Optional[CellOutcome]] = [None] * total
+    failures: List[CellFailure] = []
+    attempts: Dict[int, int] = {}
     pending: List[int] = []
+    start_times: Dict[int, float] = {}
     done = 0
 
-    for index, cell in enumerate(cells):
-        cached = cache.get(cell) if cache is not None else None
-        if cached is not None:
-            done += 1
-            outcomes[index] = CellOutcome(cell, cached, 0.0, cached=True)
-            if report:
-                report(_progress_line(done, total, cell, 0.0, cached=True))
-        else:
-            pending.append(index)
+    def note(line: str) -> None:
+        if report:
+            report(line)
 
-    if not pending:
-        return [outcome for outcome in outcomes if outcome is not None]
-
-    def finish(index: int, result: CellResult, seconds: float) -> None:
+    def finish(index: int, result: CellResult, seconds: float, source: str = "run") -> None:
         nonlocal done
         done += 1
         cell = cells[index]
-        outcomes[index] = CellOutcome(cell, result, seconds, cached=False)
-        if cache is not None:
+        resumed = source == "journal"
+        cached = source != "run"
+        outcomes[index] = CellOutcome(
+            cell, result, seconds, cached=cached, resumed=resumed
+        )
+        # Write-back precedes the progress line so an interrupt raised
+        # by the progress hook (or Ctrl-C between cells) always leaves
+        # this cell durably recorded — the resumability contract.
+        if cache is not None and source != "cache":
             cache.put(cell, result)
-        if report:
-            report(_progress_line(done, total, cell, seconds, cached=False))
+        if journal is not None:
+            journal.record_done(cell, fingerprints[index], result, seconds)
+        note(_progress_line(done, total, cell, seconds, cached=cached, resumed=resumed))
 
-    if jobs <= 1 or len(pending) == 1:
-        for index in pending:
-            start = time.perf_counter()
-            result = _execute_one(cells[index])
-            finish(index, result, time.perf_counter() - start)
-    else:
-        workers = min(jobs, len(pending))
-        start_times = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            for index in pending:
-                start_times[index] = time.perf_counter()
-                futures[pool.submit(_execute_one, cells[index])] = index
-            not_done = set(futures)
-            while not_done:
-                finished, not_done = wait(not_done, return_when=FIRST_EXCEPTION)
-                for future in finished:
-                    index = futures[future]
-                    # .result() re-raises a worker failure; cancel the
-                    # rest so the campaign stops at the first error.
-                    try:
-                        result = future.result()
-                    except Exception:
-                        for other in not_done:
-                            other.cancel()
-                        raise
+    def fail(index: int, error: BaseException, attempt_count: int) -> None:
+        nonlocal done
+        done += 1
+        cell = cells[index]
+        failures.append(
+            CellFailure(
+                cell=cell.describe(),
+                fingerprint=fingerprints[index],
+                error=str(error),
+                attempts=attempt_count,
+            )
+        )
+        if journal is not None:
+            journal.record_failed(cell, fingerprints[index], str(error))
+        note(
+            f"[{done}/{total}] {cell.describe()} FAILED "
+            f"after {attempt_count} attempt(s): {error}"
+        )
+
+    def grant_retry(index: int, error: BaseException) -> bool:
+        """Charge one failed attempt; True when a retry is granted."""
+        count = attempts.get(index, 0) + 1
+        attempts[index] = count
+        if count > policy.max_retries:
+            return False
+        delay = policy.retry_delay(fingerprints[index], count)
+        note(
+            f"[retry] {cells[index].describe()} attempt "
+            f"{count + 1}/{policy.max_retries + 1} in {delay:.2f}s: {error}"
+        )
+        if delay > 0:
+            time.sleep(delay)
+        return True
+
+    for index, cell in enumerate(cells):
+        if journal is not None:
+            resumed_result = journal.result_for(fingerprints[index])
+            if resumed_result is not None:
+                finish(index, resumed_result, 0.0, source="journal")
+                continue
+        if cache is not None:
+            hit = cache.get(cell)
+            if hit is not None:
+                finish(index, hit, 0.0, source="cache")
+                continue
+        pending.append(index)
+
+    def run_serial(indices: Sequence[int]) -> None:
+        for index in indices:
+            while True:
+                start = time.perf_counter()
+                try:
+                    result = _execute_one(cells[index], policy.timeout)
+                except CellExecutionError as error:
+                    if grant_retry(index, error):
+                        continue
+                    if policy.keep_going:
+                        fail(index, error, attempts[index])
+                        break
+                    raise
+                else:
+                    finish(index, result, time.perf_counter() - start)
+                    break
+
+    def run_pool(indices: Sequence[int]) -> List[int]:
+        """Pool execution; returns the indices left for serial fallback."""
+        workers = min(jobs, len(indices))
+        rebuilds = 0
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures: Dict[Future, int] = {}
+
+        def submit(index: int) -> None:
+            start_times[index] = time.perf_counter()
+            futures[pool.submit(_execute_one, cells[index], policy.timeout)] = index
+
+        def drain_on_abort() -> None:
+            """Before a fail-fast raise: cancel what we can, then bank
+            the results of every cell that still manages to finish."""
+            for future in futures:
+                future.cancel()
+            if not futures:
+                return
+            settled, _ = wait(set(futures))
+            for future in settled:
+                index = futures[future]
+                if future.cancelled() or future.exception() is not None:
+                    continue
+                finish(index, future.result(), time.perf_counter() - start_times[index])
+
+        for index in indices:
+            submit(index)
+        try:
+            while futures:
+                settled, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                successes: List[Tuple[int, CellResult]] = []
+                errors: List[Tuple[int, BaseException]] = []
+                broken: List[int] = []
+                for future in settled:
+                    index = futures.pop(future)
+                    if future.cancelled():
+                        broken.append(index)
+                        continue
+                    error = future.exception()
+                    if error is None:
+                        successes.append((index, future.result()))
+                    elif isinstance(error, BrokenProcessPool):
+                        broken.append(index)
+                    else:
+                        errors.append((index, error))
+                # Drain every finished sibling first: their results hit
+                # the cache/journal even when another future in this
+                # same batch is about to abort the campaign.
+                for index, result in successes:
                     finish(index, result, time.perf_counter() - start_times[index])
+                for index, error in errors:
+                    if not isinstance(error, CellExecutionError):
+                        # An exception that escaped the worker wrapper
+                        # (a programming error); keep the cell identity.
+                        error = CellExecutionError(
+                            f"cell {cells[index].describe()}: "
+                            f"{type(error).__name__}: {error}"
+                        )
+                    if grant_retry(index, error):
+                        submit(index)
+                    elif policy.keep_going:
+                        fail(index, error, attempts[index])
+                    else:
+                        drain_on_abort()
+                        raise error
+                if broken:
+                    # A killed worker breaks every in-flight future at
+                    # once; gather them all and either rebuild or
+                    # degrade to serial.
+                    broken.extend(futures.values())
+                    futures.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    rebuilds += 1
+                    remaining = sorted(broken)
+                    if rebuilds > policy.max_pool_rebuilds:
+                        note(
+                            f"[warning] worker pool broke {rebuilds} time(s); "
+                            f"degrading to serial execution for "
+                            f"{len(remaining)} remaining cell(s)"
+                        )
+                        return remaining
+                    note(
+                        f"[warning] worker pool broke (crashed worker?); "
+                        f"rebuilding and re-submitting {len(remaining)} "
+                        f"in-flight cell(s) "
+                        f"(rebuild {rebuilds}/{policy.max_pool_rebuilds})"
+                    )
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    for index in remaining:
+                        submit(index)
+            pool.shutdown(wait=True)
+            return []
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            run_serial(pending)
+        else:
+            run_serial(run_pool(pending))
+
+    if cache is not None and report is not None and (total > 1 or cache.corrupt):
+        report(cache.summary())
+    if failures:
+        raise CampaignError(failures)
     return [outcome for outcome in outcomes if outcome is not None]
 
 
@@ -157,11 +388,20 @@ def run_cells(
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     progress: ProgressHook = False,
+    policy: Optional[FailurePolicy] = None,
+    journal: Optional[CheckpointJournal] = None,
 ) -> List[CellResult]:
     """Like :func:`execute_cells` but returning bare results."""
     return [
         outcome.result
-        for outcome in execute_cells(cells, jobs=jobs, cache=cache, progress=progress)
+        for outcome in execute_cells(
+            cells,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+            policy=policy,
+            journal=journal,
+        )
     ]
 
 
@@ -172,13 +412,17 @@ def run_setup_cells(
 ) -> List[CellResult]:
     """Run cells under an :class:`~repro.experiments.setups.ExperimentSetup`.
 
-    Reads the setup's ``jobs``, ``cache_dir`` and ``batch_size`` fields
-    — the single integration point through which every figure/ablation
-    module gets parallelism, caching and the batched write protocol
-    (cells that do not pin their own ``batch_size`` inherit the
-    setup's).  Progress defaults to the stderr printer only when a cell
-    actually has to run or more than one is requested (a single cached
-    lookup stays quiet so helper calls don't chatter).
+    Reads the setup's ``jobs``, ``cache_dir``, ``batch_size``,
+    ``failure`` and ``resume`` fields — the single integration point
+    through which every figure/ablation module gets parallelism,
+    caching, the batched write protocol and the failure policy (cells
+    that do not pin their own ``batch_size`` inherit the setup's).  A
+    ``resume`` path opens (creating if needed) the checkpoint journal
+    there, so an interrupted campaign restarted with the same setup
+    skips every cell the journal already records.  Progress defaults to
+    the stderr printer only when a cell actually has to run or more
+    than one is requested (a single cached lookup stays quiet so helper
+    calls don't chatter).
     """
     cache = CellCache(setup.cache_dir) if getattr(setup, "cache_dir", None) else None
     batch_size = getattr(setup, "batch_size", 1)
@@ -189,6 +433,13 @@ def run_setup_cells(
         ]
     if progress is None and len(cells) <= 1:
         progress = False
+    resume = getattr(setup, "resume", None)
+    journal = CheckpointJournal(resume) if resume else None
     return run_cells(
-        cells, jobs=getattr(setup, "jobs", 1), cache=cache, progress=progress
+        cells,
+        jobs=getattr(setup, "jobs", 1),
+        cache=cache,
+        progress=progress,
+        policy=getattr(setup, "failure", None),
+        journal=journal,
     )

@@ -7,12 +7,17 @@ the benchmark list for CI/tests; set the environment variable
 ``REPRO_QUICK=1`` to make every benchmark target use it.
 
 Execution knobs ride along on the setup: ``jobs`` fans the experiment
-grids out across worker processes (``repro.exec``) and ``cache_dir``
-enables the on-disk result cache.  ``active_setup`` reads them from
-``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_BATCH_SIZE`` so the
-benchmark harness can be parallelized without touching code; the CLI
+grids out across worker processes (``repro.exec``), ``cache_dir``
+enables the on-disk result cache, ``failure`` carries the
+:class:`~repro.exec.FailurePolicy` (retries, per-cell timeout,
+fail-fast vs keep-going) and ``resume`` points at a checkpoint
+journal.  ``active_setup`` reads them from ``REPRO_JOBS`` /
+``REPRO_CACHE_DIR`` / ``REPRO_BATCH_SIZE`` / ``REPRO_RETRIES`` /
+``REPRO_CELL_TIMEOUT`` / ``REPRO_KEEP_GOING`` / ``REPRO_RESUME`` so
+the benchmark harness can be hardened without touching code; the CLI
 sets them from ``--jobs`` / ``--cache-dir`` / ``--no-cache`` /
-``--batch-size``.
+``--batch-size`` / ``--retries`` / ``--cell-timeout`` /
+``--keep-going`` / ``--resume``.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from ..config import ScaledArrayConfig, TWLConfig
+from ..exec.policy import ON_ERROR_KEEP_GOING, FailurePolicy
 
 #: Figure-6/8 scheme sets, in the paper's plotting order.
 FIG6_SCHEMES: Tuple[str, ...] = ("bwl", "sr", "twl_ap", "twl_swp", "nowl")
@@ -67,6 +73,14 @@ class ExperimentSetup:
     #: Bit-identical results at any value, so — like ``jobs`` — this is
     #: an execution knob, not part of a cell's cache identity.
     batch_size: int = 1
+    #: Failure policy for campaign execution (retries, per-cell
+    #: timeout, fail-fast vs keep-going).  Execution knobs only — a
+    #: retried campaign is bit-identical to a clean one.
+    failure: FailurePolicy = field(default_factory=FailurePolicy)
+    #: Checkpoint journal path; when set, completed cells recorded
+    #: there are skipped and new completions are appended (crash-safe
+    #: resume, independent of the cache).
+    resume: Optional[str] = None
 
     @property
     def n_pages(self) -> int:
@@ -100,7 +114,11 @@ def active_setup() -> ExperimentSetup:
     ``REPRO_QUICK=1`` picks the reduced scale; ``REPRO_JOBS=N`` fans
     experiment grids across N worker processes; ``REPRO_CACHE_DIR=path``
     enables the on-disk result cache there; ``REPRO_BATCH_SIZE=N``
-    selects the engine's batched write protocol.
+    selects the engine's batched write protocol.  Resilience knobs:
+    ``REPRO_RETRIES=N`` retries failed cells, ``REPRO_CELL_TIMEOUT=S``
+    bounds each cell's wall clock, ``REPRO_KEEP_GOING=1`` finishes the
+    campaign past failures, and ``REPRO_RESUME=path`` checkpoints to
+    (and resumes from) a journal there.
     """
     if os.environ.get("REPRO_QUICK", "").strip() in ("1", "true", "yes"):
         setup = quick_setup()
@@ -115,4 +133,18 @@ def active_setup() -> ExperimentSetup:
     batch_size = os.environ.get("REPRO_BATCH_SIZE", "").strip()
     if batch_size:
         setup = replace(setup, batch_size=max(1, int(batch_size)))
+    failure = setup.failure
+    retries = os.environ.get("REPRO_RETRIES", "").strip()
+    if retries:
+        failure = replace(failure, max_retries=max(0, int(retries)))
+    cell_timeout = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
+    if cell_timeout:
+        failure = replace(failure, timeout=float(cell_timeout))
+    if os.environ.get("REPRO_KEEP_GOING", "").strip() in ("1", "true", "yes"):
+        failure = replace(failure, on_error=ON_ERROR_KEEP_GOING)
+    if failure is not setup.failure:
+        setup = replace(setup, failure=failure)
+    resume = os.environ.get("REPRO_RESUME", "").strip()
+    if resume:
+        setup = replace(setup, resume=resume)
     return setup

@@ -11,6 +11,7 @@ import pytest
 import repro.analysis.models
 import repro.analysis.stats
 import repro.exec.hashing
+import repro.exec.policy
 import repro.pcm.stats
 import repro.rng.streams
 import repro.units
@@ -22,6 +23,7 @@ _MODULES = (
     repro.analysis.models,
     repro.pcm.stats,
     repro.exec.hashing,
+    repro.exec.policy,
 )
 
 

@@ -1,0 +1,563 @@
+"""Fault-tolerant campaign execution, proven by deterministic fault injection.
+
+Every recovery path of the executor is exercised here against
+:mod:`repro.exec.faults`, whose injections are deterministic (keyed by
+cell fingerprint + an injection seed) and cross the worker spawn
+boundary via the ``REPRO_FAULTS`` environment variable:
+
+* transient worker exceptions are retried and the final results are
+  bit-identical to a clean serial run;
+* a SIGKILL'd worker triggers a pool rebuild (and, past the rebuild
+  budget, graceful degradation to serial) and the campaign completes;
+* a cell exceeding the per-cell timeout fails with a
+  ``CellExecutionError`` naming it, and under ``keep-going`` does not
+  block the remaining cells;
+* a killed campaign resumed from its checkpoint journal re-runs only
+  the unfinished cells and matches the clean run exactly — with the
+  cache disabled.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.config import ScaledArrayConfig
+from repro.errors import (
+    CampaignError,
+    CellExecutionError,
+    CellTimeoutError,
+    ConfigError,
+)
+from repro.exec import (
+    CellCache,
+    CheckpointJournal,
+    FailurePolicy,
+    FaultPlan,
+    attack_cell,
+    cell_fingerprint,
+    execute_cells,
+    run_cells,
+)
+from repro.exec.faults import (
+    FAULTS_ENV,
+    FaultInjectionError,
+    _claim_injection,
+    active_plan,
+    maybe_inject,
+)
+from repro.exec.policy import ON_ERROR_KEEP_GOING, CellFailure
+
+SCALED = ScaledArrayConfig(n_pages=64, endurance_mean=768.0)
+
+#: Retry policies in tests skip real backoff sleeping.
+FAST_RETRY = dict(backoff_base=0.0)
+
+
+def _grid():
+    """A 2×2 scheme/attack cell grid, small enough to run in <1 s."""
+    return [
+        attack_cell(scheme, attack, scaled=SCALED, seed=11)
+        for scheme in ("nowl", "sr")
+        for attack in ("repeat", "scan")
+    ]
+
+
+def _arm(monkeypatch, tmp_path, **kwargs):
+    """Activate a fault plan through the environment (spawn-safe)."""
+    kwargs.setdefault("state_dir", str(tmp_path / "fault-state"))
+    plan = FaultPlan(**kwargs)
+    monkeypatch.setenv(FAULTS_ENV, plan.to_env())
+    return plan
+
+
+class _InterruptAfter:
+    """Progress hook raising KeyboardInterrupt after N completed cells."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.lines = []
+
+    def __call__(self, line: str) -> None:
+        self.lines.append(line)
+        if sum(1 for recorded in self.lines if "…" in recorded) >= self.n:
+            raise KeyboardInterrupt
+
+
+class TestFailurePolicy:
+    def test_defaults_match_historical_behavior(self):
+        policy = FailurePolicy()
+        assert policy.max_retries == 0
+        assert policy.timeout is None
+        assert not policy.keep_going
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FailurePolicy(max_retries=-1)
+        with pytest.raises(ConfigError):
+            FailurePolicy(timeout=0.0)
+        with pytest.raises(ConfigError):
+            FailurePolicy(on_error="explode")
+        with pytest.raises(ConfigError):
+            FailurePolicy(backoff_jitter=1.5)
+
+    def test_retry_delay_is_deterministic_and_grows(self):
+        policy = FailurePolicy(max_retries=3, backoff_base=0.1, backoff_jitter=0.25)
+        first = policy.retry_delay("fp", 1)
+        assert first == policy.retry_delay("fp", 1)
+        assert first != policy.retry_delay("other", 1)
+        # Jitter is bounded, so the exponential trend survives it.
+        assert policy.retry_delay("fp", 3) > policy.retry_delay("fp", 1)
+
+    def test_zero_base_disables_sleeping(self):
+        assert FailurePolicy(backoff_base=0.0).retry_delay("fp", 5) == 0.0
+
+
+class TestFaultPlan:
+    def test_selection_is_deterministic(self):
+        plan = FaultPlan(mode="transient", rate=0.5, seed=3)
+        fingerprints = [cell_fingerprint(cell) for cell in _grid()]
+        first = [plan.selects(fp) for fp in fingerprints]
+        assert first == [plan.selects(fp) for fp in fingerprints]
+        assert all(FaultPlan(mode="transient", rate=1.0).selects(fp) for fp in fingerprints)
+        assert not any(FaultPlan(mode="transient", rate=0.0).selects(fp) for fp in fingerprints)
+
+    def test_env_round_trip(self, monkeypatch, tmp_path):
+        armed = _arm(monkeypatch, tmp_path, mode="transient", times=2, max_total=5)
+        assert active_plan() == armed
+
+    def test_inactive_without_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert active_plan() is None
+        maybe_inject(_grid()[0])  # no-op
+
+    def test_bad_plan_is_a_config_error(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "{not json")
+        with pytest.raises(ConfigError):
+            active_plan()
+        monkeypatch.setenv(FAULTS_ENV, json.dumps({"mode": "nope"}))
+        with pytest.raises(ConfigError):
+            active_plan()
+
+    def test_budgets_claimed_atomically_across_instances(self, tmp_path):
+        plan = FaultPlan(mode="transient", times=2, state_dir=str(tmp_path))
+        assert _claim_injection(plan, "fp")
+        assert _claim_injection(plan, "fp")
+        assert not _claim_injection(plan, "fp")
+        # A fresh plan object (fresh process, same state_dir) sees the
+        # same exhausted budget — this is what survives SIGKILL.
+        again = FaultPlan(mode="transient", times=2, state_dir=str(tmp_path))
+        assert not _claim_injection(again, "fp")
+
+    def test_transient_injection_raises_once_per_budget(self, monkeypatch, tmp_path):
+        _arm(monkeypatch, tmp_path, mode="transient", times=1)
+        cell = _grid()[0]
+        with pytest.raises(FaultInjectionError):
+            maybe_inject(cell)
+        maybe_inject(cell)  # budget spent: clean
+
+
+class TestTransientRetry:
+    """Acceptance (a): retried campaigns are bit-identical to clean runs."""
+
+    def test_parallel_retry_identity(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        _arm(monkeypatch, tmp_path, mode="transient", rate=1.0, times=1)
+        policy = FailurePolicy(max_retries=2, **FAST_RETRY)
+        assert run_cells(cells, jobs=2, policy=policy) == clean
+
+    def test_serial_retry_identity(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        _arm(monkeypatch, tmp_path, mode="transient", rate=1.0, times=1)
+        policy = FailurePolicy(max_retries=1, **FAST_RETRY)
+        assert run_cells(cells, jobs=1, policy=policy) == clean
+
+    def test_exhausted_budget_fails_fast(self, monkeypatch, tmp_path):
+        _arm(monkeypatch, tmp_path, mode="transient", rate=1.0, times=10)
+        policy = FailurePolicy(max_retries=1, **FAST_RETRY)
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(_grid(), jobs=1, policy=policy)
+        assert "injected transient fault" in str(excinfo.value)
+
+    def test_keep_going_finishes_siblings_and_summarizes(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        # Enough injections to exhaust one cell's retries, no more:
+        # serially, cell 0 burns the whole global budget and fails;
+        # cells 1..3 find it empty and run clean.
+        _arm(monkeypatch, tmp_path, mode="transient", rate=1.0, times=10, max_total=2)
+        policy = FailurePolicy(
+            max_retries=1, on_error=ON_ERROR_KEEP_GOING, **FAST_RETRY
+        )
+        cache = CellCache(str(tmp_path / "cache"))
+        with pytest.raises(CampaignError) as excinfo:
+            run_cells(cells, jobs=1, cache=cache, policy=policy)
+        failures = excinfo.value.failures
+        assert len(failures) == 1
+        assert isinstance(failures[0], CellFailure)
+        assert failures[0].cell == cells[0].describe()
+        assert failures[0].attempts == 2
+        # The siblings' results were kept (cached), so a repaired rerun
+        # only pays for the failed cell.
+        assert len(cache) == len(cells) - 1
+        rerun = run_cells(cells, jobs=1, cache=CellCache(str(tmp_path / "cache")))
+        assert rerun == clean
+
+
+class TestLostResults:
+    """Satellite: finished siblings are cached even when one cell fails."""
+
+    def test_finished_siblings_cached_on_fail_fast(self, tmp_path):
+        good = _grid()
+        cells = [attack_cell("no_such_scheme", "scan", scaled=SCALED, seed=9)] + good
+        cache = CellCache(str(tmp_path))
+        with pytest.raises(CellExecutionError):
+            run_cells(cells, jobs=2, cache=cache)
+        # The bad cell fails almost instantly; every good cell that the
+        # pool finished (including in-flight ones drained on abort)
+        # must be in the cache.  All four run concurrently-ish, so all
+        # four results are banked.
+        assert len(cache) == len(good)
+
+
+class TestTimeout:
+    """Acceptance (c): per-cell wall-clock budget."""
+
+    def test_timeout_names_cell_fail_fast(self, monkeypatch, tmp_path):
+        cell = _grid()[0]
+        _arm(monkeypatch, tmp_path, mode="hang", rate=1.0, times=1, hang_seconds=20.0)
+        policy = FailurePolicy(timeout=0.3)
+        with pytest.raises(CellTimeoutError) as excinfo:
+            run_cells([cell], jobs=1, policy=policy)
+        message = str(excinfo.value)
+        assert cell.describe() in message
+        assert "timed out" in message
+        assert isinstance(excinfo.value, CellExecutionError)
+
+    def test_timeout_keep_going_does_not_block_siblings(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        _arm(
+            monkeypatch, tmp_path,
+            mode="hang", rate=1.0, times=1, max_total=1, hang_seconds=20.0,
+        )
+        policy = FailurePolicy(timeout=0.3, on_error=ON_ERROR_KEEP_GOING)
+        cache = CellCache(str(tmp_path / "cache"))
+        with pytest.raises(CampaignError) as excinfo:
+            run_cells(cells, jobs=2, cache=cache, policy=policy)
+        assert len(excinfo.value.failures) == 1
+        assert "timed out" in excinfo.value.failures[0].error
+        assert len(cache) == len(cells) - 1
+        # The timed-out cell is pure; a clean rerun converges on the
+        # clean campaign bit-for-bit.
+        rerun = run_cells(cells, jobs=1, cache=CellCache(str(tmp_path / "cache")))
+        assert rerun == clean
+
+    def test_timed_out_cell_can_be_retried(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        _arm(
+            monkeypatch, tmp_path,
+            mode="hang", rate=1.0, times=1, max_total=1, hang_seconds=20.0,
+        )
+        policy = FailurePolicy(timeout=0.3, max_retries=1, **FAST_RETRY)
+        assert run_cells(cells, jobs=1, policy=policy) == clean
+
+
+class TestWorkerCrashRecovery:
+    """Acceptance (b): SIGKILL'd workers break the pool; we rebuild."""
+
+    def test_sigkill_triggers_rebuild_and_completion(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        _arm(monkeypatch, tmp_path, mode="kill", rate=1.0, times=1, max_total=1)
+        lines = []
+        results = run_cells(cells, jobs=2, progress=lines.append)
+        assert results == clean
+        assert any("rebuilding" in line for line in lines)
+
+    def test_repeated_breaks_degrade_to_serial(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        # One kill, zero tolerated rebuilds: the first break sends the
+        # whole remainder to the serial fallback (kill budget already
+        # spent, so the fallback is safe).
+        _arm(monkeypatch, tmp_path, mode="kill", rate=1.0, times=1, max_total=1)
+        policy = FailurePolicy(max_pool_rebuilds=0)
+        lines = []
+        results = run_cells(cells, jobs=2, policy=policy, progress=lines.append)
+        assert results == clean
+        assert any("degrading to serial" in line for line in lines)
+
+
+class TestCheckpointResume:
+    """Acceptance (d) + satellite: interruption leaves resumable state."""
+
+    def _counting_run_cell(self, monkeypatch):
+        from repro.exec import cells as cells_module
+
+        calls = []
+        original = cells_module.run_cell
+
+        def counted(cell):
+            calls.append(cell.describe())
+            return original(cell)
+
+        monkeypatch.setattr("repro.exec.executor.run_cell", counted)
+        return calls
+
+    def test_interrupt_serial_leaves_resumable_state(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        cache = CellCache(str(tmp_path / "cache"))
+        manifest = str(tmp_path / "campaign.jsonl")
+        hook = _InterruptAfter(2)
+        with pytest.raises(KeyboardInterrupt):
+            execute_cells(
+                cells, jobs=1, cache=cache,
+                journal=CheckpointJournal(manifest), progress=hook,
+            )
+        # Completed cells are durably recorded in both stores.
+        assert len(cache) == 2
+        resumed = CheckpointJournal(manifest)
+        assert len(resumed) == 2
+        # Resume re-runs only the unfinished cells and matches clean.
+        calls = self._counting_run_cell(monkeypatch)
+        results = run_cells(cells, jobs=1, journal=resumed)
+        assert results == clean
+        assert len(calls) == len(cells) - 2
+
+    def test_interrupt_pool_leaves_resumable_state(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        cache = CellCache(str(tmp_path / "cache"))
+        manifest = str(tmp_path / "campaign.jsonl")
+        with pytest.raises(KeyboardInterrupt):
+            execute_cells(
+                cells, jobs=2, cache=cache,
+                journal=CheckpointJournal(manifest), progress=_InterruptAfter(2),
+            )
+        resumed = CheckpointJournal(manifest)
+        assert len(resumed) >= 2
+        assert len(cache) >= 2
+        assert run_cells(cells, jobs=1, journal=resumed) == clean
+
+    def test_resume_without_cache_matches_clean_run(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        manifest = str(tmp_path / "campaign.jsonl")
+        with pytest.raises(KeyboardInterrupt):
+            execute_cells(
+                cells, jobs=1, cache=None,
+                journal=CheckpointJournal(manifest), progress=_InterruptAfter(2),
+            )
+        calls = self._counting_run_cell(monkeypatch)
+        results = run_cells(cells, jobs=1, cache=None, journal=CheckpointJournal(manifest))
+        assert results == clean
+        assert len(calls) == len(cells) - 2
+
+    def test_fully_journaled_campaign_reruns_nothing(self, monkeypatch, tmp_path):
+        cells = _grid()
+        manifest = str(tmp_path / "campaign.jsonl")
+        clean = run_cells(cells, jobs=1, journal=CheckpointJournal(manifest))
+
+        def explode(cell):
+            raise AssertionError("cell ran despite a complete journal")
+
+        monkeypatch.setattr("repro.exec.executor.run_cell", explode)
+        outcomes = execute_cells(cells, jobs=1, journal=CheckpointJournal(manifest))
+        assert [outcome.result for outcome in outcomes] == clean
+        assert all(outcome.resumed and outcome.cached for outcome in outcomes)
+
+    def test_journal_tolerates_truncated_final_line(self, tmp_path):
+        cells = _grid()
+        manifest = str(tmp_path / "campaign.jsonl")
+        run_cells(cells[:2], jobs=1, journal=CheckpointJournal(manifest))
+        with open(manifest, "a") as handle:
+            handle.write('{"format": 1, "status": "done", "fingerpr')  # crash here
+        resumed = CheckpointJournal(manifest)
+        assert len(resumed) == 2
+        # Appending after a truncated tail still yields decodable lines
+        # for the new records.
+        run_cells(cells, jobs=1, journal=resumed)
+        assert len(CheckpointJournal(manifest)) == len(cells)
+
+    def test_failed_cells_are_rerun_on_resume(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        manifest = str(tmp_path / "campaign.jsonl")
+        _arm(monkeypatch, tmp_path, mode="transient", rate=1.0, times=10, max_total=2)
+        policy = FailurePolicy(
+            max_retries=1, on_error=ON_ERROR_KEEP_GOING, **FAST_RETRY
+        )
+        with pytest.raises(CampaignError):
+            run_cells(cells, jobs=1, policy=policy, journal=CheckpointJournal(manifest))
+        monkeypatch.delenv(FAULTS_ENV)
+        resumed = CheckpointJournal(manifest)
+        assert len(resumed) == len(cells) - 1
+        assert resumed.failed_count == 1
+        assert run_cells(cells, jobs=1, journal=resumed) == clean
+
+
+class TestCacheRobustness:
+    """Satellites: temp-file leak, corrupt-entry quarantine + counter."""
+
+    def test_put_failure_leaves_no_temp_file(self, monkeypatch, tmp_path):
+        cell = _grid()[0]
+        result = run_cells([cell])[0]
+        cache = CellCache(str(tmp_path))
+
+        def exploding_dump(record, handle, **kwargs):
+            handle.write('{"partial":')  # simulate dying mid-write
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.exec.cache.json.dump", exploding_dump)
+        with pytest.raises(OSError):
+            cache.put(cell, result)
+        leftovers = [name for name in os.listdir(str(tmp_path)) if ".tmp" in name]
+        assert leftovers == []
+
+    def test_corrupt_entry_is_counted_and_quarantined(self, tmp_path):
+        cell = _grid()[0]
+        cache = CellCache(str(tmp_path))
+        cache.put(cell, run_cells([cell])[0])
+        path = cache.path_for(cell_fingerprint(cell))
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        fresh = CellCache(str(tmp_path))
+        assert fresh.get(cell) is None
+        assert fresh.misses == 1
+        assert fresh.corrupt == 1
+        assert not os.path.exists(path)
+        assert os.path.exists(f"{path}.corrupt")
+        # Quarantined: the next lookup is a plain (non-corrupt) miss.
+        assert fresh.get(cell) is None
+        assert fresh.corrupt == 1
+        assert "corrupt" in fresh.summary()
+
+    def test_undecodable_payload_counts_as_corrupt(self, tmp_path):
+        cell = _grid()[0]
+        cache = CellCache(str(tmp_path))
+        cache.put(cell, run_cells([cell])[0])
+        path = cache.path_for(cell_fingerprint(cell))
+        record = {"format": 1, "kind": "lifetime", "payload": {"nope": 1}}
+        with open(path, "w") as handle:
+            json.dump(record, handle)
+        fresh = CellCache(str(tmp_path))
+        assert fresh.get(cell) is None
+        assert fresh.corrupt == 1
+        assert os.path.exists(f"{path}.corrupt")
+
+    def test_corrupt_fault_mode_end_to_end(self, monkeypatch, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        cache_dir = str(tmp_path / "cache")
+        _arm(monkeypatch, tmp_path, mode="corrupt", rate=1.0, times=1)
+        run_cells(cells, jobs=1, cache=CellCache(cache_dir))
+        monkeypatch.delenv(FAULTS_ENV)
+        # Every entry was garbled after write; the re-run quarantines
+        # them all, recomputes, and still matches the clean campaign.
+        recovery = CellCache(cache_dir)
+        assert run_cells(cells, jobs=1, cache=recovery) == clean
+        assert recovery.corrupt == len(cells)
+        third = CellCache(cache_dir)
+        assert run_cells(cells, jobs=1, cache=third) == clean
+        assert third.hits == len(cells)
+        assert third.corrupt == 0
+
+    def test_cache_summary_reaches_progress_stream(self, tmp_path):
+        cells = _grid()
+        lines = []
+        execute_cells(cells, jobs=1, cache=CellCache(str(tmp_path)), progress=lines.append)
+        assert any(line.startswith("cache:") for line in lines)
+
+
+class TestCLIResilienceFlags:
+    def _tiny_setup(self):
+        from repro.experiments.setups import ExperimentSetup
+
+        return ExperimentSetup(
+            scaled=ScaledArrayConfig(n_pages=64, endurance_mean=768.0),
+            benchmarks=("vips",),
+            trace_writes=5_000,
+            overhead_writes=4_000,
+        )
+
+    def test_parser_accepts_resilience_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "fig6", "--quick", "--retries", "2",
+                "--cell-timeout", "1.5", "--keep-going",
+                "--resume", "/tmp/manifest.jsonl",
+            ]
+        )
+        assert args.retries == 2
+        assert args.cell_timeout == 1.5
+        assert args.keep_going
+        assert args.resume == "/tmp/manifest.jsonl"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--retries", "-1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--cell-timeout", "0"])
+
+    def test_cli_retries_through_faults(self, monkeypatch, tmp_path):
+        from repro import cli
+
+        monkeypatch.setattr(cli, "quick_setup", self._tiny_setup)
+        clean_rc = cli.main(["fig6", "--quick", "--no-cache"])
+        assert clean_rc == 0
+        _arm(monkeypatch, tmp_path, mode="transient", rate=1.0, times=1)
+        rc = cli.main(["fig6", "--quick", "--no-cache", "--jobs", "2", "--retries", "2"])
+        assert rc == 0
+
+    def test_cli_resume_completes_interrupted_campaign(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        from repro import cli
+
+        monkeypatch.setattr(cli, "quick_setup", self._tiny_setup)
+        manifest = str(tmp_path / "manifest.jsonl")
+        argv = [
+            "fig6", "--quick", "--no-cache", "--resume", manifest,
+        ]
+        assert cli.main(argv) == 0
+        first = capsys.readouterr().out
+        # Second run: everything is served from the journal.
+        assert cli.main(argv) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "(resumed)" in captured.err
+
+    def test_cli_surfaces_corrupt_entries(self, monkeypatch, tmp_path, capsys):
+        from repro import cli
+
+        monkeypatch.setattr(cli, "quick_setup", self._tiny_setup)
+        cache_dir = str(tmp_path / "cache")
+        argv = ["fig6", "--quick", "--cache-dir", cache_dir]
+        assert cli.main(argv) == 0
+        capsys.readouterr()
+        entries = [
+            name for name in os.listdir(cache_dir) if name.endswith(".json")
+        ]
+        assert entries
+        with open(os.path.join(cache_dir, entries[0]), "w") as handle:
+            handle.write("{bit rot")
+        assert cli.main(argv) == 0
+        assert "corrupt entr" in capsys.readouterr().err
+
+    def test_active_setup_reads_resilience_env(self, monkeypatch):
+        from repro.experiments.setups import active_setup
+
+        monkeypatch.setenv("REPRO_RETRIES", "3")
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_KEEP_GOING", "1")
+        monkeypatch.setenv("REPRO_RESUME", "/tmp/m.jsonl")
+        setup = active_setup()
+        assert setup.failure.max_retries == 3
+        assert setup.failure.timeout == 2.5
+        assert setup.failure.keep_going
+        assert setup.resume == "/tmp/m.jsonl"
