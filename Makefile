@@ -1,12 +1,35 @@
 # Convenience targets for the TWL reproduction.
 
-.PHONY: install test bench bench-quick quick-parallel quick-resilient examples report clean
+.PHONY: install test lint typecheck bench bench-quick quick-parallel quick-resilient quick-sanitized examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# Full lint gate: ruff (style/pyflakes/isort) + mypy on the typed core
+# + the repo's own determinism pass (rules TWL001-TWL005, see
+# docs/invariants.md).  ruff/mypy are dev extras; when absent locally
+# the corresponding step is skipped with a notice (CI installs both).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install -e .[dev])"; \
+	fi
+	@$(MAKE) --no-print-directory typecheck
+	PYTHONPATH=src python -m repro.devtools.lint
+
+# mypy over the typed core only (repro.rng / repro.config / repro.exec
+# / repro.engine / repro.errors / repro.devtools); legacy packages are
+# followed silently per the [tool.mypy] table in pyproject.toml.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "typecheck: mypy not installed, skipping (pip install -e .[dev])"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -28,6 +51,13 @@ quick-resilient:
 	STATE=$$(mktemp -d) && \
 	REPRO_FAULTS="{\"mode\": \"transient\", \"rate\": 1.0, \"times\": 1, \"state_dir\": \"$$STATE\"}" \
 	PYTHONPATH=src python -m repro.cli fig6 --quick --jobs 2 --retries 2 --no-cache
+
+# Smoke the runtime determinism sanitizer end-to-end: every cell runs
+# with the random/np.random global entry points booby-trapped, proving
+# dynamically that no global RNG state leaks into results (also
+# covered by tests/test_lint.py; see docs/invariants.md).
+quick-sanitized:
+	REPRO_SANITIZE=1 PYTHONPATH=src python -m repro.cli fig6 --quick --jobs 2 --no-cache
 
 examples:
 	python examples/quickstart.py

@@ -23,15 +23,25 @@ summary error is raised at the end), and ``--resume PATH`` checkpoints
 progress to an append-only journal so a killed campaign restarted with
 the same flag skips every finished cell — all execution knobs, so the
 results stay bit-identical to a clean serial run.
+
+Determinism tooling (``docs/invariants.md``): ``twl-repro lint`` runs
+the static determinism/purity pass (rules TWL001–TWL005) over the
+package tree and exits non-zero on any violation; ``--sanitize`` (or
+``REPRO_SANITIZE=1``) arms the runtime sanitizer, making any
+global-RNG call inside engine/sim execution raise
+:class:`~repro.errors.DeterminismViolation` instead of silently
+breaking cache and resume bit-identity.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
+from .devtools import sanitize
 from .errors import ReproError
 from .exec.cache import default_cache_dir
 from .exec.policy import ON_ERROR_FAIL_FAST, ON_ERROR_KEEP_GOING, FailurePolicy
@@ -162,8 +172,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "report"],
-        help="which table/figure to regenerate ('report' builds Markdown)",
+        choices=sorted(_EXPERIMENTS) + ["all", "report", "lint"],
+        help=(
+            "which table/figure to regenerate ('report' builds Markdown; "
+            "'lint' runs the static determinism checks instead)"
+        ),
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "arm the runtime determinism sanitizer: any global-RNG call "
+            "inside engine/sim execution raises DeterminismViolation "
+            "(equivalent to REPRO_SANITIZE=1; see docs/invariants.md)"
+        ),
     )
     parser.add_argument(
         "--quick",
@@ -245,6 +267,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "lint":
+        from .devtools.lint import main as lint_main
+
+        return lint_main([])
+    if args.sanitize:
+        # Set the env var too so pool workers under spawn arm themselves.
+        os.environ[sanitize.SANITIZE_ENV] = "1"
+        sanitize.install()
+    else:
+        sanitize.maybe_install_from_env()
     setup = quick_setup() if args.quick else default_setup()
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     failure = FailurePolicy(
@@ -273,7 +305,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(text)
             return 0
         if args.experiment == "all":
-            for name in ("table1", "table2", "fig6", "fig7", "fig8", "fig9", "overhead", "energy", "ablations"):
+            for name in (
+                "table1", "table2", "fig6", "fig7", "fig8", "fig9",
+                "overhead", "energy", "ablations",
+            ):
                 _EXPERIMENTS[name](setup)
         else:
             _EXPERIMENTS[args.experiment](setup)

@@ -1,0 +1,749 @@
+"""Static analysis enforcing the repo's determinism invariants.
+
+The execution layer's guarantees — parallel/batched/resumed campaigns
+bit-identical to serial, content-addressed cache reuse, pure
+fault-injection cell selection — all reduce to invariants that no unit
+test can watch globally: randomness must flow through
+:mod:`repro.rng.streams`, wall-clock reads must stay out of
+result-producing code, and every spec field must be deliberately
+classified as identity-bearing or execution-only.  A single stray
+``np.random.rand()`` in :mod:`repro.sim` would silently corrupt cache
+reuse and resume bit-identity with zero test failures.
+
+This module walks the package tree with the stdlib ``ast`` module (no
+third-party dependencies) and reports violations as named rules:
+
+``TWL001``
+    No ``random.*`` calls, no global-state ``numpy.random.*`` calls,
+    no unseeded ``np.random.default_rng()`` and no OS entropy
+    (``os.urandom`` / ``uuid.uuid4`` / ``secrets``) outside
+    :mod:`repro.rng`.  All randomness derives from ``derive_seed`` /
+    ``make_generator`` / ``SeedSequenceFactory``.
+``TWL002``
+    No wall-clock reads (``time.time`` / ``perf_counter`` /
+    ``monotonic`` / ``datetime.now`` …) outside :mod:`repro.exec`,
+    whose progress lines and timeouts are the one sanctioned consumer.
+``TWL003``
+    Cache-fingerprint exhaustiveness: every field of
+    ``ExperimentCell`` and ``ExperimentSetup`` must appear in either
+    the fingerprint-identity set or the documented execution-knob set,
+    so adding a field without classifying it is a lint error instead
+    of a silent cache-poisoning bug.
+``TWL004``
+    In fingerprinted / result-serialization modules, iteration over
+    ``set`` expressions or ``.keys()/.values()/.items()`` views must be
+    wrapped in ``sorted(...)``, and ``json.dump(s)`` must pass
+    ``sort_keys=True``.
+``TWL005``
+    ``__all__`` must list only names that exist and every public
+    function/class defined in the module.
+
+A genuine exception is silenced inline with a *reasoned* pragma::
+
+    delay = jitter()  # twl: allow(TWL001) reason=exec backoff jitter
+
+Pragmas without a ``reason=`` do not suppress.  Rationale for each
+rule lives in ``docs/invariants.md``; ``twl-repro lint`` and
+``make lint`` are the entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Rule identifiers and their one-line summaries.
+RULES: Dict[str, str] = {
+    "TWL001": "randomness outside repro.rng (use repro.rng.streams)",
+    "TWL002": "wall-clock read outside repro.exec",
+    "TWL003": "spec field not classified as identity or execution knob",
+    "TWL004": "unordered iteration/serialization in a fingerprinted path",
+    "TWL005": "__all__ inconsistent with public module names",
+}
+
+#: Modules whose serialization/fingerprint role makes iteration order
+#: load-bearing (TWL004 applies only here).
+ORDERED_ITERATION_MODULES: FrozenSet[str] = frozenset(
+    {
+        "repro.exec.hashing",
+        "repro.exec.cache",
+        "repro.exec.checkpoint",
+        "repro.sim.cache",
+    }
+)
+
+#: Module prefixes exempt from TWL001 (the randomness primitives
+#: themselves, and the sanitizer that patches them).
+_RNG_EXEMPT_PREFIXES = ("repro.rng", "repro.devtools")
+
+#: Module prefixes allowed to read wall clocks (TWL002): executor
+#: progress timing, per-cell timeouts, fault-injection hangs.
+_CLOCK_ALLOWED_PREFIXES = ("repro.exec", "repro.devtools")
+
+#: ``numpy.random`` attributes that are *not* global-state entry points
+#: (explicitly-seeded constructor machinery).
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Clock-reading functions of the ``time`` module (``sleep`` is fine:
+#: it spends time, it does not observe it).
+_TIME_CLOCK_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+
+#: Clock-reading constructors of ``datetime.datetime`` / ``datetime.date``.
+_DATETIME_CLOCK_FNS = frozenset({"now", "utcnow", "today"})
+
+_PRAGMA_RE = re.compile(
+    r"#\s*twl:\s*allow\(\s*([A-Za-z0-9_\s,]+?)\s*\)(?:\s+reason=(\S[^#]*))?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` diagnostic line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name inferred from ``path`` via ``__init__.py`` files.
+
+    Walks parent directories while they are packages, so
+    ``…/src/repro/exec/hashing.py`` resolves to ``repro.exec.hashing``
+    and a bare fixture file resolves to its stem (no exemptions apply).
+    """
+    path = os.path.abspath(path)
+    stem = os.path.splitext(os.path.basename(path))[0]
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    directory = os.path.dirname(path)
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        directory = os.path.dirname(directory)
+    return ".".join(reversed(parts))
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``, or None for other shapes."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+class _ImportMap:
+    """Names bound by imports, bucketed by what they alias."""
+
+    def __init__(self) -> None:
+        self.random_modules: Set[str] = set()
+        self.random_funcs: Set[str] = set()
+        self.numpy_modules: Set[str] = set()
+        self.numpy_random_modules: Set[str] = set()
+        self.numpy_random_funcs: Dict[str, str] = {}
+        self.time_modules: Set[str] = set()
+        self.time_funcs: Dict[str, str] = {}
+        self.datetime_modules: Set[str] = set()
+        self.datetime_classes: Set[str] = set()
+        self.os_modules: Set[str] = set()
+        self.uuid_modules: Set[str] = set()
+        self.uuid_funcs: Set[str] = set()
+        self.secrets_names: Set[str] = set()
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._add_import(alias.name, alias.asname)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    self._add_from(node.module or "", alias.name, alias.asname)
+
+    def _add_import(self, name: str, asname: Optional[str]) -> None:
+        bound = asname or name.split(".")[0]
+        if name == "random":
+            self.random_modules.add(bound)
+        elif name == "numpy":
+            self.numpy_modules.add(bound)
+        elif name == "numpy.random":
+            if asname:
+                self.numpy_random_modules.add(bound)
+            else:
+                self.numpy_modules.add(bound)
+        elif name == "time":
+            self.time_modules.add(bound)
+        elif name == "datetime":
+            self.datetime_modules.add(bound)
+        elif name == "os":
+            self.os_modules.add(bound)
+        elif name == "uuid":
+            self.uuid_modules.add(bound)
+        elif name == "secrets":
+            self.secrets_names.add(bound)
+
+    def _add_from(self, module: str, name: str, asname: Optional[str]) -> None:
+        bound = asname or name
+        if module == "random":
+            self.random_funcs.add(bound)
+        elif module == "numpy" and name == "random":
+            self.numpy_random_modules.add(bound)
+        elif module == "numpy.random":
+            self.numpy_random_funcs[bound] = name
+        elif module == "time":
+            self.time_funcs[bound] = name
+        elif module == "datetime" and name in ("datetime", "date"):
+            self.datetime_classes.add(bound)
+        elif module == "uuid":
+            self.uuid_funcs.add(bound)
+        elif module == "secrets":
+            self.secrets_names.add(bound)
+
+
+def _is_unseeded_default_rng(node: ast.Call) -> bool:
+    """Whether a ``default_rng`` call supplies no deterministic seed."""
+    if not node.args and not node.keywords:
+        return True
+    if node.args:
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in node.keywords:
+        if keyword.arg == "seed":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is None
+    return True
+
+
+def _is_unordered_iterable(node: ast.AST) -> Optional[str]:
+    """A short description when ``node`` is an unordered iterable."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set expression"
+    if isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        if chain and chain[-1] in ("keys", "values", "items") and len(chain) > 1:
+            return f"a .{chain[-1]}() view"
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return f"a {node.func.id}() call"
+    return None
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Single-file AST pass applying TWL001/TWL002/TWL004/TWL005."""
+
+    def __init__(self, path: str, module: str) -> None:
+        self.path = path
+        self.module = module
+        self.imports = _ImportMap()
+        self.violations: List[Violation] = []
+        self._check_rng = not module.startswith(_RNG_EXEMPT_PREFIXES)
+        self._check_clock = not module.startswith(_CLOCK_ALLOWED_PREFIXES)
+        self._check_order = module in ORDERED_ITERATION_MODULES
+
+    def run(self, tree: ast.Module) -> List[Violation]:
+        self.imports.collect(tree)
+        self.visit(tree)
+        self._check_dunder_all(tree)
+        return self.violations
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- TWL001 / TWL002 ------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain:
+            if self._check_rng:
+                self._check_randomness(node, chain)
+            if self._check_clock:
+                self._check_clock_read(node, chain)
+            if self._check_order:
+                self._check_json_sorted(node, chain)
+        if self._check_order:
+            for builtin in ("list", "tuple", "iter", "enumerate", "reversed"):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == builtin
+                    and node.args
+                ):
+                    kind = _is_unordered_iterable(node.args[0])
+                    if kind:
+                        self._flag(
+                            node,
+                            "TWL004",
+                            f"{builtin}() over {kind} in a fingerprinted path; "
+                            "wrap it in sorted(...)",
+                        )
+        self.generic_visit(node)
+
+    def _check_randomness(self, node: ast.Call, chain: List[str]) -> None:
+        imports = self.imports
+        root = chain[0]
+        if root in imports.random_modules and len(chain) >= 2:
+            self._flag(
+                node,
+                "TWL001",
+                f"call to {'.'.join(chain)}(): the stdlib random module is "
+                "global state; derive a generator from repro.rng.streams",
+            )
+            return
+        if root in imports.random_funcs and len(chain) == 1:
+            self._flag(
+                node,
+                "TWL001",
+                f"call to {root}() imported from the stdlib random module; "
+                "derive a generator from repro.rng.streams",
+            )
+            return
+        np_fn: Optional[str] = None
+        if root in imports.numpy_modules and len(chain) >= 3 and chain[1] == "random":
+            np_fn = chain[2]
+        elif root in imports.numpy_random_modules and len(chain) >= 2:
+            np_fn = chain[1]
+        elif root in imports.numpy_random_funcs and len(chain) == 1:
+            np_fn = imports.numpy_random_funcs[root]
+        if np_fn is not None:
+            if np_fn == "default_rng":
+                if _is_unseeded_default_rng(node):
+                    self._flag(
+                        node,
+                        "TWL001",
+                        "unseeded np.random.default_rng() pulls OS entropy; "
+                        "use repro.rng.streams.make_generator(seed, ...)",
+                    )
+            elif np_fn not in _NP_RANDOM_ALLOWED:
+                self._flag(
+                    node,
+                    "TWL001",
+                    f"call to np.random.{np_fn}(): numpy global RNG state; "
+                    "derive a generator from repro.rng.streams",
+                )
+            return
+        if root in imports.os_modules and len(chain) == 2 and chain[1] == "urandom":
+            self._flag(node, "TWL001", "os.urandom() is OS entropy; use repro.rng")
+        elif root in imports.secrets_names:
+            self._flag(node, "TWL001", "secrets.* is OS entropy; use repro.rng")
+        elif (
+            root in imports.uuid_modules
+            and len(chain) == 2
+            and chain[1] in ("uuid1", "uuid4")
+        ) or (root in imports.uuid_funcs and len(chain) == 1):
+            self._flag(
+                node, "TWL001", "random UUIDs are OS entropy; use repro.rng"
+            )
+
+    def _check_clock_read(self, node: ast.Call, chain: List[str]) -> None:
+        imports = self.imports
+        root = chain[0]
+        flagged: Optional[str] = None
+        if root in imports.time_modules and len(chain) == 2:
+            if chain[1] in _TIME_CLOCK_FNS:
+                flagged = f"time.{chain[1]}()"
+        elif root in imports.time_funcs and len(chain) == 1:
+            if imports.time_funcs[root] in _TIME_CLOCK_FNS:
+                flagged = f"time.{imports.time_funcs[root]}()"
+        elif (
+            root in imports.datetime_modules
+            and len(chain) == 3
+            and chain[1] in ("datetime", "date")
+            and chain[2] in _DATETIME_CLOCK_FNS
+        ):
+            flagged = f"datetime.{chain[1]}.{chain[2]}()"
+        elif (
+            root in imports.datetime_classes
+            and len(chain) == 2
+            and chain[1] in _DATETIME_CLOCK_FNS
+        ):
+            flagged = f"{root}.{chain[1]}()"
+        if flagged:
+            self._flag(
+                node,
+                "TWL002",
+                f"wall-clock read {flagged} outside repro.exec; clock values "
+                "must never reach result-producing code",
+            )
+
+    # -- TWL004 ---------------------------------------------------------
+    def _check_json_sorted(self, node: ast.Call, chain: List[str]) -> None:
+        if len(chain) == 2 and chain[0] == "json" and chain[1] in ("dump", "dumps"):
+            for keyword in node.keywords:
+                if keyword.arg == "sort_keys":
+                    value = keyword.value
+                    if isinstance(value, ast.Constant) and value.value is True:
+                        return
+            self._flag(
+                node,
+                "TWL004",
+                f"json.{chain[1]}() without sort_keys=True in a fingerprinted "
+                "path; key order must not depend on construction order",
+            )
+
+    def _flag_unordered_iter(self, iterable: ast.AST) -> None:
+        kind = _is_unordered_iterable(iterable)
+        if kind:
+            self._flag(
+                iterable,
+                "TWL004",
+                f"iteration over {kind} in a fingerprinted path; "
+                "wrap it in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._check_order:
+            self._flag_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        if self._check_order:
+            for comp in getattr(node, "generators", []):
+                self._flag_unordered_iter(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- TWL005 ---------------------------------------------------------
+    def _check_dunder_all(self, tree: ast.Module) -> None:
+        dunder_all: Optional[ast.Assign] = None
+        for statement in tree.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and statement.targets[0].id == "__all__"
+            ):
+                dunder_all = statement
+        if dunder_all is None:
+            return
+        value = dunder_all.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return  # dynamically built; out of scope for static checking
+        names: List[str] = []
+        for element in value.elts:
+            if not isinstance(element, ast.Constant) or not isinstance(
+                element.value, str
+            ):
+                return
+            names.append(element.value)
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                self._flag(
+                    dunder_all, "TWL005", f"duplicate name {name!r} in __all__"
+                )
+            seen.add(name)
+        bound, has_star = _toplevel_bindings(tree)
+        # A module-level __getattr__ (PEP 562) can provide any name
+        # lazily, so existence cannot be checked statically.
+        if not has_star and "__getattr__" not in bound:
+            for name in names:
+                if name not in bound:
+                    self._flag(
+                        dunder_all,
+                        "TWL005",
+                        f"__all__ lists {name!r} but the module does not "
+                        "define or import it",
+                    )
+        for statement in tree.body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and not statement.name.startswith("_"):
+                if statement.name not in seen:
+                    self._flag(
+                        statement,
+                        "TWL005",
+                        f"public {type(statement).__name__.replace('Def', '').lower()}"
+                        f" {statement.name!r} missing from __all__",
+                    )
+
+
+def _toplevel_bindings(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Names bound at module top level (descending into if/try blocks)."""
+    bound: Set[str] = set()
+    has_star = False
+
+    def collect_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect_target(element)
+        elif isinstance(target, ast.Starred):
+            collect_target(target.value)
+
+    def walk(statements: Iterable[ast.stmt]) -> None:
+        nonlocal has_star
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(statement.name)
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    collect_target(target)
+            elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+                collect_target(statement.target)
+            elif isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(statement, ast.ImportFrom):
+                for alias in statement.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(statement, ast.If):
+                walk(statement.body)
+                walk(statement.orelse)
+            elif isinstance(statement, ast.Try):
+                walk(statement.body)
+                walk(statement.orelse)
+                walk(statement.finalbody)
+                for handler in statement.handlers:
+                    walk(handler.body)
+            elif isinstance(statement, (ast.For, ast.While, ast.With)):
+                if isinstance(statement, ast.For):
+                    collect_target(statement.target)
+                walk(statement.body)
+
+    walk(tree.body)
+    return bound, has_star
+
+
+def _suppressed(violation: Violation, pragmas: Dict[int, Tuple[Set[str], bool]]) -> bool:
+    entry = pragmas.get(violation.line)
+    if entry is None:
+        return False
+    rules, has_reason = entry
+    return violation.rule in rules and has_reason
+
+
+def _collect_pragmas(source: str) -> Dict[int, Tuple[Set[str], bool]]:
+    pragmas: Dict[int, Tuple[Set[str], bool]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            has_reason = bool(match.group(2) and match.group(2).strip())
+            pragmas[lineno] = (rules, has_reason)
+    return pragmas
+
+
+def lint_source(
+    source: str, path: str = "<string>", module: Optional[str] = None
+) -> List[Violation]:
+    """Lint one module's source text; returns unsuppressed violations.
+
+    ``module`` overrides the dotted-name inference from ``path`` (used
+    by the rule exemptions and the TWL004 module scoping).
+    """
+    if module is None:
+        module = module_name_for(path) if path != "<string>" else ""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                path=path,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                rule="TWL000",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    violations = _FileLinter(path, module).run(tree)
+    pragmas = _collect_pragmas(source)
+    kept = [v for v in violations if not _suppressed(v, pragmas)]
+    return sorted(kept, key=lambda v: (v.line, v.col, v.rule))
+
+
+def lint_file(path: str) -> List[Violation]:
+    """Lint one file on disk."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Python files under ``paths`` (files kept as-is), sorted."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for directory, _dirnames, filenames in os.walk(path):
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(directory, name))
+        else:
+            found.append(path)
+    return sorted(found)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Violation]:
+    """Lint every Python file under ``paths``."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# TWL003 — fingerprint field classification exhaustiveness
+# ----------------------------------------------------------------------
+def check_field_classification(
+    cls: type,
+    identity: FrozenSet[str],
+    execution: FrozenSet[str],
+    path: str,
+) -> List[Violation]:
+    """Violations for ``cls`` fields not split into identity/execution.
+
+    Every dataclass field must appear in exactly one of the two sets,
+    and neither set may name a field that no longer exists — so adding,
+    renaming or removing a spec field forces a deliberate decision
+    about cache identity (see ``docs/invariants.md``).
+    """
+    import dataclasses
+
+    violations: List[Violation] = []
+    line = 1
+
+    def flag(message: str) -> None:
+        violations.append(
+            Violation(path=path, line=line, col=0, rule="TWL003", message=message)
+        )
+
+    actual = {field.name for field in dataclasses.fields(cls)}
+    for name in sorted(actual - identity - execution):
+        flag(
+            f"{cls.__name__}.{name} is classified neither as fingerprint "
+            "identity nor as an execution knob; add it to exactly one set"
+        )
+    for name in sorted((identity | execution) - actual):
+        flag(
+            f"classification names {cls.__name__}.{name} which is not a "
+            "field of the dataclass; remove the stale entry"
+        )
+    for name in sorted(identity & execution):
+        flag(
+            f"{cls.__name__}.{name} is classified as both identity and "
+            "execution knob; pick one"
+        )
+    return violations
+
+
+def check_classifications() -> List[Violation]:
+    """TWL003 over the package's fingerprinted spec dataclasses."""
+    from ..exec import cells as cells_module
+    from ..exec import hashing as hashing_module
+    from ..experiments import setups as setups_module
+
+    return check_field_classification(
+        cells_module.ExperimentCell,
+        hashing_module.CELL_IDENTITY_FIELDS,
+        hashing_module.CELL_EXECUTION_FIELDS,
+        hashing_module.__file__,
+    ) + check_field_classification(
+        setups_module.ExperimentSetup,
+        setups_module.SETUP_IDENTITY_FIELDS,
+        setups_module.SETUP_EXECUTION_FIELDS,
+        setups_module.__file__,
+    )
+
+
+def default_lint_root() -> str:
+    """The installed ``repro`` package directory (the default target)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None, classify: bool = True
+) -> List[Violation]:
+    """Full lint pass: AST rules over ``paths`` plus TWL003."""
+    violations = lint_paths(list(paths) if paths else [default_lint_root()])
+    if classify:
+        violations.extend(check_classifications())
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.devtools.lint [paths…]``."""
+    parser = argparse.ArgumentParser(
+        prog="twl-repro lint",
+        description=(
+            "Static determinism/purity checks for the TWL reproduction "
+            "(rules TWL001-TWL005; see docs/invariants.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--no-classify",
+        action="store_true",
+        help="skip the TWL003 field-classification check",
+    )
+    args = parser.parse_args(argv)
+    violations = run_lint(args.paths or None, classify=not args.no_classify)
+    for violation in sorted(
+        violations, key=lambda v: (v.path, v.line, v.col, v.rule)
+    ):
+        print(violation.format())
+    files = len(iter_python_files(args.paths or [default_lint_root()]))
+    if violations:
+        print(
+            f"twl-repro lint: {len(violations)} violation(s) in {files} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"twl-repro lint: {files} file(s) clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 from ..config import TimingConfig
+from ..devtools import sanitize
 from ..errors import SimulationError
 from ..pcm.faults import FirstFailure
 from .observers import BatchSnapshot, EngineObserver
@@ -96,7 +97,7 @@ class SimulationEngine:
         observers: Iterable[EngineObserver] = (),
         timing: TimingConfig = TimingConfig(),
         chunk_demand: int = DEFAULT_CHUNK_DEMAND,
-    ):
+    ) -> None:
         if batch_size < 1:
             raise SimulationError(f"batch size must be positive, got {batch_size}")
         if chunk_demand < 1:
@@ -133,6 +134,16 @@ class SimulationEngine:
         """
         if max_demand < 0:
             raise ValueError("max_demand must be non-negative")
+        # Engine stepping is a sanitizer-protected region: when armed
+        # (REPRO_SANITIZE=1), any global-RNG call from a driver, scheme
+        # or observer raises DeterminismViolation.
+        sanitize.enter_protected("SimulationEngine stepping")
+        try:
+            return self._drive_loop(max_demand)
+        finally:
+            sanitize.exit_protected()
+
+    def _drive_loop(self, max_demand: int) -> int:
         scheme = self.scheme
         driver = self.driver
         array = scheme.array

@@ -128,7 +128,7 @@ class WearTimelineObserver(EngineObserver):
     sampling of a per-write run would dominate the cost).
     """
 
-    def __init__(self, every: int = 1):
+    def __init__(self, every: int = 1) -> None:
         if every < 1:
             raise ValueError(f"sampling stride must be positive, got {every}")
         self.every = every

@@ -8,6 +8,7 @@ still letting programming errors (``TypeError`` etc.) propagate.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Any, Iterable, Iterator
 
 
 class ReproError(Exception):
@@ -29,7 +30,7 @@ class PageWornOutError(ReproError):
     the exception guards direct users of :class:`repro.pcm.PCMArray`.
     """
 
-    def __init__(self, physical_page: int, writes: int, endurance: int):
+    def __init__(self, physical_page: int, writes: int, endurance: int) -> None:
         self.physical_page = physical_page
         self.writes = writes
         self.endurance = endurance
@@ -76,6 +77,18 @@ class CellTimeoutError(CellExecutionError):
     """
 
 
+class DeterminismViolation(ReproError):
+    """Global RNG state was consulted inside result-producing code.
+
+    Raised by the runtime determinism sanitizer
+    (:mod:`repro.devtools.sanitize`, armed via ``REPRO_SANITIZE=1`` or
+    ``--sanitize``) when a ``random`` / ``numpy.random`` global-state
+    entry point fires inside the engine step loop or a cell run —
+    exactly the leak that would silently break cache reuse and resume
+    bit-identity (rule TWL001 in ``docs/invariants.md``).
+    """
+
+
 class CampaignError(ReproError):
     """One or more cells failed during a ``keep-going`` campaign.
 
@@ -88,7 +101,7 @@ class CampaignError(ReproError):
     failures.  ``failures`` preserves the structured records.
     """
 
-    def __init__(self, failures):
+    def __init__(self, failures: Iterable[Any]) -> None:
         self.failures = list(failures)
         summary = "; ".join(str(failure) for failure in self.failures)
         count = len(self.failures)
@@ -96,7 +109,7 @@ class CampaignError(ReproError):
 
 
 @contextmanager
-def error_context(label: str, error_type: type = SimulationError):
+def error_context(label: str, error_type: type = SimulationError) -> Iterator[None]:
     """Re-raise any :class:`ReproError` with ``label`` prepended.
 
     Shared by the experiment executor (which labels failures with the

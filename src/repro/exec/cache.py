@@ -108,7 +108,7 @@ class CellCache:
     silently overwritten.
     """
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str) -> None:
         self.directory = directory
         self.hits = 0
         self.misses = 0
@@ -189,7 +189,7 @@ class CellCache:
         temp_path = f"{path}.{os.getpid()}.tmp"
         try:
             with open(temp_path, "w") as handle:
-                json.dump(record, handle)
+                json.dump(record, handle, sort_keys=True)
             os.replace(temp_path, path)
         except BaseException:
             # json.dump can die mid-write (disk full, unserializable

@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from ..config import ScaledArrayConfig
+from ..devtools import sanitize
 from ..errors import ConfigError
 from ..sim.drivers import TraceDriver
+from ..traces.trace import Trace
 from ..sim.lifetime import LifetimeResult
 from ..sim.metrics import SchemeOverheads, measure_scheme_overheads
 from ..sim.runner import (
@@ -183,7 +185,7 @@ def overheads_cell(
     )
 
 
-def _benchmark_trace(cell: ExperimentCell):
+def _benchmark_trace(cell: ExperimentCell) -> Trace:
     profile = cell.profile or get_profile(cell.workload)
     return make_benchmark_trace(
         profile,
@@ -200,7 +202,19 @@ def run_cell(cell: ExperimentCell) -> CellResult:
     Everything stochastic inside — endurance sampling, trace
     generation, scheme and attack RNGs — derives from ``cell.seed`` and
     ``cell.scaled.seed``, so the result is a pure function of the spec.
+
+    The whole cell is a sanitizer-protected region: under
+    ``REPRO_SANITIZE=1`` (checked here so pool workers arm themselves
+    from the inherited environment) any global-RNG call inside raises
+    :class:`~repro.errors.DeterminismViolation` instead of silently
+    breaking that purity.
     """
+    sanitize.maybe_install_from_env()
+    with sanitize.protected(f"cell {cell.describe()}"):
+        return _run_cell_inner(cell)
+
+
+def _run_cell_inner(cell: ExperimentCell) -> CellResult:
     if cell.kind == KIND_ATTACK:
         return measure_attack_lifetime(
             cell.scheme,

@@ -56,7 +56,7 @@ class CheckpointJournal:
     callers can report how much work the journal saved.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = path
         self._done: Dict[str, CellResult] = {}
         self._failed: Dict[str, str] = {}
@@ -112,7 +112,7 @@ class CheckpointJournal:
                     self._failed[fingerprint] = str(record.get("error", ""))
 
     def _append(self, record: Dict) -> None:
-        line = json.dumps(record) + "\n"
+        line = json.dumps(record, sort_keys=True) + "\n"
         with open(self.path, "ab") as handle:
             if handle.tell() > 0:
                 # A crash can leave a truncated, newline-less final

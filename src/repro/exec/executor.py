@@ -53,7 +53,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import (
     CampaignError,
@@ -67,6 +67,9 @@ from .checkpoint import CheckpointJournal
 from .faults import maybe_inject
 from .hashing import cell_fingerprint
 from .policy import DEFAULT_FAILURE_POLICY, CellFailure, FailurePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..experiments.setups import ExperimentSetup
 
 #: ``progress=False`` silences output; ``None`` selects the default
 #: stderr printer; a callable receives each formatted line.
@@ -134,7 +137,7 @@ def _execute_one(
     use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
     if use_alarm:
 
-        def _on_alarm(signum, frame):
+        def _on_alarm(signum: int, frame: object) -> None:
             raise _TimeoutAlarm()
 
         previous = signal.signal(signal.SIGALRM, _on_alarm)
@@ -407,7 +410,7 @@ def run_cells(
 
 def run_setup_cells(
     cells: Sequence[ExperimentCell],
-    setup,
+    setup: "ExperimentSetup",
     progress: ProgressHook = None,
 ) -> List[CellResult]:
     """Run cells under an :class:`~repro.experiments.setups.ExperimentSetup`.

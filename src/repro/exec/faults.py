@@ -52,10 +52,13 @@ import os
 import signal
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import ConfigError, SimulationError
 from ..rng.streams import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cells import ExperimentCell
 
 #: Environment variable carrying the JSON fault plan.
 FAULTS_ENV = "REPRO_FAULTS"
@@ -178,7 +181,7 @@ def _claim_injection(plan: FaultPlan, fingerprint: str) -> bool:
     return True
 
 
-def maybe_inject(cell) -> None:
+def maybe_inject(cell: "ExperimentCell") -> None:
     """Worker-side hook: fire the active plan's fault for ``cell``.
 
     Called at the top of the executor's worker entry point.  A no-op

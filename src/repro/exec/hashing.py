@@ -43,16 +43,27 @@ So does a version bump:
 >>> cell_fingerprint(cell, version="0.0.0") == cell_fingerprint(cell)
 False
 
-``batch_size`` is the one spec field *excluded* from the digest: the
-engine's batch-identity contract guarantees batched execution is
-bit-identical to per-write execution, so it is an execution knob (like
-the worker count), not part of the experiment's identity — a cached
-result is valid at any batch size:
+Every ``ExperimentCell`` field is classified as **identity-bearing**
+(:data:`CELL_IDENTITY_FIELDS`, hashed into the digest) or an
+**execution knob** (:data:`CELL_EXECUTION_FIELDS`, excluded).
+``batch_size`` is a knob because the engine's batch-identity contract
+guarantees batched execution is bit-identical to per-write execution;
+``label`` is a knob because it is display-only and never reaches
+:func:`~repro.exec.cells.run_cell`'s result.  A cached result is
+therefore valid at any batch size and under any label:
 
 >>> import dataclasses
 >>> cell_fingerprint(cell) == cell_fingerprint(
 ...     dataclasses.replace(cell, batch_size=4096))
 True
+>>> cell_fingerprint(cell) == cell_fingerprint(
+...     dataclasses.replace(cell, label="fig6 row 3"))
+True
+
+The classification must stay exhaustive: a field in neither set makes
+:func:`cell_fingerprint` raise (and lint rule TWL003 fail statically),
+so adding a spec field without deciding its cache role is an error,
+never a silent cache-poisoning bug (``docs/invariants.md``).
 """
 
 from __future__ import annotations
@@ -60,12 +71,37 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Any
+from typing import Any, FrozenSet
 
+from ..errors import ConfigError
 from ..version import __version__
 
 #: Bump when the serialized cache payload layout changes.
 CACHE_FORMAT_VERSION = 1
+
+#: ``ExperimentCell`` fields that determine the experiment's outcome —
+#: each one is hashed into the cache fingerprint, so changing it
+#: invalidates the cached result.
+CELL_IDENTITY_FIELDS: FrozenSet[str] = frozenset(
+    {
+        "kind",
+        "scheme",
+        "workload",
+        "scaled",
+        "seed",
+        "scheme_kwargs",
+        "attack_kwargs",
+        "trace_writes",
+        "drive_writes",
+        "footprint_override",
+        "profile",
+    }
+)
+
+#: ``ExperimentCell`` fields that cannot change the result (execution
+#: knobs / display metadata) — excluded from the fingerprint, so a
+#: cached result is reused across any of their values.
+CELL_EXECUTION_FIELDS: FrozenSet[str] = frozenset({"batch_size", "label"})
 
 
 def canonical_value(value: Any) -> Any:
@@ -94,17 +130,35 @@ def canonical_value(value: Any) -> Any:
     return repr(value)
 
 
-def cell_fingerprint(cell, version: str = __version__) -> str:
+def _check_exhaustive(cell: Any) -> None:
+    """Raise unless every cell field has a declared cache role (TWL003)."""
+    actual = {field.name for field in dataclasses.fields(cell)}
+    unclassified = actual - CELL_IDENTITY_FIELDS - CELL_EXECUTION_FIELDS
+    if unclassified:
+        raise ConfigError(
+            f"{type(cell).__name__} field(s) {sorted(unclassified)} are "
+            "classified neither as fingerprint identity nor as execution "
+            "knobs; add them to CELL_IDENTITY_FIELDS or "
+            "CELL_EXECUTION_FIELDS in repro.exec.hashing (TWL003, see "
+            "docs/invariants.md)"
+        )
+
+
+def cell_fingerprint(cell: Any, version: str = __version__) -> str:
     """Hex digest keying ``cell`` in the on-disk result cache.
 
-    The digest covers the canonicalized cell spec, the package
-    ``version`` and the cache format version; see the module docstring
-    for the invalidation rules this implies.
+    The digest covers the canonicalized identity fields of the cell
+    spec (:data:`CELL_IDENTITY_FIELDS`), the package ``version`` and
+    the cache format version; see the module docstring for the
+    invalidation rules this implies.  Raises
+    :class:`~repro.errors.ConfigError` on a spec field with no declared
+    cache role.
     """
+    _check_exhaustive(cell)
     canonical_cell = canonical_value(cell)
     if isinstance(canonical_cell, dict):
-        # Execution knob, not experiment identity (see module docstring).
-        canonical_cell.get("fields", {}).pop("batch_size", None)
+        for knob in sorted(CELL_EXECUTION_FIELDS):
+            canonical_cell.get("fields", {}).pop(knob, None)
     payload = json.dumps(
         {
             "cell": canonical_cell,

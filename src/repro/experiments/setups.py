@@ -54,6 +54,28 @@ BENCHMARKS: Tuple[str, ...] = (
 
 _QUICK_BENCHMARKS: Tuple[str, ...] = ("canneal", "streamcluster", "vips", "x264")
 
+#: ``ExperimentSetup`` fields that shape experiment outcomes — they
+#: flow into cell specs and therefore into cache fingerprints.
+SETUP_IDENTITY_FIELDS = frozenset(
+    {
+        "scaled",
+        "benchmarks",
+        "trace_writes",
+        "overhead_writes",
+        "seed",
+        "twl_config",
+    }
+)
+
+#: ``ExperimentSetup`` fields that only steer *how* cells execute
+#: (parallelism, caching, resilience) — by the executor's identity
+#: contracts none of them can change a result.  Lint rule TWL003
+#: requires every field to appear in exactly one of these two sets, so
+#: a new field cannot silently join (or silently skip) cache identity.
+SETUP_EXECUTION_FIELDS = frozenset(
+    {"jobs", "cache_dir", "batch_size", "failure", "resume"}
+)
+
 
 @dataclass(frozen=True)
 class ExperimentSetup:

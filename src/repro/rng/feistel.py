@@ -74,7 +74,7 @@ class FeistelNetwork:
         seed: int = 0,
         rounds: int = _DEFAULT_ROUNDS,
         keys: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         if bits < 2 or bits % 2 != 0:
             raise ConfigError(f"Feistel width must be even and >= 2, got {bits}")
         if rounds < 1:
@@ -155,7 +155,7 @@ class FeistelRNG:
     automatically at the end of each period so long runs do not repeat.
     """
 
-    def __init__(self, bits: int = 8, seed: int = 0, rounds: int = _DEFAULT_ROUNDS):
+    def __init__(self, bits: int = 8, seed: int = 0, rounds: int = _DEFAULT_ROUNDS) -> None:
         self.bits = bits
         self._seed = seed
         self._epoch = 0

@@ -41,7 +41,7 @@ class GaloisLFSR:
     ``2**width - 1`` distinct values for maximal tap masks.
     """
 
-    def __init__(self, width: int, seed: int = 1, taps: int = 0):
+    def __init__(self, width: int, seed: int = 1, taps: int = 0) -> None:
         if width < 2:
             raise ConfigError(f"LFSR width must be >= 2, got {width}")
         if taps == 0:

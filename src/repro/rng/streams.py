@@ -51,7 +51,7 @@ class SeedSequenceFactory:
     True
     """
 
-    def __init__(self, root_seed: int):
+    def __init__(self, root_seed: int) -> None:
         self.root_seed = int(root_seed)
 
     def seed(self, *labels: Label) -> int:

@@ -15,7 +15,7 @@ _MASK32 = 0xFFFFFFFF
 class XorShift32:
     """Marsaglia xorshift32 PRNG."""
 
-    def __init__(self, seed: int = 0x1234_5678):
+    def __init__(self, seed: int = 0x1234_5678) -> None:
         seed &= _MASK32
         if seed == 0:
             raise ConfigError("xorshift seed must be non-zero")

@@ -156,7 +156,9 @@ class ResultCache:
         temp_path = self.path + ".tmp"
         with open(temp_path, "w") as handle:
             json.dump(
-                {"version": _FORMAT_VERSION, "entries": self._entries}, handle
+                {"version": _FORMAT_VERSION, "entries": self._entries},
+                handle,
+                sort_keys=True,
             )
         os.replace(temp_path, self.path)
 

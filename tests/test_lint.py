@@ -1,0 +1,325 @@
+"""Tests for the determinism lint pass and the runtime sanitizer.
+
+Covers ``repro.devtools.lint`` (rules TWL001–TWL005, pragma
+suppression, the full-tree-clean invariant) and
+``repro.devtools.sanitize`` (global-RNG booby traps armed inside
+engine stepping and cell runs, disarmed elsewhere).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.attacks.registry import make_attack
+from repro.config import ScaledArrayConfig
+from repro.devtools import sanitize
+from repro.devtools.lint import (
+    RULES,
+    Violation,
+    check_classifications,
+    check_field_classification,
+    default_lint_root,
+    iter_python_files,
+    lint_source,
+    module_name_for,
+    run_lint,
+)
+from repro.engine import BatchSnapshot, EngineObserver, SimulationEngine
+from repro.errors import DeterminismViolation
+from repro.exec import FailurePolicy, attack_cell, run_cell, run_cells
+from repro.pcm.array import PCMArray
+from repro.sim.drivers import AttackDriver
+from repro.wearlevel.registry import make_scheme
+
+SCALED = ScaledArrayConfig(n_pages=64, endurance_mean=768.0)
+
+
+def _lint(source: str, module: str = "repro.sim.example") -> list:
+    """Lint dedented ``source`` as if it were the named module."""
+    return lint_source(textwrap.dedent(source), path="<fixture>", module=module)
+
+
+def _rules(violations) -> set:
+    return {v.rule for v in violations}
+
+
+class TestRuleTWL001Randomness:
+    def test_random_module_call_flagged(self):
+        out = _lint("import random\nx = random.random()\n")
+        assert _rules(out) == {"TWL001"}
+
+    def test_from_import_flagged(self):
+        out = _lint("from random import randint\nx = randint(0, 5)\n")
+        assert _rules(out) == {"TWL001"}
+
+    def test_numpy_global_state_flagged(self):
+        out = _lint("import numpy as np\nx = np.random.rand(3)\n")
+        assert _rules(out) == {"TWL001"}
+
+    def test_unseeded_default_rng_flagged(self):
+        out = _lint("import numpy as np\nrng = np.random.default_rng()\n")
+        assert _rules(out) == {"TWL001"}
+
+    def test_seeded_default_rng_allowed(self):
+        assert _lint("import numpy as np\nrng = np.random.default_rng(42)\n") == []
+
+    def test_explicit_generator_allowed(self):
+        source = """
+            import numpy as np
+            rng = np.random.Generator(np.random.PCG64(1))
+        """
+        assert _lint(source) == []
+
+    def test_os_entropy_flagged(self):
+        out = _lint("import os\nblob = os.urandom(16)\n")
+        assert _rules(out) == {"TWL001"}
+
+    def test_repro_rng_is_exempt(self):
+        source = "import random\nx = random.random()\n"
+        assert lint_source(source, module="repro.rng.streams") == []
+
+    def test_pragma_with_reason_suppresses(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # twl: allow(TWL001) reason=test fixture\n"
+        )
+        assert _lint(source) == []
+
+    def test_pragma_without_reason_does_not_suppress(self):
+        source = "import random\nx = random.random()  # twl: allow(TWL001)\n"
+        assert _rules(_lint(source)) == {"TWL001"}
+
+
+class TestRuleTWL002Clocks:
+    def test_time_time_flagged(self):
+        out = _lint("import time\nt = time.time()\n")
+        assert _rules(out) == {"TWL002"}
+
+    def test_perf_counter_flagged(self):
+        out = _lint("from time import perf_counter\nt = perf_counter()\n")
+        assert _rules(out) == {"TWL002"}
+
+    def test_datetime_now_flagged(self):
+        out = _lint("import datetime\nt = datetime.datetime.now()\n")
+        assert _rules(out) == {"TWL002"}
+
+    def test_sleep_allowed(self):
+        assert _lint("import time\ntime.sleep(0.01)\n") == []
+
+    def test_repro_exec_is_exempt(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert lint_source(source, module="repro.exec.executor") == []
+
+
+class TestRuleTWL003Classification:
+    def test_clean_on_real_specs(self):
+        assert check_classifications() == []
+
+    def test_unclassified_field_flagged(self):
+        @dataclasses.dataclass
+        class Spec:
+            seed: int = 0
+            mystery: int = 0
+
+        out = check_field_classification(
+            Spec, frozenset({"seed"}), frozenset(), path="<fixture>"
+        )
+        assert _rules(out) == {"TWL003"}
+        assert any("mystery" in v.message for v in out)
+
+    def test_double_classified_field_flagged(self):
+        @dataclasses.dataclass
+        class Spec:
+            seed: int = 0
+
+        out = check_field_classification(
+            Spec, frozenset({"seed"}), frozenset({"seed"}), path="<fixture>"
+        )
+        assert _rules(out) == {"TWL003"}
+
+    def test_phantom_classification_flagged(self):
+        @dataclasses.dataclass
+        class Spec:
+            seed: int = 0
+
+        out = check_field_classification(
+            Spec, frozenset({"seed", "ghost"}), frozenset(), path="<fixture>"
+        )
+        assert _rules(out) == {"TWL003"}
+
+
+class TestRuleTWL004Ordering:
+    MODULE = "repro.exec.hashing"
+
+    def test_set_iteration_flagged(self):
+        source = "for item in {1, 2, 3}:\n    pass\n"
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL004"}
+
+    def test_dict_keys_iteration_flagged(self):
+        source = "d = {}\nfor key in d.keys():\n    pass\n"
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL004"}
+
+    def test_sorted_iteration_allowed(self):
+        source = "d = {}\nfor key in sorted(d.keys()):\n    pass\n"
+        assert lint_source(source, module=self.MODULE) == []
+
+    def test_json_dump_without_sort_keys_flagged(self):
+        source = "import json\ntext = json.dumps({})\n"
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL004"}
+
+    def test_json_dump_with_sort_keys_allowed(self):
+        source = "import json\ntext = json.dumps({}, sort_keys=True)\n"
+        assert lint_source(source, module=self.MODULE) == []
+
+    def test_rule_scoped_to_fingerprinted_modules(self):
+        source = "d = {}\nfor key in d.keys():\n    pass\n"
+        assert lint_source(source, module="repro.sim.runner") == []
+
+
+class TestRuleTWL005DunderAll:
+    def test_undefined_name_flagged(self):
+        out = _lint('__all__ = ["missing"]\n')
+        assert _rules(out) == {"TWL005"}
+
+    def test_duplicate_flagged(self):
+        source = '__all__ = ["f", "f"]\ndef f():\n    pass\n'
+        assert _rules(_lint(source)) == {"TWL005"}
+
+    def test_missing_public_name_flagged(self):
+        source = '__all__ = ["f"]\ndef f():\n    pass\ndef g():\n    pass\n'
+        out = _lint(source)
+        assert _rules(out) == {"TWL005"}
+        assert any("g" in v.message for v in out)
+
+    def test_consistent_all_clean(self):
+        source = (
+            '__all__ = ["f"]\n'
+            "def f():\n    pass\n"
+            "def _private():\n    pass\n"
+        )
+        assert _lint(source) == []
+
+
+class TestInfrastructure:
+    def test_module_name_for_resolves_package_path(self):
+        assert module_name_for("src/repro/exec/hashing.py") == "repro.exec.hashing"
+
+    def test_syntax_error_reported_not_raised(self):
+        out = lint_source("def broken(:\n", path="<fixture>")
+        assert len(out) == 1
+        assert out[0].rule == "TWL000"
+
+    def test_violation_format_has_rule_and_location(self):
+        violation = Violation("x.py", 3, 7, "TWL001", "boom")
+        assert violation.format() == "x.py:3:7: TWL001 boom"
+
+    def test_rules_table_covers_all_five(self):
+        assert set(RULES) == {"TWL001", "TWL002", "TWL003", "TWL004", "TWL005"}
+
+
+class TestTreeClean:
+    def test_full_source_tree_is_lint_clean(self):
+        violations = run_lint()
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_walker_finds_the_source_tree(self):
+        assert len(iter_python_files([default_lint_root()])) > 50
+
+
+class _EvilObserver(EngineObserver):
+    """Plants a global-RNG read inside the engine's step loop."""
+
+    def on_batch(self, snapshot: BatchSnapshot) -> None:
+        random.random()
+
+
+def _engine(observers=()):
+    array = PCMArray.uniform(64, 10**6)
+    scheme = make_scheme("nowl", array, seed=3)
+    attack = make_attack("scan", scheme.logical_pages, seed=3)
+    return SimulationEngine(scheme, AttackDriver(attack), observers=observers)
+
+
+@pytest.fixture
+def armed_sanitizer():
+    sanitize.install()
+    try:
+        yield
+    finally:
+        sanitize.uninstall()
+
+
+class TestSanitizer:
+    def test_clean_engine_run_passes(self, armed_sanitizer):
+        assert _engine().drive(500) == 500
+
+    def test_planted_violation_in_stepping_raises(self, armed_sanitizer):
+        engine = _engine(observers=[_EvilObserver()])
+        with pytest.raises(DeterminismViolation, match="TWL001"):
+            engine.drive(500)
+
+    def test_numpy_global_state_raises_in_region(self, armed_sanitizer):
+        with sanitize.protected("test region"):
+            with pytest.raises(DeterminismViolation):
+                np.random.rand(3)
+
+    def test_unseeded_default_rng_raises_in_region(self, armed_sanitizer):
+        with sanitize.protected("test region"):
+            with pytest.raises(DeterminismViolation):
+                np.random.default_rng()
+            # Explicit seeding stays legal even inside the region.
+            assert np.random.default_rng(7).integers(10) >= 0
+
+    def test_random_allowed_outside_region(self, armed_sanitizer):
+        assert 0.0 <= random.random() < 1.0
+
+    def test_exec_backoff_allowed_under_sanitizer(self, armed_sanitizer):
+        policy = FailurePolicy(max_retries=2)
+        delay = policy.retry_delay("fingerprint", 1)
+        assert delay == policy.retry_delay("fingerprint", 1)
+
+    def test_cell_run_is_protected(self, armed_sanitizer, monkeypatch):
+        cell = attack_cell("nowl", "scan", scaled=SCALED, seed=11)
+        result = run_cell(cell)
+        assert result.demand_writes > 0
+
+    def test_campaign_smoke_with_env(self, monkeypatch):
+        monkeypatch.setenv(sanitize.SANITIZE_ENV, "1")
+        cells = [attack_cell("nowl", "scan", scaled=SCALED, seed=11)]
+        try:
+            results = run_cells(cells, jobs=1, progress=False)
+        finally:
+            sanitize.uninstall()
+        assert len(results) == 1
+
+    def test_env_campaign_fails_on_planted_violation(self, monkeypatch):
+        monkeypatch.setenv(sanitize.SANITIZE_ENV, "1")
+        cell = attack_cell("nowl", "scan", scaled=SCALED, seed=11)
+        try:
+            sanitize.maybe_install_from_env()
+            with sanitize.protected(cell.describe()):
+                with pytest.raises(DeterminismViolation):
+                    random.random()
+        finally:
+            sanitize.uninstall()
+
+    def test_install_is_idempotent(self):
+        sanitize.install()
+        sanitize.install()
+        try:
+            assert sanitize.sanitizer_installed()
+        finally:
+            sanitize.uninstall()
+        assert not sanitize.sanitizer_installed()
+        # The patched entry points must be fully restored: a call inside
+        # a protected region after uninstall must not raise.
+        with sanitize.protected("after uninstall"):
+            assert 0.0 <= random.random() < 1.0
