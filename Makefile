@@ -1,6 +1,6 @@
 # Convenience targets for the TWL reproduction.
 
-.PHONY: install test lint typecheck bench bench-quick quick-parallel quick-resilient quick-sanitized examples report clean
+.PHONY: install test lint typecheck bench bench-quick quick-parallel quick-resilient quick-sanitized quick-softerrors examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -58,6 +58,13 @@ quick-resilient:
 # covered by tests/test_lint.py; see docs/invariants.md).
 quick-sanitized:
 	REPRO_SANITIZE=1 PYTHONPATH=src python -m repro.cli fig6 --quick --jobs 2 --no-cache
+
+# Smoke the controller soft-error layer end-to-end: the resilience
+# sweep (scheme × protection × rate) under the determinism sanitizer,
+# with parity/SECDED cells running under the runtime invariant checker
+# (see docs/robustness.md; also covered by tests/test_softerrors.py).
+quick-softerrors:
+	REPRO_SANITIZE=1 PYTHONPATH=src python -m repro.cli resilience --quick --jobs 2 --no-cache
 
 examples:
 	python examples/quickstart.py

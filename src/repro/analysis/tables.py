@@ -18,6 +18,11 @@ def _format_cell(value: Cell, precision: int) -> str:
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):
+        if value != 0.0 and abs(value) < 0.5 * 10.0**-precision:
+            # Nonzero values that fixed-point would render as zero
+            # (soft-error rates, check-bit overheads) keep their
+            # magnitude in significant-figure form instead.
+            return f"{value:.{precision}g}"
         return f"{value:.{precision}f}"
     return str(value)
 

@@ -45,7 +45,18 @@ from .devtools import sanitize
 from .errors import ReproError
 from .exec.cache import default_cache_dir
 from .exec.policy import ON_ERROR_FAIL_FAST, ON_ERROR_KEEP_GOING, FailurePolicy
-from .experiments import ablations, energy, fig6, fig7, fig8, fig9, overhead, table1, table2
+from .experiments import (
+    ablations,
+    energy,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    overhead,
+    resilience,
+    table1,
+    table2,
+)
 from .experiments.setups import ExperimentSetup, default_setup, quick_setup
 
 
@@ -93,6 +104,13 @@ def _run_energy(setup: ExperimentSetup) -> None:
     _print("E1 — write-energy overhead", energy.run(setup).render(precision=4))
 
 
+def _run_resilience(setup: ExperimentSetup) -> None:
+    _print(
+        "R1 — controller soft-error resilience (years)",
+        resilience.run(setup).render(precision=2),
+    )
+
+
 def _run_ablations(setup: ExperimentSetup) -> None:
     _print("A1 — pairing policy", ablations.pairing_ablation(setup).render(precision=2))
     _print(
@@ -125,6 +143,7 @@ _EXPERIMENTS: Dict[str, Callable[[ExperimentSetup], None]] = {
     "overhead": _run_overhead,
     "ablations": _run_ablations,
     "energy": _run_energy,
+    "resilience": _run_resilience,
 }
 
 
@@ -307,7 +326,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.experiment == "all":
             for name in (
                 "table1", "table2", "fig6", "fig7", "fig8", "fig9",
-                "overhead", "energy", "ablations",
+                "overhead", "energy", "ablations", "resilience",
             ):
                 _EXPERIMENTS[name](setup)
         else:

@@ -19,7 +19,7 @@ paper's comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from .errors import ConfigError
 from .units import GIB, KIB
@@ -302,6 +302,63 @@ class BWLConfig:
         _require(self.running_multiplier > 0, "running multiplier must be > 0")
         _require(0 < self.hot_fraction <= 0.5, "hot fraction must be in (0, 0.5]")
         _require(self.cold_threshold >= 1, "cold threshold must be >= 1")
+
+
+#: Per-entry protection levels for controller SRAM structures.
+PROTECTION_NONE = "none"
+PROTECTION_PARITY = "parity"
+PROTECTION_SECDED = "secded"
+_PROTECTIONS = (PROTECTION_NONE, PROTECTION_PARITY, PROTECTION_SECDED)
+
+
+@dataclass(frozen=True)
+class SoftErrorConfig:
+    """Deterministic controller soft-error injection parameters.
+
+    ``rate`` is the per-demand-write probability that one bit flips
+    somewhere in the scheme's exposed controller state (remapping
+    table, write counters, SWPT/WNT, RNG registers).  Flip instants
+    are scheduled on the *absolute demand-write index* with geometric
+    inter-arrival gaps drawn from a dedicated ``repro.rng`` stream, so
+    a given ``(scheme, workload, seed, rate)`` cell always suffers the
+    same flips at the same instants regardless of batch size or worker
+    scheduling.
+
+    ``protection`` selects the per-entry SRAM protection modeled by
+    :class:`repro.pcm.softerrors.SoftErrorInjector` (and costed by
+    :func:`repro.hwcost.scheme_protection_bits`):
+
+    * ``"none"`` — the flip lands and persists silently;
+    * ``"parity"`` — the flip is detected on delivery, triggering
+      scrub-and-repair from structural redundancy (or the scheme's
+      fail-safe when repair is impossible);
+    * ``"secded"`` — the flip is corrected transparently (single-error
+      correction), leaving the run bit-identical to the unfaulted one.
+
+    ``targets`` optionally restricts injection to named structures from
+    the scheme's fault surface (e.g. ``("rt", "wct")``); empty means
+    every exposed structure, weighted by its bit count.
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+    targets: Tuple[str, ...] = ()
+    protection: str = PROTECTION_NONE
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 <= self.rate <= 1.0,
+            f"soft-error rate must be in [0, 1], got {self.rate}",
+        )
+        _require(
+            self.protection in _PROTECTIONS,
+            f"protection must be one of {_PROTECTIONS}, got {self.protection!r}",
+        )
+        for target in self.targets:
+            _require(
+                isinstance(target, str) and bool(target),
+                f"targets must be non-empty structure names, got {target!r}",
+            )
 
 
 @dataclass(frozen=True)

@@ -278,6 +278,107 @@ class TossUpWearLeveling(WearLeveler):
         return 2
 
     # ------------------------------------------------------------------
+    # Fault surface
+    # ------------------------------------------------------------------
+    def fault_surface(self):
+        """TWL's injectable SRAM state: RT, WCT, SWPT and both RNGs.
+
+        The ET is deliberately absent: the paper stores tested
+        endurance in ROM-like fashion (written once at format time),
+        and the invariant checker treats any ET change as a violation
+        rather than a recoverable fault.  Repair strategies per
+        structure:
+
+        * RT — scrub from the inverse array; identity-mapping fail-safe
+          when the redundancy is gone too.
+        * WCT — reset the counter (safe: the interval trigger merely
+          fires early/late once).
+        * SWPT — re-derive from the claimant entry, degrading to a
+          self-pair when the page was self-paired.
+        * RNG registers — reload the architectural seed / reset the
+          counter (a reseeded RNG is still a valid RNG).
+        """
+        from ..pcm.softerrors import BitTarget
+
+        remap = self.remap
+        counters = self.write_counters
+        pair_table = self.pair_table
+        victim_rng = self._victim_rng
+        toss_rng = self.toss_up.rng
+        victim_reload = victim_rng.state
+
+        def repair_wct(page: int) -> bool:
+            counters.reset(page)
+            return True
+
+        def repair_victim_rng(_entry: int) -> bool:
+            victim_rng.state = victim_reload
+            return True
+
+        def repair_toss_rng(_entry: int) -> bool:
+            toss_rng._counter = 0
+            return True
+
+        return {
+            "rt": BitTarget(
+                name="rt",
+                n_entries=remap.n_pages,
+                entry_bits=remap.entry_bits,
+                read=remap.raw_entry,
+                write=remap.poke_entry,
+                repair=remap.repair_entry,
+                fail_safe=self.fault_fail_safe,
+            ),
+            "wct": BitTarget(
+                name="wct",
+                n_entries=counters.n_pages,
+                entry_bits=counters.entry_bits,
+                read=counters.value,
+                write=counters.poke,
+                repair=repair_wct,
+            ),
+            "swpt": BitTarget(
+                name="swpt",
+                n_entries=pair_table.n_pages,
+                entry_bits=pair_table.entry_bits,
+                read=pair_table.raw_partner,
+                write=pair_table.poke_partner,
+                repair=pair_table.repair_entry,
+            ),
+            "rng": BitTarget(
+                name="rng",
+                n_entries=1,
+                entry_bits=32,
+                read=lambda _entry: victim_rng.state,
+                write=lambda _entry, value: setattr(
+                    victim_rng, "state", value
+                ),
+                repair=repair_victim_rng,
+            ),
+            "tossrng": BitTarget(
+                name="tossrng",
+                n_entries=1,
+                entry_bits=self.toss_up.rng_bits,
+                read=lambda _entry: toss_rng._counter,
+                write=lambda _entry, value: setattr(
+                    toss_rng, "_counter", value
+                ),
+                repair=repair_toss_rng,
+            ),
+        }
+
+    def fault_fail_safe(self) -> None:
+        """Graceful degradation: collapse the RT to identity mapping.
+
+        Invoked when a detected RT corruption cannot be repaired from
+        the inverse array.  Address translation stays correct (the
+        identity map serves every access) at the cost of leveling, and
+        ``fault_degraded`` records the downgrade for result tables.
+        """
+        self.remap.reset_identity()
+        self.fault_degraded = True
+
+    # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     def toss_up_swap_ratio(self) -> float:

@@ -4,10 +4,15 @@
   loop every simulation path (exact lifetime, fast-forward, overhead
   measurement) is configured from, plus the batched write protocol;
 * :mod:`repro.engine.observers` — per-batch observer hooks and the
-  built-in observers (overhead collection, wear timelines).
+  built-in observers (overhead collection, wear timelines);
+* :mod:`repro.engine.invariants` — :class:`InvariantCheckObserver`,
+  runtime verification of wear-leveler state invariants (RT
+  bijectivity, write-count conservation, ET immutability, SWPT
+  validity) raising :class:`repro.errors.InvariantViolation`.
 """
 
 from .core import DEFAULT_CHUNK_DEMAND, EngineOutcome, SimulationEngine
+from .invariants import InvariantCheckObserver
 from .observers import (
     BatchSnapshot,
     EngineObserver,
@@ -20,6 +25,7 @@ __all__ = [
     "DEFAULT_CHUNK_DEMAND",
     "EngineOutcome",
     "SimulationEngine",
+    "InvariantCheckObserver",
     "BatchSnapshot",
     "EngineObserver",
     "SchemeOverheads",

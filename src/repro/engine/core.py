@@ -32,16 +32,18 @@ attachment point for metrics, timelines and detection logic.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 from ..config import TimingConfig
 from ..devtools import sanitize
-from ..errors import SimulationError
+from ..errors import DeterminismViolation, SimulationError
 from ..pcm.faults import FirstFailure
 from .observers import BatchSnapshot, EngineObserver
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..pcm.softerrors import SoftErrorInjector
     from ..sim.drivers import WorkloadDriver
     from ..wearlevel.base import WearLeveler
 
@@ -83,10 +85,20 @@ class SimulationEngine:
         path; larger values select the batched write protocol.
     observers:
         :class:`EngineObserver` instances notified per batch and at run
-        boundaries.
+        boundaries.  A non-``critical`` observer that raises is detached
+        with a warning instead of aborting the run (degraded metrics
+        beat a killed campaign); observers with ``critical = True`` —
+        the invariant checker — propagate.
     timing:
         Latency parameters for the simulated-time accumulator (one page
         write costs ``timing.write_cycles``).
+    soft_errors:
+        Optional :class:`repro.pcm.softerrors.SoftErrorInjector`.  When
+        active, every step's quota is clamped so the step ends exactly
+        on the next scheduled flip instant (an absolute demand-write
+        index), and due flips are delivered after the step before
+        observers see the snapshot — which keeps batched runs
+        bit-identical to serial runs under nonzero fault rates.
     """
 
     def __init__(
@@ -97,6 +109,7 @@ class SimulationEngine:
         observers: Iterable[EngineObserver] = (),
         timing: TimingConfig = TimingConfig(),
         chunk_demand: int = DEFAULT_CHUNK_DEMAND,
+        soft_errors: Optional["SoftErrorInjector"] = None,
     ) -> None:
         if batch_size < 1:
             raise SimulationError(f"batch size must be positive, got {batch_size}")
@@ -108,6 +121,11 @@ class SimulationEngine:
         self.timing = timing
         self._chunk_demand = chunk_demand
         self._observers: Tuple[EngineObserver, ...] = tuple(observers)
+        self._soft_errors = (
+            soft_errors
+            if soft_errors is not None and soft_errors.active
+            else None
+        )
         #: Cumulative demand writes served by this engine instance.
         self.demand_served = 0
         #: Engine steps taken so far.
@@ -121,6 +139,39 @@ class SimulationEngine:
     def add_observer(self, observer: EngineObserver) -> None:
         """Attach ``observer`` to subsequent steps of this engine."""
         self._observers = self._observers + (observer,)
+
+    def _notify(self, hook: str, *args: object) -> None:
+        """Dispatch one observer callback with detach-on-failure.
+
+        Observers are instrumentation: a metric bug must degrade the
+        metric, not kill a multi-hour campaign.  A non-``critical``
+        observer that raises is dropped from this engine with a
+        one-line warning; later observers still fire.  Observers that
+        *enforce* correctness (``critical = True``) propagate — the
+        invariant checker failing IS the result.
+        """
+        for observer in self._observers:
+            try:
+                getattr(observer, hook)(*args)
+            except Exception as error:
+                if getattr(observer, "critical", False):
+                    raise
+                if isinstance(error, DeterminismViolation):
+                    # A sanitizer finding is never an observer bug to
+                    # shrug off — the run's purity is already broken.
+                    raise
+                self._observers = tuple(
+                    existing
+                    for existing in self._observers
+                    if existing is not observer
+                )
+                warnings.warn(
+                    f"engine observer {type(observer).__name__} raised "
+                    f"{type(error).__name__} in {hook} and was detached: "
+                    f"{error}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
     # ------------------------------------------------------------------
     # The step loop
@@ -147,11 +198,18 @@ class SimulationEngine:
         scheme = self.scheme
         driver = self.driver
         array = scheme.array
+        injector = self._soft_errors
         batched = self.batch_size > 1
         write_cycles = float(self.timing.write_cycles)
         served_total = 0
         while served_total < max_demand and not array.failed:
             quota = max_demand - served_total
+            if injector is not None:
+                # Clamp the step so it ends exactly on the next scheduled
+                # flip instant (an absolute demand-write index) — the
+                # delivery point is then the same for every batch size,
+                # extending the batch-identity contract to faulted runs.
+                quota = min(quota, injector.demand_until_next(self.demand_served))
             device_before = array.total_writes
             if batched:
                 addresses = driver.next_batch(min(self.batch_size, quota))
@@ -170,6 +228,11 @@ class SimulationEngine:
             self.simulated_cycles += write_cycles * (
                 array.total_writes - device_before
             )
+            if injector is not None:
+                # Deliver before observers so the invariant checker sees
+                # the corrupted (or repaired) state at the exact step the
+                # flip landed.
+                injector.deliver(self.demand_served)
             if self._observers:
                 snapshot = BatchSnapshot(
                     index=self.batches - 1,
@@ -182,8 +245,7 @@ class SimulationEngine:
                     failed=array.failed,
                     scheme=scheme,
                 )
-                for observer in self._observers:
-                    observer.on_batch(snapshot)
+                self._notify("on_batch", snapshot)
         return served_total
 
     # ------------------------------------------------------------------
@@ -192,14 +254,12 @@ class SimulationEngine:
     def begin_run(self) -> None:
         """Notify observers that a run is starting (multi-phase runs
         like fast-forward call this once up front)."""
-        for observer in self._observers:
-            observer.on_run_start(self)
+        self._notify("on_run_start", self)
 
     def end_run(self) -> EngineOutcome:
         """Build the outcome and notify observers the run is over."""
         outcome = self.outcome()
-        for observer in self._observers:
-            observer.on_run_end(self, outcome)
+        self._notify("on_run_end", self, outcome)
         return outcome
 
     def outcome(self) -> EngineOutcome:

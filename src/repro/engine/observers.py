@@ -72,7 +72,18 @@ class BatchSnapshot:
 
 
 class EngineObserver:
-    """Base class for engine observers; all hooks default to no-ops."""
+    """Base class for engine observers; all hooks default to no-ops.
+
+    Observers are instrumentation, so the engine treats a raising
+    observer as a broken metric, not a broken run: the observer is
+    detached with a :class:`RuntimeWarning` and the run continues.
+    Observers whose exceptions *are* the result — the invariant checker
+    — set ``critical = True`` to propagate instead.
+    """
+
+    #: When True, exceptions from this observer abort the run instead of
+    #: detaching the observer.
+    critical = False
 
     def on_run_start(self, engine: "SimulationEngine") -> None:
         """Called once before the run's first demand write."""

@@ -8,7 +8,7 @@ still letting programming errors (``TypeError`` etc.) propagate.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 
 class ReproError(Exception):
@@ -54,6 +54,35 @@ class SimulationError(ReproError):
 
 class ExtrapolationError(ReproError):
     """Fast-forward lifetime extrapolation could not converge."""
+
+
+class InvariantViolation(SimulationError):
+    """A runtime hardware-state invariant failed during an engine run.
+
+    Raised by :class:`repro.engine.InvariantCheckObserver` when one of
+    the contracts every wear leveler must maintain — remapping-table
+    bijectivity, write-count conservation, endurance-table immutability,
+    SWPT pairing validity — stops holding, typically because injected
+    soft errors (:mod:`repro.pcm.softerrors`) corrupted controller state
+    without protection.  Carries the scheme name, the engine step index
+    and the offending structure so campaign logs can name the failure
+    precisely.  Like :class:`PageWornOutError` this has a multi-argument
+    constructor; the executor wraps it into a single-string
+    :class:`CellExecutionError` before it crosses a pool boundary.
+    """
+
+    def __init__(
+        self, scheme: str, step: int, table: str, details: Sequence[str]
+    ) -> None:
+        self.scheme = scheme
+        self.step = step
+        self.table = table
+        self.details = list(details)
+        described = "; ".join(self.details) or "invariant violated"
+        super().__init__(
+            f"invariant violation in scheme {scheme!r} at engine step "
+            f"{step} [{table}]: {described}"
+        )
 
 
 class CellExecutionError(SimulationError):

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
-from ..config import ScaledArrayConfig
+from ..config import ScaledArrayConfig, SoftErrorConfig
 from ..devtools import sanitize
 from ..errors import ConfigError
 from ..sim.drivers import TraceDriver
@@ -92,6 +92,14 @@ class ExperimentCell:
     #: value, so this field is *excluded* from the cache fingerprint —
     #: it is an execution knob, not part of the experiment's identity.
     batch_size: int = 1
+    #: Controller soft-error injection (``attack``/``trace`` kinds).
+    #: Part of the cell's identity: a faulted run is a different
+    #: experiment than a clean one.
+    soft_errors: Optional[SoftErrorConfig] = None
+    #: Attach the runtime invariant checker to the run.  An execution
+    #: knob (pure verification — it either passes with an unchanged
+    #: result or fails the cell), excluded from the fingerprint.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -102,6 +110,11 @@ class ExperimentCell:
             raise ConfigError("overheads cells need drive_writes >= 1")
         if self.batch_size < 1:
             raise ConfigError(f"batch size must be positive, got {self.batch_size}")
+        if self.kind == KIND_OVERHEADS and self.soft_errors is not None:
+            raise ConfigError(
+                "overheads cells do not support soft-error injection "
+                "(the timing model needs clean swap counters)"
+            )
 
     def describe(self) -> str:
         """Human-readable identity: ``twl_swp×scan seed=2017``."""
@@ -119,6 +132,8 @@ def attack_cell(
     scheme_kwargs: Optional[dict] = None,
     attack_kwargs: Optional[dict] = None,
     label: str = "",
+    soft_errors: Optional[SoftErrorConfig] = None,
+    check_invariants: bool = False,
 ) -> ExperimentCell:
     """Cell spec for a run-to-failure attack experiment."""
     return ExperimentCell(
@@ -130,6 +145,8 @@ def attack_cell(
         scheme_kwargs=dict(scheme_kwargs or {}),
         attack_kwargs=dict(attack_kwargs or {}),
         label=label,
+        soft_errors=soft_errors,
+        check_invariants=check_invariants,
     )
 
 
@@ -224,6 +241,8 @@ def _run_cell_inner(cell: ExperimentCell) -> CellResult:
             scheme_kwargs=dict(cell.scheme_kwargs),
             attack_kwargs=dict(cell.attack_kwargs),
             batch_size=cell.batch_size,
+            soft_errors=cell.soft_errors,
+            check_invariants=cell.check_invariants,
         )
     if cell.kind == KIND_TRACE:
         return measure_trace_lifetime(
@@ -233,6 +252,8 @@ def _run_cell_inner(cell: ExperimentCell) -> CellResult:
             seed=cell.seed,
             scheme_kwargs=dict(cell.scheme_kwargs),
             batch_size=cell.batch_size,
+            soft_errors=cell.soft_errors,
+            check_invariants=cell.check_invariants,
         )
     # KIND_OVERHEADS — mirror experiments.fig9.measure_overheads.
     trace = _benchmark_trace(cell)

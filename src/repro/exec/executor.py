@@ -50,6 +50,7 @@ from __future__ import annotations
 import signal
 import sys
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
@@ -131,8 +132,11 @@ def _execute_one(
     cell: expiry raises :class:`~repro.errors.CellTimeoutError` naming
     the cell.  The alarm is enforced worker-side so a hung cell never
     requires tearing down the pool, and it works identically on the
-    serial path (the parent's main thread).  On platforms without
-    ``SIGALRM`` the timeout degrades to unenforced.
+    serial path (the parent's main thread).  Where the alarm cannot be
+    armed — platforms without ``SIGALRM``, or a call from a non-main
+    thread (signal handlers are main-thread-only) — the timeout
+    degrades to unenforced with a one-line warning rather than
+    aborting the cell.
     """
     use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
     if use_alarm:
@@ -140,8 +144,20 @@ def _execute_one(
         def _on_alarm(signum: int, frame: object) -> None:
             raise _TimeoutAlarm()
 
-        previous = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+        except ValueError:
+            # signal.signal refuses outside the main thread.
+            use_alarm = False
+            warnings.warn(
+                f"cell timeout ({timeout:.6g}s) not enforceable here "
+                "(SIGALRM handlers require the main thread); running "
+                f"cell {cell.describe()} without a timeout",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         try:
             with error_context(f"cell {cell.describe()}", CellExecutionError):

@@ -95,13 +95,16 @@ CELL_IDENTITY_FIELDS: FrozenSet[str] = frozenset(
         "drive_writes",
         "footprint_override",
         "profile",
+        "soft_errors",
     }
 )
 
 #: ``ExperimentCell`` fields that cannot change the result (execution
 #: knobs / display metadata) — excluded from the fingerprint, so a
 #: cached result is reused across any of their values.
-CELL_EXECUTION_FIELDS: FrozenSet[str] = frozenset({"batch_size", "label"})
+CELL_EXECUTION_FIELDS: FrozenSet[str] = frozenset(
+    {"batch_size", "check_invariants", "label"}
+)
 
 
 def canonical_value(value: Any) -> Any:

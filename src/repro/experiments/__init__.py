@@ -7,7 +7,18 @@ reproduces a figure through identical code.
 """
 
 from .setups import ExperimentSetup, default_setup, quick_setup
-from . import table1, table2, fig6, fig7, fig8, fig9, overhead, ablations, energy
+from . import (
+    table1,
+    table2,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    overhead,
+    ablations,
+    energy,
+    resilience,
+)
 
 __all__ = [
     "ExperimentSetup",
@@ -22,4 +33,5 @@ __all__ = [
     "overhead",
     "ablations",
     "energy",
+    "resilience",
 ]

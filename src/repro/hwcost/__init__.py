@@ -15,7 +15,16 @@ from .gates import (
     sequential_divider_gates,
     feistel_rng_gates,
 )
-from .storage import twl_storage_bits_per_page, twl_storage_overhead, scheme_storage_bits
+from .storage import (
+    twl_storage_bits_per_page,
+    twl_storage_overhead,
+    scheme_storage_bits,
+    scheme_table_geometry,
+    secded_check_bits,
+    protection_bits_per_entry,
+    scheme_protection_bits,
+    protection_storage_overhead,
+)
 from .synthesis import DesignOverheadReport, twl_design_overhead
 
 __all__ = [
@@ -28,6 +37,11 @@ __all__ = [
     "twl_storage_bits_per_page",
     "twl_storage_overhead",
     "scheme_storage_bits",
+    "scheme_table_geometry",
+    "secded_check_bits",
+    "protection_bits_per_entry",
+    "scheme_protection_bits",
+    "protection_storage_overhead",
     "DesignOverheadReport",
     "twl_design_overhead",
 ]

@@ -10,7 +10,9 @@ This subpackage provides:
 * :mod:`repro.pcm.array` — the wear-tracking page array itself;
 * :mod:`repro.pcm.dcw` — the data-comparison-write model;
 * :mod:`repro.pcm.faults` — failure records and fault accounting;
-* :mod:`repro.pcm.stats` — wear-distribution statistics.
+* :mod:`repro.pcm.stats` — wear-distribution statistics;
+* :mod:`repro.pcm.softerrors` — deterministic soft-error injection into
+  controller SRAM structures (fault surfaces, protection modeling).
 """
 
 from .endurance import (
@@ -29,6 +31,7 @@ from .lines import (
     effective_page_endurance,
     derating_factor,
 )
+from .softerrors import BitTarget, SoftErrorEvent, SoftErrorInjector
 
 __all__ = [
     "norm_ppf",
@@ -44,4 +47,7 @@ __all__ = [
     "LineWearModel",
     "effective_page_endurance",
     "derating_factor",
+    "BitTarget",
+    "SoftErrorEvent",
+    "SoftErrorInjector",
 ]

@@ -1,0 +1,240 @@
+"""Deterministic soft-error injection into controller SRAM state.
+
+The executor's fault layer (``repro.exec.faults``, PR 3) attacks the
+*campaign* — worker crashes, hangs, cache corruption.  This module
+attacks the *simulated hardware*: single-bit upsets in the SRAM
+structures every wear-leveling controller depends on — remapping-table
+entries, write counters, SWPT/WNT state, RNG registers — which is the
+co-design hazard WoLFRaM and SoftWear raise for real PCM controllers.
+
+Three pieces make injection a first-class, reproducible experiment
+variable instead of a chaos monkey:
+
+* :class:`BitTarget` — one injectable structure, described by an
+  (entries × entry-bits) geometry plus read/write accessors and
+  optional ``repair`` / ``fail_safe`` recovery hooks.  Schemes expose
+  their structures through ``WearLeveler.fault_surface()``.
+* :class:`SoftErrorInjector` — schedules flips on the **absolute
+  demand-write index** with geometric inter-arrival gaps drawn from a
+  dedicated ``repro.rng`` stream, and picks the victim bit uniformly
+  over the surface's total bit count.  The simulation engine clamps
+  each step so it ends exactly on the next scheduled flip, which is
+  what keeps batched runs bit-identical to serial runs under nonzero
+  fault rates (the batch-identity contract of PR 2 extends to faults).
+* Protection semantics — the injector models the per-entry SRAM
+  protection selected by :class:`repro.config.SoftErrorConfig`:
+  ``"none"`` lets the flip persist silently (the invariant checker's
+  job to notice), ``"parity"`` detects it on delivery and drives
+  scrub-and-repair / fail-safe degradation, ``"secded"`` corrects it
+  transparently.  The storage cost of each level is accounted in
+  :mod:`repro.hwcost`.
+
+At rate 0 no injector is ever constructed, so every pre-existing
+result stays bit-identical — enforced by ``tests/test_engine_identity``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..config import PROTECTION_PARITY, PROTECTION_SECDED, SoftErrorConfig
+from ..errors import ConfigError
+from ..rng.streams import derive_seed
+from ..rng.xorshift import XorShift32
+
+#: What happened to an injected flip (``SoftErrorEvent.action``).
+ACTION_SILENT = "silent"  # no protection: flip landed and persists
+ACTION_CORRECTED = "corrected"  # SECDED: flip reverted before any damage
+ACTION_REPAIRED = "repaired"  # parity: detected, scrub-and-repair succeeded
+ACTION_FAIL_SAFE = "fail_safe"  # parity: repair impossible, scheme degraded
+ACTION_DETECTED = "detected"  # parity: detected but no recovery hook exists
+
+
+@dataclass
+class BitTarget:
+    """One injectable controller structure: geometry plus accessors.
+
+    ``read``/``write`` move raw entry values; they must accept any
+    value that fits ``entry_bits`` (corruption is the point) and must
+    not trigger behavioural side effects (a bit flip is not a write).
+    ``repair`` restores one entry from structural redundancy, returning
+    False when the redundancy cannot resolve it; ``fail_safe`` is the
+    scheme's graceful-degradation endpoint for that case.
+    """
+
+    name: str
+    n_entries: int
+    entry_bits: int
+    read: Callable[[int], int]
+    write: Callable[[int, int], None]
+    repair: Optional[Callable[[int], bool]] = None
+    fail_safe: Optional[Callable[[], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_entries < 1:
+            raise ConfigError(
+                f"fault target {self.name!r} needs at least one entry"
+            )
+        if self.entry_bits < 1:
+            raise ConfigError(
+                f"fault target {self.name!r} needs a positive entry width"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Total injectable bits in this structure."""
+        return self.n_entries * self.entry_bits
+
+
+@dataclass(frozen=True)
+class SoftErrorEvent:
+    """One delivered bit flip: where it landed and what became of it."""
+
+    demand_index: int
+    target: str
+    entry: int
+    bit: int
+    action: str
+
+
+class SoftErrorInjector:
+    """Seed-scheduled bit-flip injection over a scheme's fault surface.
+
+    Construction reads ``scheme.fault_surface()`` once (so reload-style
+    repairs capture the architectural register values of that instant)
+    and pre-draws the first flip instant.  The engine then asks
+    :meth:`demand_until_next` to clamp its step length and calls
+    :meth:`deliver` after each step; both operate on the absolute
+    cumulative demand-write count, never on step or batch indices, so
+    the flip schedule is a pure function of ``(scheme surface, config)``.
+    """
+
+    def __init__(self, scheme: object, config: SoftErrorConfig) -> None:
+        surface: Dict[str, BitTarget] = getattr(scheme, "fault_surface")()
+        if config.targets:
+            unknown = sorted(set(config.targets) - set(surface))
+            if unknown:
+                raise ConfigError(
+                    f"unknown fault target(s) {unknown} for scheme "
+                    f"{type(scheme).__name__}; surface exposes "
+                    f"{sorted(surface) or 'nothing'}"
+                )
+            surface = {name: surface[name] for name in config.targets}
+        self.config = config
+        self.targets: List[BitTarget] = [
+            surface[name] for name in sorted(surface)
+        ]
+        self._total_bits = sum(target.total_bits for target in self.targets)
+        self._rng = XorShift32(
+            (derive_seed(config.seed, "soft-errors") % 0xFFFF_FFFE) + 1
+        )
+        self.events: List[SoftErrorEvent] = []
+        self._next_at: Optional[int] = None
+        if self.active:
+            self._next_at = self._draw_gap(0)
+
+    @property
+    def active(self) -> bool:
+        """True when flips can actually occur (rate > 0, surface nonempty)."""
+        return self.config.rate > 0.0 and self._total_bits > 0
+
+    def demand_until_next(self, demand_served: int) -> int:
+        """Demand writes the engine may serve before the next flip is due.
+
+        Always at least 1 so the engine keeps making progress; the
+        engine clamps its step quota to this, guaranteeing every step
+        boundary lands exactly on each scheduled flip instant for any
+        batch size.
+        """
+        if self._next_at is None:
+            raise ConfigError("injector is inactive; no flip is scheduled")
+        return max(1, self._next_at - demand_served)
+
+    def deliver(self, demand_served: int) -> List[SoftErrorEvent]:
+        """Apply every flip scheduled at or before ``demand_served``."""
+        fired: List[SoftErrorEvent] = []
+        while self._next_at is not None and self._next_at <= demand_served:
+            fired.append(self._inject(self._next_at))
+            self._next_at = self._draw_gap(self._next_at)
+        return fired
+
+    def summary(self) -> Dict[str, int]:
+        """Outcome counters in fixed key order (cache-serialization safe)."""
+        counts = {
+            ACTION_CORRECTED: 0,
+            ACTION_DETECTED: 0,
+            ACTION_FAIL_SAFE: 0,
+            "injected": 0,
+            ACTION_REPAIRED: 0,
+            ACTION_SILENT: 0,
+        }
+        for event in self.events:
+            counts["injected"] += 1
+            counts[event.action] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _draw_gap(self, origin: int) -> int:
+        """Next flip instant after ``origin`` (geometric inter-arrival)."""
+        rate = self.config.rate
+        if rate >= 1.0:
+            return origin + 1
+        unit = self._rng.next_unit()
+        gap = 1 + int(math.floor(math.log1p(-unit) / math.log1p(-rate)))
+        return origin + max(1, gap)
+
+    def _inject(self, demand_index: int) -> SoftErrorEvent:
+        """Flip one uniformly-chosen bit and apply the protection model."""
+        offset = self._rng.next_below(self._total_bits)
+        target = self.targets[-1]
+        for candidate in self.targets:
+            if offset < candidate.total_bits:
+                target = candidate
+                break
+            offset -= candidate.total_bits
+        entry = offset // target.entry_bits
+        bit = offset % target.entry_bits
+        flipped = target.read(entry) ^ (1 << bit)
+        protection = self.config.protection
+        if protection == PROTECTION_SECDED:
+            # Single-error correction catches the flip on the next access;
+            # modeled as an immediate transparent revert, so the run stays
+            # bit-identical to the unfaulted one.
+            action = ACTION_CORRECTED
+        else:
+            target.write(entry, flipped)
+            if protection == PROTECTION_PARITY:
+                if target.repair is not None and target.repair(entry):
+                    action = ACTION_REPAIRED
+                elif target.fail_safe is not None:
+                    target.fail_safe()
+                    action = ACTION_FAIL_SAFE
+                else:
+                    action = ACTION_DETECTED
+            else:
+                action = ACTION_SILENT
+        event = SoftErrorEvent(
+            demand_index=demand_index,
+            target=target.name,
+            entry=entry,
+            bit=bit,
+            action=action,
+        )
+        self.events.append(event)
+        return event
+
+
+__all__ = [
+    "ACTION_CORRECTED",
+    "ACTION_DETECTED",
+    "ACTION_FAIL_SAFE",
+    "ACTION_REPAIRED",
+    "ACTION_SILENT",
+    "BitTarget",
+    "SoftErrorEvent",
+    "SoftErrorInjector",
+]

@@ -70,6 +70,10 @@ def _serialize(result: LifetimeResult) -> Dict:
             "device_writes": result.failure.device_writes,
             "page_endurance": result.failure.page_endurance,
         }
+    if result.soft_errors is not None:
+        record["soft_errors"] = {
+            key: result.soft_errors[key] for key in sorted(result.soft_errors)
+        }
     return record
 
 
@@ -91,6 +95,7 @@ def _deserialize(record: Dict) -> LifetimeResult:
         failed=record["failed"],
         failure=failure,
         estimation=record.get("estimation", "exact"),
+        soft_errors=record.get("soft_errors"),
     )
 
 

@@ -15,12 +15,13 @@ Figure 8 plots exactly this quantity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional
 
 from ..analysis.calibration import PAPER_IDEAL_CALIBRATION, ideal_lifetime_seconds
-from ..config import PCMConfig, PAPER_PCM
-from ..engine import EngineObserver, SimulationEngine
+from ..config import PCMConfig, PAPER_PCM, SoftErrorConfig
+from ..engine import EngineObserver, InvariantCheckObserver, SimulationEngine
 from ..pcm.faults import FirstFailure
+from ..pcm.softerrors import SoftErrorInjector
 from ..units import SECONDS_PER_YEAR, mbps_to_bytes_per_second
 from ..wearlevel.base import WearLeveler
 from .drivers import WorkloadDriver
@@ -42,6 +43,9 @@ class LifetimeResult:
     failed: bool
     failure: Optional[FirstFailure]
     estimation: str = "exact"
+    #: Soft-error outcome counters (injected/corrected/repaired/...)
+    #: when the run was faulted; None for clean runs.
+    soft_errors: Optional[Dict[str, int]] = None
 
     @property
     def lifetime_fraction(self) -> float:
@@ -85,19 +89,40 @@ def run_to_failure(
     require_failure: bool = True,
     batch_size: int = 1,
     observers: Iterable[EngineObserver] = (),
+    soft_errors: Optional[SoftErrorConfig] = None,
+    check_invariants: bool = False,
 ) -> LifetimeResult:
     """Exact simulation: drive demand writes until the first page failure.
 
     A thin configuration of :class:`repro.engine.SimulationEngine`:
     ``batch_size`` selects the batched write protocol (bit-identical to
     the default per-write path) and ``observers`` attach per-batch
-    hooks.  Raises :class:`~repro.errors.SimulationError` if the cap is
-    reached without a failure and ``require_failure`` is set — a sign
-    the scale was chosen too large for exact simulation (use
-    fast-forward instead).
+    hooks.  ``soft_errors`` injects controller soft errors through the
+    engine step loop (at rate 0, or over a scheme with no fault
+    surface, no injector is built and the run is untouched);
+    ``check_invariants`` attaches a critical
+    :class:`~repro.engine.InvariantCheckObserver` so any resulting
+    state corruption raises :class:`~repro.errors.InvariantViolation`
+    instead of silently skewing the result.  Raises
+    :class:`~repro.errors.SimulationError` if the cap is reached
+    without a failure and ``require_failure`` is set — a sign the scale
+    was chosen too large for exact simulation (use fast-forward
+    instead).
     """
+    injector = None
+    if soft_errors is not None and soft_errors.rate > 0.0:
+        injector = SoftErrorInjector(scheme, soft_errors)
+        if not injector.active:
+            injector = None
+    attached = list(observers)
+    if check_invariants:
+        attached.append(InvariantCheckObserver())
     engine = SimulationEngine(
-        scheme, driver, batch_size=batch_size, observers=observers
+        scheme,
+        driver,
+        batch_size=batch_size,
+        observers=attached,
+        soft_errors=injector,
     )
     demand_before = scheme.demand_writes
     engine.run(max_demand, require_failure=require_failure)
@@ -119,4 +144,5 @@ def run_to_failure(
         failed=failed,
         failure=failure,
         estimation="exact",
+        soft_errors=injector.summary() if injector is not None else None,
     )

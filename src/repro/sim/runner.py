@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..attacks.registry import make_attack
-from ..config import ScaledArrayConfig, TimingConfig
+from ..config import ScaledArrayConfig, SoftErrorConfig, TimingConfig
+from ..errors import ConfigError
 from ..pcm.array import PCMArray
 from ..pcm.endurance import sample_gaussian_endurance, sample_tail_faithful
 from ..rng.streams import make_generator
@@ -62,14 +63,21 @@ def measure_attack_lifetime(
     scheme_kwargs: Optional[dict] = None,
     attack_kwargs: Optional[dict] = None,
     batch_size: int = 1,
+    soft_errors: Optional[SoftErrorConfig] = None,
+    check_invariants: bool = False,
 ) -> LifetimeResult:
     """Lifetime of ``scheme_name`` under ``attack_name`` at scaled size.
 
     ``batch_size`` selects the engine's batched write protocol; results
     are bit-identical to the default per-write path for every
     registered scheme (adaptive attacks degrade to per-write batches to
-    preserve their feedback loop).
+    preserve their feedback loop).  ``soft_errors`` /
+    ``check_invariants`` enable controller soft-error injection and the
+    runtime invariant checker (exact simulation only: fast-forward
+    extrapolates wear analytically, which has no step loop to deliver
+    flips through).
     """
+    _check_fault_support(fastforward, soft_errors)
     array = build_array(scaled)
     scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
     attack = make_attack(
@@ -83,7 +91,13 @@ def measure_attack_lifetime(
             config=ff_config or FastForwardConfig(),
             batch_size=batch_size,
         )
-    return run_to_failure(scheme, driver, batch_size=batch_size)
+    return run_to_failure(
+        scheme,
+        driver,
+        batch_size=batch_size,
+        soft_errors=soft_errors,
+        check_invariants=check_invariants,
+    )
 
 
 def measure_trace_lifetime(
@@ -95,12 +109,17 @@ def measure_trace_lifetime(
     ff_config: Optional[FastForwardConfig] = None,
     scheme_kwargs: Optional[dict] = None,
     batch_size: int = 1,
+    soft_errors: Optional[SoftErrorConfig] = None,
+    check_invariants: bool = False,
 ) -> LifetimeResult:
     """Lifetime of ``scheme_name`` looping ``trace`` at scaled size.
 
     ``batch_size`` selects the engine's batched write protocol; results
-    are bit-identical to the default per-write path.
+    are bit-identical to the default per-write path.  ``soft_errors``
+    and ``check_invariants`` behave as in
+    :func:`measure_attack_lifetime` (exact simulation only).
     """
+    _check_fault_support(fastforward, soft_errors)
     array = build_array(scaled)
     scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
     driver = TraceDriver(trace, scheme.logical_pages)
@@ -111,4 +130,27 @@ def measure_trace_lifetime(
             config=ff_config or FastForwardConfig(),
             batch_size=batch_size,
         )
-    return run_to_failure(scheme, driver, batch_size=batch_size)
+    return run_to_failure(
+        scheme,
+        driver,
+        batch_size=batch_size,
+        soft_errors=soft_errors,
+        check_invariants=check_invariants,
+    )
+
+
+def _check_fault_support(
+    fastforward: bool, soft_errors: Optional[SoftErrorConfig]
+) -> None:
+    """Reject fault injection on the fast-forward path up front.
+
+    Fast-forward extrapolates the tail of the run analytically; there
+    is no step loop to schedule flips against, so silently dropping
+    them would make a "faulted" result quietly identical to the clean
+    one.  Failing loudly is the honest option.
+    """
+    if fastforward and soft_errors is not None and soft_errors.rate > 0.0:
+        raise ConfigError(
+            "soft-error injection requires exact simulation; "
+            "fastforward=True cannot deliver scheduled bit flips"
+        )

@@ -86,6 +86,81 @@ class PairTable:
         for x, partner in updates.items():
             self._partners[x] = partner
 
+    def raw_partner(self, logical: int) -> int:
+        """Stored entry, unvalidated (fault-injection surface)."""
+        if not 0 <= logical < self.n_pages:
+            raise AddressError(
+                f"page {logical} out of range [0, {self.n_pages})"
+            )
+        return self._partners[logical]
+
+    def poke_partner(self, logical: int, value: int) -> None:
+        """Overwrite one entry in place — models SRAM corruption.
+
+        Deliberately skips the involution check the constructor
+        enforces: a bit flip produces exactly such a one-sided entry,
+        which :meth:`involution_errors` reports and :meth:`repair_entry`
+        recovers from.
+        """
+        if not 0 <= logical < self.n_pages:
+            raise AddressError(
+                f"page {logical} out of range [0, {self.n_pages})"
+            )
+        self._partners[logical] = int(value)
+
+    def repair_entry(self, logical: int) -> bool:
+        """Restore the involution at ``logical`` from the rest of the table.
+
+        A single corrupted entry leaves its true partner still pointing
+        back at ``logical``; scanning for that unique claimant recovers
+        the original pairing exactly.  With no claimant the page was
+        self-paired (or the claimant was lost too) and the entry degrades
+        to a self-pair — toss-up over a self-pair is a no-op, so the
+        involution is restored at the cost of leveling for this page.
+        Returns False only when multiple pages claim ``logical``
+        (multi-bit corruption), which no local rewrite can reconcile.
+        """
+        if not 0 <= logical < self.n_pages:
+            raise AddressError(
+                f"page {logical} out of range [0, {self.n_pages})"
+            )
+        owners = [
+            x
+            for x, partner in enumerate(self._partners)
+            if partner == logical and x != logical
+        ]
+        if len(owners) > 1:
+            return False
+        self._partners[logical] = owners[0] if owners else logical
+        return True
+
+    def involution_errors(self, limit: int = 5) -> List[str]:
+        """Describe every involution violation (up to ``limit``).
+
+        Vectorized for the invariant checker's per-step use; messages
+        are only materialized when something is wrong.
+        """
+        n = self.n_pages
+        partners = np.asarray(self._partners, dtype=np.int64)
+        errors: List[str] = []
+        out_of_range = (partners < 0) | (partners >= n)
+        for la in np.flatnonzero(out_of_range).tolist()[:limit]:
+            errors.append(
+                f"partner {int(partners[la])} of page {la} out of range "
+                f"[0, {n})"
+            )
+        in_range = ~out_of_range
+        identity = np.arange(n, dtype=np.int64)
+        broken = np.zeros(n, dtype=bool)
+        broken[in_range] = partners[partners[in_range]] != identity[in_range]
+        for la in np.flatnonzero(broken).tolist()[: max(0, limit - len(errors))]:
+            partner = int(partners[la])
+            errors.append(
+                f"pairing not an involution at page {la} -> {partner} -> "
+                f"{int(partners[partner])}"
+            )
+        return errors
+
     def pairs(self) -> List[tuple]:
         """All distinct pairs as (low, high) tuples; self-pairs as (x, x)."""
         seen = set()

@@ -90,6 +90,96 @@ class RemappingTable:
                     f"remapping table inconsistent at LA {la} -> PA {pa}"
                 )
 
+    def raw_entry(self, logical: int) -> int:
+        """Stored forward entry, unvalidated (fault-injection surface).
+
+        Unlike :meth:`lookup` callers, fault-layer code must see the
+        entry *as stored*, even when a bit flip has made it nonsense.
+        """
+        self._check(logical)
+        return self._la_to_pa[logical]
+
+    def poke_entry(self, logical: int, value: int) -> None:
+        """Overwrite one forward entry in place — models SRAM corruption.
+
+        Only the forward array (and its live numpy mirror) changes; the
+        inverse array is deliberately left stale, exactly as a bit flip
+        in a hardware RT would leave the separately-stored inverse
+        untouched.  That stale inverse is both what breaks the bijection
+        (:meth:`consistency_errors` reports it) and what makes
+        :meth:`repair_entry` possible.
+        """
+        self._check(logical)
+        self._la_to_pa[logical] = int(value)
+        if self._mapping_np is not None:
+            self._mapping_np[logical] = int(value)
+
+    def repair_entry(self, logical: int) -> bool:
+        """Scrub-and-repair one forward entry from the inverse array.
+
+        Scans the inverse for the unique physical frame that claims
+        ``logical`` and restores the forward pointer to it.  Returns
+        False when no unique owner exists (multi-bit corruption also hit
+        the redundancy), in which case the caller must fall back to its
+        fail-safe.
+        """
+        self._check(logical)
+        owners = [
+            pa for pa, la in enumerate(self._pa_to_la) if la == logical
+        ]
+        if len(owners) != 1:
+            return False
+        self._la_to_pa[logical] = owners[0]
+        if self._mapping_np is not None:
+            self._mapping_np[logical] = owners[0]
+        return True
+
+    def reset_identity(self) -> None:
+        """Fail-safe: collapse both directions to the identity mapping.
+
+        The graceful-degradation endpoint when repair is impossible — a
+        degraded controller that forwards addresses unchanged still
+        serves every access correctly, it just stops leveling.
+        """
+        self._la_to_pa = list(range(self.n_pages))
+        self._pa_to_la = list(range(self.n_pages))
+        if self._mapping_np is not None:
+            self._mapping_np[:] = np.arange(self.n_pages, dtype=np.int64)
+
+    def consistency_errors(self, limit: int = 5) -> List[str]:
+        """Describe every bijection violation (up to ``limit``).
+
+        Vectorized so the invariant checker can run it every engine
+        step: the clean case is a few numpy reductions; the per-entry
+        messages are only materialized once something is wrong.
+        """
+        n = self.n_pages
+        forward = np.asarray(self._la_to_pa, dtype=np.int64)
+        inverse = np.asarray(self._pa_to_la, dtype=np.int64)
+        identity = np.arange(n, dtype=np.int64)
+        errors: List[str] = []
+        out_of_range = (forward < 0) | (forward >= n)
+        for la in np.flatnonzero(out_of_range).tolist()[:limit]:
+            errors.append(
+                f"LA {la} -> PA {forward[la]} out of range [0, {n})"
+            )
+        in_range = ~out_of_range
+        broken = np.zeros(n, dtype=bool)
+        broken[in_range] = inverse[forward[in_range]] != identity[in_range]
+        for la in np.flatnonzero(broken).tolist()[: max(0, limit - len(errors))]:
+            pa = int(forward[la])
+            errors.append(
+                f"LA {la} -> PA {pa} but inverse says PA {pa} -> "
+                f"LA {int(inverse[pa])}"
+            )
+        if (
+            not errors
+            and self._mapping_np is not None
+            and not np.array_equal(self._mapping_np, forward)
+        ):
+            errors.append("numpy mirror diverged from the forward array")
+        return errors
+
     def _check(self, page: int) -> None:
         if not 0 <= page < self.n_pages:
             raise AddressError(f"page {page} out of range [0, {self.n_pages})")

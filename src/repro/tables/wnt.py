@@ -55,6 +55,16 @@ class WriteNumberTable:
         counts = np.asarray(self._counts)
         return np.argsort(-counts, kind="stable")
 
+    def poke(self, logical: int, value: int) -> None:
+        """Overwrite one counter in place — models SRAM corruption.
+
+        ``total`` (simulator bookkeeping, not a hardware structure) is
+        left untouched: a bit flip changes a stored count, not how many
+        writes actually happened.
+        """
+        self._check(logical)
+        self._counts[logical] = int(value)
+
     def counts(self) -> List[int]:
         """Copy of all counters."""
         return list(self._counts)

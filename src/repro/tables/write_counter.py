@@ -105,6 +105,20 @@ class WriteCounterTable:
         self._check(page)
         return self._counters[page]
 
+    def poke(self, page: int, value: int) -> None:
+        """Overwrite one counter in place — models SRAM corruption.
+
+        Bypasses the trigger semantics entirely (a bit flip does not
+        count as a write); the live numpy mirror is kept in sync so the
+        batch planner sees the corrupted value too.  Any value that fits
+        the entry width is representable — a corrupted counter at or
+        above the interval simply fires the trigger on the next write.
+        """
+        self._check(page)
+        self._counters[page] = int(value)
+        if self._values_np is not None:
+            self._values_np[page] = int(value)
+
     def reset(self, page: int) -> None:
         """Clear the counter for ``page``."""
         self._check(page)

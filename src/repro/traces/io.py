@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -35,28 +37,57 @@ def save_trace(trace: Trace, path: str) -> None:
 
 
 def load_trace(path: str) -> Trace:
-    """Load a trace previously written by :func:`save_trace`."""
+    """Load a trace previously written by :func:`save_trace`.
+
+    Every way the file can be bad — missing, not an npz archive,
+    truncated mid-member, missing members, undecodable or non-object
+    metadata, wrong format version, or record arrays that fail
+    :class:`Trace` validation — raises :class:`~repro.errors.TraceError`
+    naming the file and the offending record, never a bare
+    ``zipfile``/``zlib``/``numpy`` exception.
+    """
     if not os.path.exists(path):
         raise TraceError(f"trace file not found: {path}")
-    with np.load(path) as archive:
+    try:
+        archive = np.load(path)
+    except (zipfile.BadZipFile, ValueError, OSError) as error:
+        raise TraceError(
+            f"unreadable trace file {path}: not a valid npz archive ({error})"
+        ) from None
+    with archive:
+        members = {}
+        for member in ("ops", "pages", "metadata"):
+            if member not in archive.files:
+                raise TraceError(
+                    f"malformed trace file {path}: missing record {member!r}"
+                )
+            try:
+                members[member] = archive[member]
+            except (zipfile.BadZipFile, zlib.error, ValueError, OSError, EOFError) as error:
+                raise TraceError(
+                    f"truncated trace file {path}: record {member!r} "
+                    f"is unreadable ({error})"
+                ) from None
         try:
-            ops = archive["ops"]
-            pages = archive["pages"]
-            raw_metadata = archive["metadata"]
-        except KeyError as error:
-            raise TraceError(f"malformed trace file {path}: missing {error}") from None
-        try:
-            metadata = json.loads(raw_metadata.tobytes().decode())
+            metadata = json.loads(members["metadata"].tobytes().decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise TraceError(f"malformed trace metadata in {path}: {error}") from None
+    if not isinstance(metadata, dict):
+        raise TraceError(
+            f"malformed trace metadata in {path}: expected a JSON object, "
+            f"got {type(metadata).__name__}"
+        )
     version = metadata.get("version")
     if version != _FORMAT_VERSION:
         raise TraceError(
             f"unsupported trace format version {version!r} in {path}"
         )
-    return Trace(
-        ops,
-        pages,
-        name=metadata.get("name", "trace"),
-        write_bandwidth_mbps=metadata.get("write_bandwidth_mbps"),
-    )
+    try:
+        return Trace(
+            members["ops"],
+            members["pages"],
+            name=metadata.get("name", "trace"),
+            write_bandwidth_mbps=metadata.get("write_bandwidth_mbps"),
+        )
+    except (TraceError, ValueError, TypeError) as error:
+        raise TraceError(f"invalid trace records in {path}: {error}") from None

@@ -25,12 +25,15 @@ experiment consume.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Sequence
 
 import numpy as np
 
 from ..errors import AddressError
 from ..pcm.array import PCMArray
+
+if TYPE_CHECKING:
+    from ..pcm.softerrors import BitTarget
 
 #: A request that performs at least this many physical writes blocks long
 #: enough for the attacker's response-time probe to flag it (memory swaps
@@ -49,6 +52,9 @@ class WearLeveler(abc.ABC):
         self.demand_writes = 0
         self.swap_writes = 0
         self.swap_events = 0
+        #: Set when a fail-safe fallback fired (soft-error repair was
+        #: impossible and the scheme degraded, e.g. to identity mapping).
+        self.fault_degraded = False
 
     # ------------------------------------------------------------------
     # Address space
@@ -112,6 +118,23 @@ class WearLeveler(abc.ABC):
             if array.failed:
                 break
         return out[:served]
+
+    # ------------------------------------------------------------------
+    # Fault surface
+    # ------------------------------------------------------------------
+    def fault_surface(self) -> Dict[str, "BitTarget"]:
+        """Controller SRAM structures exposed to soft-error injection.
+
+        Maps stable structure names (``"rt"``, ``"wct"``, ``"swpt"``,
+        ``"wnt"``, ``"rng"``, ...) to
+        :class:`repro.pcm.softerrors.BitTarget` descriptors.  The base
+        scheme has no injectable state; schemes that keep SRAM tables
+        or RNG registers override this so
+        :class:`~repro.pcm.softerrors.SoftErrorInjector` can corrupt —
+        and their repair hooks can heal — exactly the structures a real
+        controller would expose.
+        """
+        return {}
 
     # ------------------------------------------------------------------
     # Accounting

@@ -84,6 +84,35 @@ class BloomWearLeveling(WearLeveler):
         self.check_logical(logical)
         return self.remap.lookup(logical)
 
+    def fault_surface(self):
+        """BWL's injectable SRAM state: the remapping table.
+
+        The Bloom filters and cold/hot lists are soft *heuristic* state
+        — corruption there only mispredicts heat, never misroutes an
+        access — so the RT is the structure whose integrity actually
+        carries correctness, scrubbing from its inverse array with the
+        identity-mapping fail-safe.
+        """
+        from ..pcm.softerrors import BitTarget
+
+        remap = self.remap
+        return {
+            "rt": BitTarget(
+                name="rt",
+                n_entries=remap.n_pages,
+                entry_bits=remap.entry_bits,
+                read=remap.raw_entry,
+                write=remap.poke_entry,
+                repair=remap.repair_entry,
+                fail_safe=self.fault_fail_safe,
+            ),
+        }
+
+    def fault_fail_safe(self) -> None:
+        """Graceful degradation: collapse the RT to identity mapping."""
+        self.remap.reset_identity()
+        self.fault_degraded = True
+
     def remaining_life(self) -> np.ndarray:
         """Per-frame remaining life: tested endurance minus issued writes."""
         return self._endurance - self._frame_writes

@@ -137,6 +137,36 @@ class RetirementWearLeveling(WearLeveler):
         self._count_swap(1)
         return 1
 
+    def fault_surface(self):
+        """Retirement's injectable SRAM state: the remapping table.
+
+        The RT here also encodes which frames are spares (they map to
+        logical slots above ``logical_pages``), so its fail-safe is the
+        most lossy of any scheme: identity mapping brings every retired
+        frame back into service.  Still correct — every access resolves
+        — but leveling and retirement history are forfeited, which is
+        exactly what "graceful degradation" means for this scheme.
+        """
+        from ..pcm.softerrors import BitTarget
+
+        remap = self.remap
+        return {
+            "rt": BitTarget(
+                name="rt",
+                n_entries=remap.n_pages,
+                entry_bits=remap.entry_bits,
+                read=remap.raw_entry,
+                write=remap.poke_entry,
+                repair=remap.repair_entry,
+                fail_safe=self.fault_fail_safe,
+            ),
+        }
+
+    def fault_fail_safe(self) -> None:
+        """Graceful degradation: collapse the RT to identity mapping."""
+        self.remap.reset_identity()
+        self.fault_degraded = True
+
     def stats(self):
         base = super().stats()
         base.update(

@@ -128,6 +128,49 @@ class StartGap(WearLeveler):
                 return out[:position]
         return out
 
+    def fault_surface(self):
+        """Start-Gap's injectable state: the start and gap registers.
+
+        Two single-entry targets of address width.  Neither register
+        has structural redundancy (there is no inverse to scan), so
+        parity protection goes straight to the fail-safe: re-format the
+        rotation (start 0, gap parked at the last frame).  Translation
+        stays total for *any* register value — ``start`` enters a
+        modulo and a corrupt ``gap`` merely stops bumping — so even
+        unprotected corruption degrades leveling without ever
+        misaddressing the array.
+        """
+        from ..pcm.softerrors import BitTarget
+
+        bits = max(1, (self.array.n_pages - 1).bit_length())
+
+        def read(entry: int) -> int:
+            return self._start if entry == 0 else self._gap
+
+        def write(entry: int, value: int) -> None:
+            if entry == 0:
+                self._start = int(value)
+            else:
+                self._gap = int(value)
+
+        return {
+            "regs": BitTarget(
+                name="regs",
+                n_entries=2,
+                entry_bits=bits,
+                read=read,
+                write=write,
+                fail_safe=self.fault_fail_safe,
+            ),
+        }
+
+    def fault_fail_safe(self) -> None:
+        """Graceful degradation: re-format the rotation registers."""
+        self._start = 0
+        self._gap = self._n_logical
+        self._writes_since_move = 0
+        self.fault_degraded = True
+
     def _randomize_vector(self) -> np.ndarray:
         if self._randomize_table is None:
             self._randomize_table = np.fromiter(

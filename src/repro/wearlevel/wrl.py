@@ -89,6 +89,49 @@ class WearRateLeveling(WearLeveler):
             self._phase_writes = 0
         return writes
 
+    def fault_surface(self):
+        """WRL's injectable SRAM state: RT and the WNT.
+
+        A corrupted WNT entry is repairable only in the "safe value"
+        sense — the true count is gone, so the scrub resets the entry
+        to zero (the page re-earns its heat ranking next phase).  The
+        RT scrubs from its inverse array, with the identity-mapping
+        fail-safe when that redundancy is lost too.
+        """
+        from ..pcm.softerrors import BitTarget
+
+        remap = self.remap
+        wnt = self.wnt
+
+        def repair_wnt(page: int) -> bool:
+            wnt.poke(page, 0)
+            return True
+
+        return {
+            "rt": BitTarget(
+                name="rt",
+                n_entries=remap.n_pages,
+                entry_bits=remap.entry_bits,
+                read=remap.raw_entry,
+                write=remap.poke_entry,
+                repair=remap.repair_entry,
+                fail_safe=self.fault_fail_safe,
+            ),
+            "wnt": BitTarget(
+                name="wnt",
+                n_entries=wnt.n_pages,
+                entry_bits=wnt.entry_bits,
+                read=wnt.count,
+                write=wnt.poke,
+                repair=repair_wnt,
+            ),
+        }
+
+    def fault_fail_safe(self) -> None:
+        """Graceful degradation: collapse the RT to identity mapping."""
+        self.remap.reset_identity()
+        self.fault_degraded = True
+
     def wear_rates(self) -> np.ndarray:
         """Per-frame wear rate: accumulated writes / tested endurance."""
         return self._frame_writes / self._endurance

@@ -53,6 +53,11 @@ class TestFormatTable:
     def test_title(self):
         assert format_table(["x"], [[1]], title="T").startswith("T")
 
+    def test_tiny_nonzero_floats_keep_their_magnitude(self):
+        text = format_table(["rate", "cost"], [[1e-4, 7.6e-12]], precision=2)
+        assert "0.0001" in text and "7.6e-12" in text
+        assert format_table(["z"], [[0.0]], precision=2).endswith("0.00")
+
     def test_none_cell(self):
         assert "-" in format_table(["x"], [[None]])
 

@@ -183,6 +183,59 @@ class TestObservers:
         assert observer.overheads == direct
 
 
+class _FlakyObserver(EngineObserver):
+    def __init__(self, exc=RuntimeError("observer boom")):
+        self.calls = 0
+        self.exc = exc
+
+    def on_batch(self, snapshot):
+        self.calls += 1
+        raise self.exc
+
+
+class TestObserverDetach:
+    """A broken metric observer degrades the run; it never aborts it."""
+
+    def test_flaky_observer_detached_with_warning(self):
+        flaky = _FlakyObserver()
+        recorder = _Recorder()
+        engine = _engine(endurance=10**6, batch_size=50,
+                         observers=(flaky, recorder))
+        with pytest.warns(RuntimeWarning, match="detached"):
+            engine.drive(500)
+        # Fired once, then detached; the healthy observer kept running.
+        assert flaky.calls == 1
+        assert len(recorder.snapshots) == 10
+
+    def test_detached_observer_does_not_change_results(self):
+        plain = _engine(n_pages=16, endurance=50)
+        plain_outcome = plain.run(10**6)
+        flaky = _engine(n_pages=16, endurance=50,
+                        observers=(_FlakyObserver(),))
+        with pytest.warns(RuntimeWarning):
+            flaky_outcome = flaky.run(10**6)
+        assert flaky_outcome == plain_outcome
+
+    def test_critical_observer_propagates(self):
+        flaky = _FlakyObserver()
+        flaky.critical = True
+        engine = _engine(endurance=10**6, observers=(flaky,))
+        with pytest.raises(RuntimeError, match="observer boom"):
+            engine.drive(500)
+        assert flaky.calls == 1
+
+    def test_flaky_run_end_hook_also_detaches(self):
+        class EndFlaky(EngineObserver):
+            def on_run_end(self, engine, outcome):
+                raise ValueError("end boom")
+
+        engine = _engine(n_pages=16, endurance=50,
+                         observers=(EndFlaky(),))
+        with pytest.warns(RuntimeWarning, match="on_run_end"):
+            outcome = engine.run(10**6)
+        assert outcome.failed
+
+
 class TestRunnerIntegration:
     """The sim layer is a thin configuration of the engine."""
 

@@ -20,6 +20,8 @@ import numpy as np
 import pytest
 
 from repro.attacks.registry import attack_names, make_attack
+from repro.config import SoftErrorConfig
+from repro.engine import InvariantCheckObserver
 from repro.pcm.array import PCMArray
 from repro.sim.drivers import AttackDriver, TraceDriver
 from repro.sim.lifetime import run_to_failure
@@ -32,7 +34,7 @@ _MAX_DEMAND = 120_000
 _BATCH_SIZE = 64
 
 
-def _run_attack(scheme_name, attack_name, batch_size):
+def _run_attack(scheme_name, attack_name, batch_size, **kwargs):
     array = PCMArray.uniform(_N_PAGES, _ENDURANCE)
     scheme = make_scheme(scheme_name, array, seed=11)
     attack = make_attack(attack_name, scheme.logical_pages, seed=11)
@@ -42,6 +44,7 @@ def _run_attack(scheme_name, attack_name, batch_size):
         max_demand=_MAX_DEMAND,
         require_failure=False,
         batch_size=batch_size,
+        **kwargs,
     )
     return result, array.write_counts(), scheme.stats()
 
@@ -72,6 +75,31 @@ def test_identity_across_batch_sizes(batch_size):
     assert batched == serial
     assert np.array_equal(batched_counts, serial_counts)
     assert batched_stats == serial_stats
+
+
+@pytest.mark.parametrize("attack_name", attack_names())
+@pytest.mark.parametrize("scheme_name", scheme_names())
+def test_rate_zero_faults_and_checker_are_inert(scheme_name, attack_name):
+    """A rate-0 soft-error config plus the invariant checker changes
+    nothing: every scheme × attack cell stays bit-identical to the plain
+    run.  This doubles as a full-matrix run of the invariant checker —
+    every scheme's steady-state tables satisfy the invariants at every
+    4th step of every workload."""
+    plain, plain_counts, plain_stats = _run_attack(
+        scheme_name, attack_name, batch_size=1
+    )
+    checker = InvariantCheckObserver(every=4)
+    checked, checked_counts, checked_stats = _run_attack(
+        scheme_name,
+        attack_name,
+        batch_size=_BATCH_SIZE,
+        soft_errors=SoftErrorConfig(rate=0.0, seed=11),
+        observers=[checker],
+    )
+    assert checked == plain
+    assert np.array_equal(checked_counts, plain_counts)
+    assert checked_stats == plain_stats
+    assert checker.checks > 0
 
 
 def _run_trace(scheme_name, batch_size):

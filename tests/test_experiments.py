@@ -163,3 +163,40 @@ class TestAblations:
         # The single-level sweep dies quickly under the repeat attack —
         # the reason SR needs its second level.
         assert rows["sr_single"]["repeat"] < rows["sr"]["repeat"]
+
+
+class TestResilienceSweep:
+    def test_table_shape_and_deltas(self):
+        from repro.experiments import resilience
+
+        tiny = ExperimentSetup(
+            scaled=ScaledArrayConfig(n_pages=64, endurance_mean=768.0),
+            benchmarks=("canneal",),
+            trace_writes=5_000,
+            overhead_writes=5_000,
+        )
+        table = resilience.resilience_sweep(
+            tiny,
+            schemes=("twl_swp", "startgap"),
+            rates=(1e-3,),
+        )
+        rows = list(table.rows())
+        # Per scheme: one baseline + one row per protection.
+        assert len(rows) == 2 * (1 + 3)
+        by_scheme = {}
+        for row in rows:
+            by_scheme.setdefault(row["scheme"], []).append(row)
+        for scheme, scheme_rows in by_scheme.items():
+            baseline = scheme_rows[0]
+            assert baseline["protection"] == "-"
+            assert baseline["rate"] == 0.0
+            assert baseline["delta_years"] == 0.0
+            secded = [r for r in scheme_rows if r["protection"] == "secded"]
+            assert secded and all(r["delta_years"] == 0.0 for r in secded)
+            faulted = [r for r in scheme_rows if r["rate"] > 0]
+            assert all(r["injected"] > 0 for r in faulted)
+            # Check-bit cost grows with protection strength.
+            none_cost = [r for r in scheme_rows if r["protection"] == "none"]
+            parity = [r for r in scheme_rows if r["protection"] == "parity"]
+            assert none_cost[0]["prot_overhead"] == 0.0
+            assert 0.0 < parity[0]["prot_overhead"] < secded[0]["prot_overhead"]

@@ -104,3 +104,47 @@ class TestSynthesisReport:
             "datapath_gates",
             "total_gates",
         }
+
+
+class TestProtectionBits:
+    def test_secded_classic_widths(self):
+        from repro.hwcost import secded_check_bits
+
+        assert secded_check_bits(8) == 5
+        assert secded_check_bits(64) == 8
+        assert secded_check_bits(23) == 6
+        assert secded_check_bits(7) == 5
+        assert secded_check_bits(27) == 7
+
+    def test_per_entry_costs(self):
+        from repro.errors import ConfigError
+        from repro.hwcost import protection_bits_per_entry
+
+        assert protection_bits_per_entry(23, "none") == 0
+        assert protection_bits_per_entry(23, "parity") == 1
+        assert protection_bits_per_entry(23, "secded") == 6
+        import pytest
+
+        with pytest.raises(ConfigError):
+            protection_bits_per_entry(23, "crc")
+
+    def test_geometry_consistent_with_storage_totals(self):
+        from repro.hwcost import scheme_storage_bits, scheme_table_geometry
+
+        for scheme in ("nowl", "startgap", "sr", "wrl", "bwl", "twl_swp"):
+            totals = scheme_storage_bits(scheme)
+            geometry = scheme_table_geometry(scheme)
+            assert set(totals) == set(geometry)
+            for structure, (entries, bits) in geometry.items():
+                assert entries * bits == totals[structure]
+
+    def test_scheme_protection_overhead_ordering(self):
+        from repro.hwcost import protection_storage_overhead
+
+        none = protection_storage_overhead("twl_swp", "none")
+        parity = protection_storage_overhead("twl_swp", "parity")
+        secded = protection_storage_overhead("twl_swp", "secded")
+        assert none == 0.0
+        assert 0.0 < parity < secded
+        # Parity on TWL's four per-page tables: 4 extra bits / 4 KB page.
+        assert parity == 4 / (4096 * 8)

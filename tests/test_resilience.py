@@ -561,3 +561,44 @@ class TestCLIResilienceFlags:
         assert setup.failure.timeout == 2.5
         assert setup.failure.keep_going
         assert setup.resume == "/tmp/m.jsonl"
+
+
+class TestTimeoutOutsideMainThread:
+    """SIGALRM handlers are main-thread-only: elsewhere the per-cell
+    timeout degrades to unenforced with a warning instead of crashing."""
+
+    def test_degrades_with_warning_and_same_result(self):
+        import threading
+        import warnings
+
+        from repro.exec.executor import _execute_one
+
+        cell = attack_cell("nowl", "scan", scaled=SCALED, seed=11)
+        expected = _execute_one(cell, timeout=None)
+        outcome = {}
+
+        def work():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                outcome["result"] = _execute_one(cell, timeout=30.0)
+                outcome["messages"] = [str(w.message) for w in caught]
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert outcome["result"] == expected
+        assert any(
+            "not enforceable" in message for message in outcome["messages"]
+        ), outcome["messages"]
+
+    def test_main_thread_timeout_still_arms(self):
+        import signal
+
+        from repro.exec.executor import _execute_one
+
+        cell = attack_cell("nowl", "scan", scaled=SCALED, seed=11)
+        before = signal.getsignal(signal.SIGALRM)
+        _execute_one(cell, timeout=30.0)
+        # Handler restored after the cell, and no alarm left pending.
+        assert signal.getsignal(signal.SIGALRM) == before
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)

@@ -122,3 +122,89 @@ class TestEstimateNoise:
             if array.has_failure:
                 break
         assert not array.has_failure or scheme.spare_pool_exhausted
+
+
+class TestSparePoolExhaustionEdge:
+    """Behaviour at and beyond the moment the spare pool runs dry."""
+
+    def test_exhaustion_flag_flips_exactly_once_pool_is_empty(self):
+        array, scheme = _make(n=16, endurance=200)
+        while not scheme.spare_pool_exhausted:
+            scheme.write(0)
+        assert scheme.spares_remaining() == 0
+        assert not array.has_failure  # flag precedes the actual death
+
+    def test_no_retirement_after_exhaustion(self):
+        array, scheme = _make(n=16, endurance=200)
+        while not scheme.spare_pool_exhausted:
+            scheme.write(0)
+        retired = scheme.retired_frames
+        swaps = scheme.swap_writes
+        while not array.has_failure:
+            scheme.write(0)
+        # The hammered frame rides to true death without further
+        # migrations or swap-write accounting drift.
+        assert scheme.retired_frames == retired
+        assert scheme.swap_writes == swaps
+
+    def test_other_pages_survive_exhaustion(self):
+        array, scheme = _make(n=16, endurance=200)
+        while not scheme.spare_pool_exhausted:
+            scheme.write(0)
+        scheme.write(1)
+        assert not array.has_failure
+        assert scheme.translate(1) != scheme.translate(0)
+
+    def test_stats_reflect_exhaustion(self):
+        _, scheme = _make(n=16, endurance=200)
+        while not scheme.spare_pool_exhausted:
+            scheme.write(0)
+        stats = scheme.stats()
+        assert stats["spares_remaining"] == 0.0
+        assert stats["retired_frames"] == float(scheme.retired_frames)
+
+
+class TestEstimateErrorRace:
+    """Lifetime is a race between the margin and the worst estimate."""
+
+    def test_death_frame_estimate_overshot_margin(self):
+        # When noise kills the device early, the frame that died must be
+        # one whose estimate exceeded its true endurance by more than
+        # the margin absorbed — the mechanism, not just the outcome.
+        array, scheme = _make(
+            n=64,
+            endurance=500,
+            margin_fraction=0.02,
+            estimate_sigma_fraction=0.3,
+        )
+        for step in range(200_000):
+            scheme.write(step % scheme.logical_pages)
+            if array.has_failure:
+                break
+        assert array.has_failure
+        frame = array.first_failure.physical_page
+        assert scheme._retire_at_list[frame] >= array.endurance[frame]
+
+    def test_perfect_estimates_never_die_before_exhaustion(self):
+        array, scheme = _make(
+            n=32, endurance=300, estimate_sigma_fraction=0.0
+        )
+        for step in range(100_000):
+            scheme.write(step % scheme.logical_pages)
+            if array.has_failure:
+                break
+        if array.has_failure:
+            assert scheme.spare_pool_exhausted
+
+    def test_pessimistic_estimates_only_waste_spares(self):
+        # Uniformly pessimistic estimates retire frames early (draining
+        # the pool faster) but can never cause a premature death.
+        array, scheme = _make(n=32, endurance=300)
+        scheme._retire_at_list = [
+            max(1, at - 50) for at in scheme._retire_at_list
+        ]
+        for step in range(50_000):
+            scheme.write(step % scheme.logical_pages)
+            if array.has_failure:
+                break
+        assert not array.has_failure or scheme.spare_pool_exhausted

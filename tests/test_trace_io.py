@@ -51,3 +51,80 @@ class TestTraceIO:
         )
         with pytest.raises(TraceError):
             load_trace(path)
+
+
+class TestCorruptTraceFiles:
+    """Every corruption mode surfaces as TraceError naming the file."""
+
+    def _save(self, tmp_path, name="t.npz"):
+        path = str(tmp_path / name)
+        save_trace(Trace.writes_only([1, 2, 3], name="demo"), path)
+        return path
+
+    def test_not_an_archive(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a zip file")
+        with pytest.raises(TraceError, match="junk.npz"):
+            load_trace(path)
+
+    def test_truncated_archive(self, tmp_path):
+        path = self._save(tmp_path)
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        with pytest.raises(TraceError, match="t.npz"):
+            load_trace(path)
+
+    def test_missing_member_names_record(self, tmp_path):
+        path = str(tmp_path / "m.npz")
+        np.savez(path, ops=np.array([1], dtype=np.uint8))
+        with pytest.raises(TraceError, match="pages"):
+            load_trace(path)
+
+    def test_undecodable_metadata(self, tmp_path):
+        path = str(tmp_path / "u.npz")
+        np.savez(
+            path,
+            ops=np.array([1], dtype=np.uint8),
+            pages=np.array([0], dtype=np.int64),
+            metadata=np.frombuffer(b"\xff\xfenot json", dtype=np.uint8),
+        )
+        with pytest.raises(TraceError, match="metadata"):
+            load_trace(path)
+
+    def test_non_object_metadata(self, tmp_path):
+        path = str(tmp_path / "l.npz")
+        np.savez(
+            path,
+            ops=np.array([1], dtype=np.uint8),
+            pages=np.array([0], dtype=np.int64),
+            metadata=np.frombuffer(b"[1, 2]", dtype=np.uint8),
+        )
+        with pytest.raises(TraceError, match="JSON object"):
+            load_trace(path)
+
+    def test_invalid_records_name_file(self, tmp_path):
+        path = str(tmp_path / "r.npz")
+        metadata = np.frombuffer(b'{"version": 1}', dtype=np.uint8)
+        np.savez(
+            path,
+            ops=np.array([7], dtype=np.uint8),  # invalid op code
+            pages=np.array([0], dtype=np.int64),
+            metadata=metadata,
+        )
+        with pytest.raises(TraceError, match="r.npz"):
+            load_trace(path)
+
+    def test_mismatched_record_lengths(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        metadata = np.frombuffer(b'{"version": 1}', dtype=np.uint8)
+        np.savez(
+            path,
+            ops=np.array([1, 1], dtype=np.uint8),
+            pages=np.array([0], dtype=np.int64),
+            metadata=metadata,
+        )
+        with pytest.raises(TraceError, match="s.npz"):
+            load_trace(path)
