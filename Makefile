@@ -1,6 +1,6 @@
 # Convenience targets for the TWL reproduction.
 
-.PHONY: install test lint typecheck bench bench-quick quick-parallel quick-resilient quick-sanitized quick-softerrors examples report clean
+.PHONY: install test lint typecheck bench bench-quick bench-trajectory quick-parallel quick-resilient quick-sanitized quick-softerrors examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -9,7 +9,7 @@ test:
 	pytest tests/
 
 # Full lint gate: ruff (style/pyflakes/isort) + mypy on the typed core
-# + the repo's own determinism pass (rules TWL001-TWL005, see
+# + the repo's own determinism pass (rules TWL001-TWL006, see
 # docs/invariants.md).  ruff/mypy are dev extras; when absent locally
 # the corresponding step is skipped with a notice (CI installs both).
 lint:
@@ -36,6 +36,14 @@ bench:
 
 bench-quick:
 	REPRO_QUICK=1 pytest benchmarks/ --benchmark-only
+
+# The committed benchmark trajectory (docs/performance.md): smoke-size
+# run of every engine scenario, machine-normalized, gated against the
+# best committed BENCH_*.json at the repo root.  This is what the CI
+# bench job runs; a full-size artifact for committing is
+#   PYTHONPATH=src python benchmarks/bench_trajectory.py --tag PRn --output BENCH_PRn.json
+bench-trajectory:
+	PYTHONPATH=src python benchmarks/bench_trajectory.py --smoke --check
 
 # Smoke the parallel executor path end-to-end (also covered by
 # tests/test_exec.py so it stays green under tier-1).

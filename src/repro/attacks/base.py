@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from ..errors import ConfigError
 
 
@@ -29,6 +31,21 @@ class AttackWorkload(abc.ABC):
     @abc.abstractmethod
     def next_write(self) -> int:
         """Logical address of the attacker's next write."""
+
+    def next_writes(self, n: int) -> np.ndarray:
+        """The next ``n`` write addresses as one array (batched protocol).
+
+        Must emit exactly the sequence ``n`` calls of :meth:`next_write`
+        would, including the ``writes_emitted`` side effect.  The base
+        implementation draws scalars; attacks whose stream is closed-form
+        (scan, repeat) override it with a vector expression.
+        """
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        next_write = self.next_write
+        return np.fromiter(
+            (next_write() for _ in range(n)), dtype=np.int64, count=n
+        )
 
     def observe_response(self, latency_cycles: float) -> None:
         """Feed back the measured response time of the last request.

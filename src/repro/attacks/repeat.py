@@ -7,6 +7,8 @@ without wear leveling in seconds; any remapping scheme spreads it.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .base import AttackWorkload
 
 
@@ -23,3 +25,10 @@ class RepeatWriteAttack(AttackWorkload):
 
     def next_write(self) -> int:
         return self._emit(self.target)
+
+    def next_writes(self, n: int) -> np.ndarray:
+        """Vectorized repeat stream: a constant batch."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        self.writes_emitted += n
+        return np.full(n, self.target, dtype=np.int64)

@@ -8,6 +8,8 @@ near 1/2), which is why the scan column is TWL's minimum in Figure 6.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .base import AttackWorkload
 
 
@@ -28,3 +30,12 @@ class ScanWriteAttack(AttackWorkload):
         if self._next == self.n_pages:
             self._next = 0
         return self._emit(current)
+
+    def next_writes(self, n: int) -> np.ndarray:
+        """Vectorized scan stream: one modular ramp per batch."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        out = (self._next + np.arange(n, dtype=np.int64)) % self.n_pages
+        self._next = int((self._next + n) % self.n_pages)
+        self.writes_emitted += n
+        return out

@@ -25,7 +25,7 @@ the same flag skips every finished cell — all execution knobs, so the
 results stay bit-identical to a clean serial run.
 
 Determinism tooling (``docs/invariants.md``): ``twl-repro lint`` runs
-the static determinism/purity pass (rules TWL001–TWL005) over the
+the static determinism/purity pass (rules TWL001–TWL006) over the
 package tree and exits non-zero on any violation; ``--sanitize`` (or
 ``REPRO_SANITIZE=1``) arms the runtime sanitizer, making any
 global-RNG call inside engine/sim execution raise

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import TWLConfig
+from ..errors import SimulationError
 from ..pcm.array import PCMArray
 from ..rng.streams import derive_seed
 from ..rng.xorshift import XorShift32
@@ -124,30 +125,28 @@ class TossUpWearLeveling(WearLeveler):
         self._count_demand()
         return writes
 
-    #: Quiet runs shorter than this are served by the scalar path: at
-    #: small run lengths the per-call cost of the vector machinery
-    #: (bincounts, bounds checks, mirror folds) exceeds the per-write
-    #: cost of the plain Python loop.
-    _MIN_VECTOR_RUN = 64
-    #: After two consecutive short runs, serve this many writes scalar
-    #: without re-planning (planning itself costs several numpy calls,
-    #: a bad trade when events are known to be dense), then re-probe.
-    _SCALAR_BURST = 1024
-
     def write_batch(self, addresses) -> np.ndarray:
-        """Batch path: vectorize the non-toss-up straight-through writes.
+        """Batch path: plan every toss-up event, vectorize the rest.
 
         Most demand writes neither fire a toss-up (one in
         ``toss_up_interval`` writes to a page) nor an inter-pair swap
-        (one in ``inter_pair_swap_interval`` demand writes).  Between
-        those events the remapping table is static and the write
-        counters move predictably, so the run of straight-through writes
-        up to the next event is computed from the counter state and
-        applied in one vector step; each event write is then served by
-        the exact scalar :meth:`write`.  Runs shorter than
-        :data:`_MIN_VECTOR_RUN` (dense-trigger configurations) fall back
-        to the scalar path wholesale, so batched TWL never loses much to
-        the per-write path even when events are frequent.
+        (one in ``inter_pair_swap_interval`` demand writes).  The batch
+        is cut into *windows* at inter-pair-swap boundaries; within a
+        window the write counters move predictably — a page's counter
+        after ``j`` writes is ``(start + j) % interval`` — so **all**
+        toss-up trigger positions in the window follow from one modular
+        comparison against the canonical counter array.  The
+        straight-through stretches between events are served by one
+        :meth:`PCMArray.apply_batch` plus one vectorized counter update
+        each; only the event writes themselves (and the window-boundary
+        write that fires the inter-pair swap) go through the exact
+        scalar :meth:`write`.
+
+        The modular prediction assumes every counter is below the
+        interval, which :meth:`WriteCounterTable.record_write` maintains
+        by construction; an injected fault can break it, so any window
+        that starts with a corrupted counter is served scalar until the
+        counter wraps back into range.
         """
         seq = np.asarray(addresses, dtype=np.int64)
         if self.array.failed:
@@ -158,73 +157,217 @@ class TossUpWearLeveling(WearLeveler):
             self.check_logical(bad)
         out = np.ones(seq.size, dtype=np.int64)
         array = self.array
+        counters = self.write_counters.values_array()
         interval = self.write_counters.interval
+        # Checked once per batch: every in-batch counter update
+        # (record_write wrap, modular bulk_record, force_trigger_next's
+        # interval-1) keeps counters below the interval, so only an
+        # external poke — impossible mid-batch — can break this.
+        counters_sane = int(counters.max()) < interval
+        # Lower bound on the minimum remaining endurance, maintained
+        # across windows so the whole-window fast path (which applies a
+        # window's writes out of order) only runs when no page can fail
+        # inside the window.  Each demand write costs at most two
+        # physical writes, the boundary write at most four.
+        headroom = -1
         position = 0
-        short_runs = 0
         while position < seq.size:
-            if short_runs >= 2:
-                # Events are dense here: burst scalar, then re-probe.
-                # Stage through plain Python lists — element-wise numpy
-                # indexing would double the cost of the scalar loop.
-                stop = min(position + self._SCALAR_BURST, seq.size)
-                write = self.write
-                costs = []
-                for logical in seq[position:stop].tolist():
-                    costs.append(write(logical))
-                    if array.failed:
-                        break
-                out[position : position + len(costs)] = costs
-                position += len(costs)
-                if array.failed:
-                    return out[:position]
-                short_runs = 0
-                continue
             # Writes before the next inter-pair swap fires (the firing
-            # write itself is an event, served by the scalar path).
-            quiet = self.config.inter_pair_swap_interval - self._interpair_counter - 1
-            run_limit = min(seq.size - position, quiet)
-            run = 0
-            if run_limit > 0:
-                window = seq[position : position + run_limit]
-                occurrences = _cumcount(window)
-                # record_write triggers when counter + occurrences + 1
-                # reaches the interval.
-                thresholds = interval - 1 - self.write_counters.values_array()[window]
-                triggers = np.flatnonzero(occurrences >= thresholds)
-                run = int(triggers[0]) if triggers.size else run_limit
-            if run >= self._MIN_VECTOR_RUN:
-                short_runs = 0
-                chunk = window[:run]
-                physical = self.remap.mapping_array()[chunk]
-                served = array.apply_batch(physical)
-                self.write_counters.bulk_record_quiet(
-                    np.bincount(chunk[:served], minlength=n)
-                )
-                self._interpair_counter += served
-                self.demand_writes += served
+            # write itself is served by the scalar path below).
+            quiet = (
+                self.config.inter_pair_swap_interval - self._interpair_counter - 1
+            )
+            limit = min(seq.size - position, quiet)
+            if limit > 0:
+                window = seq[position : position + limit]
+                window_cost = 2 * limit + 4
+                if headroom <= window_cost:
+                    headroom = int((array.endurance - array.writes).min())
+                if counters_sane:
+                    served = self._serve_window(
+                        window, out, position, headroom > window_cost
+                    )
+                else:
+                    served = self._serve_scalar(window, out, position)
+                headroom -= window_cost
                 position += served
                 if array.failed:
                     return out[:position]
-                if position < seq.size:
-                    out[position] = self.write(int(seq[position]))
-                    position += 1
-                    if array.failed:
-                        return out[:position]
-            else:
-                # Short quiet run: serve it and its event write scalar.
-                short_runs += 1
-                stop = min(position + run + 1, seq.size)
-                write = self.write
-                costs = []
-                for logical in seq[position:stop].tolist():
-                    costs.append(write(logical))
-                    if array.failed:
-                        break
-                out[position : position + len(costs)] = costs
-                position += len(costs)
+            # The window-boundary write fires the inter-pair swap.
+            if position < seq.size:
+                out[position] = self.write(int(seq[position]))
+                position += 1
                 if array.failed:
                     return out[:position]
         return out
+
+    def _serve_window(
+        self, window: np.ndarray, out: np.ndarray, base: int, no_failure: bool = False
+    ) -> int:
+        """Serve one inter-pair-quiet window; return writes served.
+
+        Computes the full toss-up event schedule up front (valid for the
+        whole window: an event only resets its own counter to zero,
+        which the modular formula already accounts for).  When the
+        caller guarantees no page can fail inside the window
+        (``no_failure``), the toss-up decisions themselves vectorize and
+        the whole window collapses to one bulk apply
+        (:meth:`_serve_window_fast`); otherwise it alternates vectorized
+        straight-through runs with exact scalar event writes.
+        """
+        counters = self.write_counters.values_array()
+        partners = self.pair_table.partners_array()
+        interval = self.write_counters.interval
+        # record_write triggers the j-th write to a page (1-based) iff
+        # (counter + j) % interval == 0; triggers on self-paired pages
+        # do not activate the engine and stay in the vectorized runs.
+        # Duplicate-free windows (scan-like streams) skip the
+        # occurrence ranking: every write is its page's first.
+        s = np.sort(window)
+        if window.size < 2 or not (s[1:] == s[:-1]).any():
+            triggered = (counters[window] + 1) % interval == 0
+            distinct = True
+        else:
+            occurrences = _cumcount(window)
+            triggered = (counters[window] + occurrences + 1) % interval == 0
+            distinct = False
+        partners_w = partners[window]
+        events = np.flatnonzero(triggered & (partners_w != window))
+        if no_failure and not self.config.use_remaining_endurance:
+            logicals = window[events]
+            mates = partners_w[events]
+            # Toss-up outcomes feed back into later events of the SAME
+            # pair (a swap exchanges the pair's frames); events over
+            # distinct pairs are independent.
+            keys = np.sort(
+                np.minimum(logicals, mates) * self.remap.n_pages
+                + np.maximum(logicals, mates)
+            )
+            if keys.size < 2 or not (keys[1:] == keys[:-1]).any():
+                return self._serve_window_fast(
+                    window, events, logicals, mates, distinct, out, base
+                )
+        array = self.array
+        write = self.write
+        pos = 0
+        for event in events.tolist():  # twl: allow(TWL006) reason=one per planned event
+            run = event - pos
+            if run > 0:
+                served = self._serve_quiet_run(window[pos : pos + run])
+                pos += served
+                if served < run:  # failure inside the run
+                    return pos
+            out[base + pos] = write(int(window[event]))
+            pos += 1
+            if array.failed:
+                return pos
+        run = window.size - pos
+        if run > 0:
+            pos += self._serve_quiet_run(window[pos : pos + run])
+        return pos
+
+    def _serve_window_fast(
+        self,
+        window: np.ndarray,
+        events: np.ndarray,
+        logicals: np.ndarray,
+        mates: np.ndarray,
+        distinct: bool,
+        out: np.ndarray,
+        base: int,
+    ) -> int:
+        """Serve a whole window in one bulk apply, events included.
+
+        Valid only when (a) no page can fail inside the window — device
+        write *order* is then unobservable, so the batch may be applied
+        out of order — (b) the toss-up reads static endurance, and (c)
+        every event's pair is distinct, so no decision feeds back into
+        another event's frames.  Each toss-up consumes exactly one RNG
+        word, so the whole decision column is one batched draw compared
+        against the vectorized fixed-point thresholds; remap swaps are
+        then replayed onto the pre-gathered translation as per-pair tail
+        patches.
+        """
+        rng = self.toss_up.rng
+        n_events = int(events.size)
+        alphas = rng.take_words(n_events)
+        mapping = self.remap.mapping_array()
+        endurance = self.endurance_table.values_array()
+        frames = mapping[logicals]
+        pframes = mapping[mates]
+        own = endurance[frames]
+        other = endurance[pframes]
+        thresholds = (own << self.toss_up.rng_bits) // (own + other)
+        chose_own = alphas < thresholds
+        physical = mapping[window]
+        swaps = np.flatnonzero(~chose_own)
+        for k in swaps.tolist():  # twl: allow(TWL006) reason=per-swap remap patch, few per window
+            pos = int(events[k])
+            logical = int(logicals[k])
+            mate = int(mates[k])
+            tail = window[pos + 1 :]
+            patch = physical[pos + 1 :]
+            patch[tail == logical] = pframes[k]
+            patch[tail == mate] = frames[k]
+            self.remap.swap_logical(logical, mate)
+        if swaps.size:
+            # A swap event writes the migration frame first, then the
+            # chosen frame — splice the extra write in after the event
+            # (hand-rolled np.insert: the positions are pre-sorted).
+            extra = int(swaps.size)
+            full_seq = np.empty(physical.size + extra, dtype=np.int64)
+            spliced = np.zeros(full_seq.size, dtype=bool)
+            spliced[events[swaps] + 1 + np.arange(extra)] = True
+            full_seq[spliced] = pframes[swaps]
+            full_seq[~spliced] = physical
+        else:
+            full_seq = physical
+        served = self.array.apply_batch(full_seq)
+        if served != full_seq.size:
+            raise SimulationError(
+                "whole-window fast path ran under a failure-possible state"
+            )
+        if distinct:
+            self.write_counters.bulk_record_distinct(window)
+        else:
+            self.write_counters.bulk_record(window)
+        self.toss_up_activations += n_events
+        toss = self.toss_up
+        toss.decisions += n_events
+        toss.chose_a += int(chose_own.sum())
+        n_swapped = int(swaps.size)
+        judge = self.swap_judge
+        judge.direct += n_events - n_swapped
+        judge.swapped += n_swapped
+        self.swap_events += n_swapped
+        self.swap_writes += n_swapped
+        if n_swapped:
+            out[base + events[swaps]] = 2
+        self._interpair_counter += int(window.size)
+        self.demand_writes += int(window.size)
+        return int(window.size)
+
+    def _serve_quiet_run(self, chunk: np.ndarray) -> int:
+        """Apply a straight-through run in one vector step."""
+        physical = self.remap.mapping_array()[chunk]
+        served = self.array.apply_batch(physical)
+        recorded = chunk if served == chunk.size else chunk[:served]
+        self.write_counters.bulk_record(recorded)
+        self._interpair_counter += served
+        self.demand_writes += served
+        return served
+
+    def _serve_scalar(self, window: np.ndarray, out: np.ndarray, base: int) -> int:
+        """Exact per-write fallback (corrupted-counter windows)."""
+        write = self.write
+        array = self.array
+        pos = 0
+        for logical in window.tolist():  # twl: allow(TWL006) reason=corrupt-counter fallback
+            out[base + pos] = write(logical)
+            pos += 1
+            if array.failed:
+                break
+        return pos
 
     def _pair_endurance(self, frame: int) -> int:
         """Endurance feeding the toss-up probability for ``frame``."""

@@ -64,6 +64,7 @@ RULES: Dict[str, str] = {
     "TWL003": "spec field not classified as identity or execution knob",
     "TWL004": "unordered iteration/serialization in a fingerprinted path",
     "TWL005": "__all__ inconsistent with public module names",
+    "TWL006": "per-element Python loop over a canonical array in a hot path",
 }
 
 #: Modules whose serialization/fingerprint role makes iteration order
@@ -120,6 +121,15 @@ _TIME_CLOCK_FNS = frozenset(
 
 #: Clock-reading constructors of ``datetime.datetime`` / ``datetime.date``.
 _DATETIME_CLOCK_FNS = frozenset({"now", "utcnow", "today"})
+
+#: Module prefixes whose inner loops are engine hot paths (TWL006):
+#: after the structure-of-arrays refactor the canonical wear/table
+#: state lives in numpy arrays, and a per-element Python loop over one
+#: (``for x in arr.tolist(): ...``) silently reintroduces the scalar
+#: cost the batch protocol exists to avoid.  Intentional scalar tails
+#: (exact failure attribution, fault-corrupted-state fallbacks) carry a
+#: reasoned ``# twl: allow(TWL006)`` pragma.
+_HOT_PATH_PREFIXES = ("repro.pcm", "repro.tables", "repro.wearlevel", "repro.core")
 
 _PRAGMA_RE = re.compile(
     r"#\s*twl:\s*allow\(\s*([A-Za-z0-9_\s,]+?)\s*\)(?:\s+reason=(\S[^#]*))?"
@@ -275,6 +285,7 @@ class _FileLinter(ast.NodeVisitor):
         self._check_rng = not module.startswith(_RNG_EXEMPT_PREFIXES)
         self._check_clock = not module.startswith(_CLOCK_ALLOWED_PREFIXES)
         self._check_order = module in ORDERED_ITERATION_MODULES
+        self._check_hot = module.startswith(_HOT_PATH_PREFIXES)
 
     def run(self, tree: ast.Module) -> List[Violation]:
         self.imports.collect(tree)
@@ -435,12 +446,34 @@ class _FileLinter(ast.NodeVisitor):
     def visit_For(self, node: ast.For) -> None:
         if self._check_order:
             self._flag_unordered_iter(node.iter)
+        if self._check_hot:
+            self._flag_scalar_loop(node.iter)
         self.generic_visit(node)
+
+    # -- TWL006 ---------------------------------------------------------
+    def _flag_scalar_loop(self, iterable: ast.AST) -> None:
+        """Flag hot-path iteration that walks an array element-wise."""
+        for sub in ast.walk(iterable):
+            if not isinstance(sub, ast.Call):
+                continue
+            chain = _attr_chain(sub.func)
+            if chain and len(chain) > 1 and chain[-1] == "tolist":
+                self._flag(
+                    sub,
+                    "TWL006",
+                    "per-element loop over an array (.tolist()) in an engine "
+                    "hot path; vectorize it, or mark an intentional scalar "
+                    "tail with a reasoned pragma",
+                )
+                return
 
     def _visit_comprehension(self, node: ast.AST) -> None:
         if self._check_order:
             for comp in getattr(node, "generators", []):
                 self._flag_unordered_iter(comp.iter)
+        if self._check_hot:
+            for comp in getattr(node, "generators", []):
+                self._flag_scalar_loop(comp.iter)
         self.generic_visit(node)
 
     visit_ListComp = _visit_comprehension
@@ -715,7 +748,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="twl-repro lint",
         description=(
             "Static determinism/purity checks for the TWL reproduction "
-            "(rules TWL001-TWL005; see docs/invariants.md)."
+            "(rules TWL001-TWL006; see docs/invariants.md)."
         ),
     )
     parser.add_argument(

@@ -6,13 +6,24 @@ the first wear-out event.  Data contents are not stored — wear-leveling
 behaviour depends only on *where* writes land — but swap operations still
 cost the correct number of physical page writes.
 
+The canonical state is structure-of-arrays numpy: ``writes`` and
+``endurance`` are flat ``int64`` arrays and every write path mutates (or
+reads) them directly.  ``endurance`` is frozen read-only after
+construction — endurance is tested once at format time, so an accidental
+in-place mutation raises immediately instead of silently corrupting the
+run.  The scalar accessors (:meth:`page_writes`, :meth:`page_endurance`)
+are thin views over the same arrays.
+
 Three write paths are provided:
 
 * :meth:`write` — single page, exact failure detection (used inside
   scheme hot loops);
 * :meth:`apply_batch` — an *ordered* batch of single-page writes with
   exact first-failure attribution, bit-identical to issuing the same
-  sequence through :meth:`write` (the batched-protocol substrate);
+  sequence through :meth:`write` (the batched-protocol substrate).  The
+  common no-failure case is a single vectorized accumulate; the ordered
+  scalar scan only runs when some page can actually cross its endurance
+  within the batch;
 * :meth:`apply_write_counts` — unordered vectorized bulk application for
   fast-forward simulation, attributing the first failure by the fluid
   approximation.
@@ -25,7 +36,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..config import PCMConfig
-from ..errors import AddressError, ConfigError, PageWornOutError, SimulationError
+from ..errors import AddressError, ConfigError, PageWornOutError
 from .endurance import sample_gaussian_endurance, sample_tail_faithful
 from .faults import FirstFailure
 
@@ -49,8 +60,14 @@ class PCMArray:
             raise ConfigError("endurance must be a non-empty 1-D sequence")
         if (endurance_array <= 0).any():
             raise ConfigError("all endurance values must be positive")
+        #: Canonical per-page endurance.  Frozen read-only: endurance is
+        #: immutable after format time, so an in-place mutation raises
+        #: ``ValueError`` at the offending statement.
         self.endurance = endurance_array.copy()
+        self.endurance.setflags(write=False)
         self.n_pages = int(endurance_array.size)
+        #: Canonical per-page write counts.  Owned by the write paths
+        #: below; treat as read-only from outside.
         self.writes = np.zeros(self.n_pages, dtype=np.int64)
         self.fail_fast = fail_fast
         self.total_writes = 0
@@ -58,17 +75,6 @@ class PCMArray:
         #: property call per write).
         self.failed = False
         self._first_failure: Optional[FirstFailure] = None
-        # Plain Python lists mirror the numpy arrays for O(1) scalar access
-        # in per-write hot loops (numpy scalar indexing is ~5x slower).
-        # Every bulk entry point funnels through _sync(), which folds the
-        # list-side updates back into numpy and checks the mirrors agree.
-        self._endurance_list = self.endurance.tolist()
-        self._writes_list = self.writes.tolist()
-        self._endurance_total = int(endurance_array.sum())
-        # True whenever the scalar hot path has mutated the list mirror
-        # since the last _sync(); lets clean bulk calls skip the O(n)
-        # fold-back entirely.
-        self._scalar_dirty = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -119,25 +125,24 @@ class PCMArray:
         simulator stops at first failure; direct users get the exception
         when ``fail_fast`` is set).
         """
-        writes = self._writes_list
+        writes = self.writes
         if not 0 <= physical_page < self.n_pages:
             raise AddressError(
                 f"physical page {physical_page} out of range [0, {self.n_pages})"
             )
-        count = writes[physical_page] + 1
+        count = int(writes[physical_page]) + 1
         writes[physical_page] = count
         self.total_writes += 1
-        self._scalar_dirty = True
-        if count >= self._endurance_list[physical_page] and self._first_failure is None:
+        if count >= self.endurance[physical_page] and self._first_failure is None:
             self.failed = True
             self._first_failure = FirstFailure(
                 physical_page=physical_page,
                 device_writes=self.total_writes,
-                page_endurance=int(self._endurance_list[physical_page]),
+                page_endurance=int(self.endurance[physical_page]),
             )
             if self.fail_fast:
                 raise PageWornOutError(
-                    physical_page, count, int(self._endurance_list[physical_page])
+                    physical_page, count, int(self.endurance[physical_page])
                 )
 
     def write_many(self, physical_page: int, count: int) -> None:
@@ -150,13 +155,12 @@ class PCMArray:
             )
         if count == 0:
             return
-        writes = self._writes_list
-        before = writes[physical_page]
+        writes = self.writes
+        before = int(writes[physical_page])
         after = before + count
         writes[physical_page] = after
         self.total_writes += count
-        self._scalar_dirty = True
-        endurance = self._endurance_list[physical_page]
+        endurance = int(self.endurance[physical_page])
         if after >= endurance and self._first_failure is None:
             # The failing write is the one that brought the count to the
             # endurance value, so attribute the exact device write index.
@@ -166,10 +170,10 @@ class PCMArray:
             self._first_failure = FirstFailure(
                 physical_page=physical_page,
                 device_writes=int(device_writes),
-                page_endurance=int(endurance),
+                page_endurance=endurance,
             )
             if self.fail_fast:
-                raise PageWornOutError(physical_page, after, int(endurance))
+                raise PageWornOutError(physical_page, after, endurance)
 
     def apply_batch(self, physical_sequence: Sequence[int]) -> int:
         """Apply an *ordered* batch of single-page writes.
@@ -181,6 +185,11 @@ class PCMArray:
         (page and device-write index), application stops there, and the
         number of writes actually applied is returned — the contract the
         batched write protocol and the ``repro.exec`` cache rely on.
+
+        When no page can cross its endurance within the batch (the
+        steady-state case), the whole batch is one vectorized
+        accumulate; the per-occurrence attribution scan runs only when a
+        crossing is actually possible.
         """
         seq = np.asarray(physical_sequence, dtype=np.int64)
         if seq.ndim != 1:
@@ -192,43 +201,60 @@ class PCMArray:
             raise AddressError(
                 f"physical page {bad} out of range [0, {self.n_pages})"
             )
-        self._sync()
-        applied = seq
-        exact_failure = None
-        if self._first_failure is None:
-            counts = np.bincount(seq, minlength=self.n_pages)
-            remaining = self.endurance - self.writes
-            # No failure recorded => every page is strictly below its
-            # endurance, so remaining >= 1 everywhere.
-            crossing = np.flatnonzero(counts >= remaining)
-            if crossing.size:
-                fail_pos = seq.size
-                winner = -1
-                for page in crossing.tolist():
-                    # The remaining[page]-th occurrence of `page` in the
-                    # sequence is the write that exhausts it.
-                    position = int(
-                        np.flatnonzero(seq == page)[int(remaining[page]) - 1]
-                    )
-                    if position < fail_pos:
-                        fail_pos, winner = position, page
-                applied = seq[: fail_pos + 1]
-                exact_failure = (winner, fail_pos)
-        self.apply_write_counts(np.bincount(applied, minlength=self.n_pages))
-        if exact_failure is not None:
-            # Replace the fluid attribution apply_write_counts just made
-            # with the exact one: the failing write's position is known.
-            winner, fail_pos = exact_failure
-            self.failed = True
-            self._first_failure = FirstFailure(
-                physical_page=winner,
-                device_writes=self.total_writes - applied.size + fail_pos + 1,
-                page_endurance=int(self.endurance[winner]),
+        if self._first_failure is None and seq.size * 8 < self.n_pages:
+            # Small chunks (the TWL planner's quiet runs are a few dozen
+            # writes against thousands of pages): touch only the
+            # affected entries instead of materializing full-array
+            # counts.  Falls through to the general machinery on
+            # duplicates or whenever a crossing is possible, so
+            # attribution stays exact.  (A sorted adjacent-compare beats
+            # np.unique's fixed overhead at these sizes.)
+            s = np.sort(seq)
+            if seq.size < 2 or not (s[1:] == s[:-1]).any():
+                before = self.writes[seq]
+                if (before + 1 < self.endurance[seq]).all():
+                    self.writes[seq] = before + 1
+                    self.total_writes += int(seq.size)
+                    return int(seq.size)
+        counts = np.bincount(seq, minlength=self.n_pages)
+        if self._first_failure is not None:
+            # Past first failure every write just keeps counting.
+            self.writes += counts
+            self.total_writes += int(seq.size)
+            return int(seq.size)
+        remaining = self.endurance - self.writes
+        # No failure recorded => every page is strictly below its
+        # endurance, so remaining >= 1 everywhere.
+        crossing = np.flatnonzero(counts >= remaining)
+        if not crossing.size:
+            self.writes += counts
+            self.total_writes += int(seq.size)
+            return int(seq.size)
+        # Some page reaches its endurance inside this batch: find the
+        # earliest exhausting write in request order.
+        fail_pos = seq.size
+        winner = -1
+        for page in crossing.tolist():  # twl: allow(TWL006) reason=exact failure attribution tail
+            # The remaining[page]-th occurrence of `page` in the
+            # sequence is the write that exhausts it.
+            position = int(
+                np.flatnonzero(seq == page)[int(remaining[page]) - 1]
             )
-            if self.fail_fast:
-                raise PageWornOutError(
-                    winner, int(self.writes[winner]), int(self.endurance[winner])
-                )
+            if position < fail_pos:
+                fail_pos, winner = position, page
+        applied = seq[: fail_pos + 1]
+        self.writes += np.bincount(applied, minlength=self.n_pages)
+        self.total_writes += int(applied.size)
+        self.failed = True
+        self._first_failure = FirstFailure(
+            physical_page=winner,
+            device_writes=self.total_writes - int(applied.size) + fail_pos + 1,
+            page_endurance=int(self.endurance[winner]),
+        )
+        if self.fail_fast:
+            raise PageWornOutError(
+                winner, int(self.writes[winner]), int(self.endurance[winner])
+            )
         return int(applied.size)
 
     def apply_write_counts(self, per_page_writes: np.ndarray) -> None:
@@ -249,7 +275,6 @@ class PCMArray:
             )
         if (counts < 0).any():
             raise ConfigError("write counts must be non-negative")
-        self._sync()
         chunk_total = int(counts.sum())
         if chunk_total == 0:
             return
@@ -275,42 +300,6 @@ class PCMArray:
                     device_writes=max(1, device_writes),
                     page_endurance=int(self.endurance[winner]),
                 )
-        self._writes_list = self.writes.tolist()
-
-    def _sync(self) -> None:
-        """Fold scalar-path updates back into numpy; check the mirrors.
-
-        The scalar hot path (:meth:`write` / :meth:`write_many`) mutates
-        only the Python-list mirrors, the bulk paths mutate the numpy
-        arrays and re-derive the lists — so a caller that mutates one
-        side directly can silently desynchronize the two.  Both paths
-        keep ``total_writes`` equal to the sum of per-page writes, and
-        the endurance values are immutable, so those invariants are
-        asserted here (every bulk entry point calls ``_sync``) to turn a
-        silent divergence into a loud error.  The fold-back and checks
-        only run after scalar-path activity; back-to-back bulk calls
-        stay O(1).
-        """
-        if not self._scalar_dirty:
-            return
-        self._scalar_dirty = False
-        writes = np.asarray(self._writes_list, dtype=np.int64)
-        if writes.size != self.n_pages or int(writes.sum()) != self.total_writes:
-            raise SimulationError(
-                f"PCMArray write mirrors diverged: per-page writes sum to "
-                f"{int(writes.sum())} over {writes.size} pages but "
-                f"total_writes is {self.total_writes}; a caller mutated one "
-                "side of the numpy/list mirror directly"
-            )
-        if (
-            len(self._endurance_list) != self.n_pages
-            or int(self.endurance.sum()) != self._endurance_total
-        ):
-            raise SimulationError(
-                "PCMArray endurance mirrors diverged: endurance values are "
-                "immutable after construction"
-            )
-        self.writes = writes
 
     # ------------------------------------------------------------------
     # Inspection
@@ -331,7 +320,7 @@ class PCMArray:
             raise AddressError(
                 f"physical page {physical_page} out of range [0, {self.n_pages})"
             )
-        return self._writes_list[physical_page]
+        return int(self.writes[physical_page])
 
     def page_endurance(self, physical_page: int) -> int:
         """Endurance of one page (O(1), hot-loop safe)."""
@@ -339,21 +328,18 @@ class PCMArray:
             raise AddressError(
                 f"physical page {physical_page} out of range [0, {self.n_pages})"
             )
-        return self._endurance_list[physical_page]
+        return int(self.endurance[physical_page])
 
     def write_counts(self) -> np.ndarray:
         """Copy of the per-page write counts."""
-        self._sync()
         return self.writes.copy()
 
     def remaining(self) -> np.ndarray:
         """Per-page remaining endurance (clipped at zero)."""
-        self._sync()
         return np.maximum(self.endurance - self.writes, 0)
 
     def wear_fraction(self) -> np.ndarray:
         """Per-page wear as a fraction of endurance."""
-        self._sync()
         return self.writes / self.endurance.astype(np.float64)
 
     def utilization(self) -> float:
@@ -363,7 +349,6 @@ class PCMArray:
         paper's normalized lifetime is precisely this quantity at the
         failure point (modulo swap-write overhead).
         """
-        self._sync()
         return float(self.writes.sum() / self.endurance.sum())
 
     def weakest_pages(self, k: int) -> np.ndarray:

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConfigError
 
 _DEFAULT_ROUNDS = 4
@@ -30,6 +32,9 @@ _DEFAULT_ROUNDS = 4
 #: 4-bit S-box used by the default round function (PRESENT cipher S-box,
 #: chosen because it is standard, tiny and maximally nonlinear for 4 bits).
 _SBOX4 = (0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2)
+
+#: The same S-box as a numpy lookup table for the vectorized data path.
+_SBOX4_NP = np.array(_SBOX4, dtype=np.int64)
 
 
 def _derive_round_keys(seed: int, rounds: int, half_bits: int) -> List[int]:
@@ -124,6 +129,41 @@ class FeistelNetwork:
             left, right = right, left ^ self._round_function(right, key)
         return (left << self.half_bits) | right
 
+    def _round_function_array(self, values: np.ndarray, key: int) -> np.ndarray:
+        """Vectorized :meth:`_round_function` (bit-identical per element)."""
+        mixed = (values + key) & self._half_mask
+        out = np.zeros_like(mixed)
+        shift = 0
+        while shift < self.half_bits:
+            nibble = (mixed >> shift) & 0xF
+            width = min(4, self.half_bits - shift)
+            out |= (_SBOX4_NP[nibble] & ((1 << width) - 1)) << shift
+            shift += 4
+        out = ((out << 1) | (out >> (self.half_bits - 1))) & self._half_mask
+        return out ^ key
+
+    def encrypt_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`encrypt` over an ``int64`` array.
+
+        Element-for-element identical to the scalar path (enforced by
+        ``tests/test_rng_feistel.py``) — this is what makes the batched
+        TWL/Start-Gap data paths bit-identical to serial runs while
+        skipping the per-call Python cost of the scalar rounds.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (
+            int(values.min()) < 0 or int(values.max()) >= self.period
+        ):
+            bad = int(values[(values < 0) | (values >= self.period)][0])
+            raise ValueError(
+                f"value {bad} outside Feistel domain [0, {self.period})"
+            )
+        left = values >> self.half_bits
+        right = values & self._half_mask
+        for key in self.keys:
+            left, right = right, left ^ self._round_function_array(right, key)
+        return (left << self.half_bits) | right
+
     def decrypt(self, value: int) -> int:
         """Invert the permutation."""
         self._check_domain(value)
@@ -155,6 +195,10 @@ class FeistelRNG:
     automatically at the end of each period so long runs do not repeat.
     """
 
+    #: Widths up to this many bits materialize the epoch's full word
+    #: table (one vectorized pass) so ``next_word`` is a table read.
+    _TABLE_BITS_MAX = 16
+
     def __init__(self, bits: int = 8, seed: int = 0, rounds: int = _DEFAULT_ROUNDS) -> None:
         self.bits = bits
         self._seed = seed
@@ -162,6 +206,11 @@ class FeistelRNG:
         self._counter = 0
         self._network = FeistelNetwork(bits=bits, seed=seed, rounds=rounds)
         self._rounds = rounds
+        # Per-epoch word table: words[i] == network.encrypt(i).  Built
+        # lazily on the first draw of an epoch and discarded on key
+        # roll; position-independent, so external pokes of ``_counter``
+        # (the soft-error fault surface) need no invalidation.
+        self._words: Optional[np.ndarray] = None
 
     @property
     def period(self) -> int:
@@ -170,7 +219,14 @@ class FeistelRNG:
 
     def next_word(self) -> int:
         """Next pseudorandom word in ``[0, 2**bits)``."""
-        value = self._network.encrypt(self._counter)
+        if self.bits <= self._TABLE_BITS_MAX:
+            if self._words is None:
+                self._words = self._network.encrypt_array(
+                    np.arange(self._network.period, dtype=np.int64)
+                )
+            value = int(self._words[self._counter])
+        else:
+            value = self._network.encrypt(self._counter)
         self._counter += 1
         if self._counter == self._network.period:
             self._counter = 0
@@ -180,7 +236,46 @@ class FeistelRNG:
                 seed=self._seed + 0x10001 * self._epoch,
                 rounds=self._rounds,
             )
+            self._words = None
         return value
+
+    def take_words(self, count: int) -> np.ndarray:
+        """The next ``count`` words as one array (batched draw).
+
+        Bit-identical to ``count`` calls of :meth:`next_word`, including
+        key rolls at epoch boundaries mid-draw.  Table-backed widths
+        gather straight from the epoch word table; wider RNGs fall back
+        to scalar draws.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        out = np.empty(count, dtype=np.int64)
+        if self.bits > self._TABLE_BITS_MAX:
+            for i in range(count):
+                out[i] = self.next_word()
+            return out
+        filled = 0
+        while filled < count:
+            if self._words is None:
+                self._words = self._network.encrypt_array(
+                    np.arange(self._network.period, dtype=np.int64)
+                )
+            take = min(count - filled, self._network.period - self._counter)
+            out[filled : filled + take] = self._words[
+                self._counter : self._counter + take
+            ]
+            self._counter += take
+            filled += take
+            if self._counter == self._network.period:
+                self._counter = 0
+                self._epoch += 1
+                self._network = FeistelNetwork(
+                    bits=self.bits,
+                    seed=self._seed + 0x10001 * self._epoch,
+                    rounds=self._rounds,
+                )
+                self._words = None
+        return out
 
     def next_unit(self) -> float:
         """Next value mapped to [0, 1): ``word / 2**bits``."""

@@ -166,8 +166,7 @@ class AttackDriver(WorkloadDriver):
             # feedback.  Degrade to one-write batches: slower, but
             # exactly the serial decision sequence.
             n = 1
-        next_write = attack.next_write
-        return np.fromiter((next_write() for _ in range(n)), dtype=np.int64, count=n)
+        return attack.next_writes(n)
 
     def observe_batch(self, physical_write_counts: np.ndarray) -> None:
         attack = self.attack

@@ -29,8 +29,9 @@ class EnduranceTable:
         self.bits = bits
         cap = (1 << bits) - 1
         self.saturated_entries = int((values > cap).sum())
+        # Canonical storage; kept private so every external read goes
+        # through lookup() / as_array() and the table stays immutable.
         self._values = np.minimum(values, cap)
-        self._values_list = self._values.tolist()
         self.n_pages = int(values.size)
 
     @property
@@ -44,7 +45,15 @@ class EnduranceTable:
             raise AddressError(
                 f"page {physical} out of range [0, {self.n_pages})"
             )
-        return self._values_list[physical]
+        return int(self._values[physical])
+
+    def values_array(self) -> np.ndarray:
+        """Live canonical storage (vectorized read path; do not write).
+
+        Element-for-element what :meth:`lookup` returns — the batched
+        TWL planner gathers whole event schedules from it.
+        """
+        return self._values
 
     def as_array(self) -> np.ndarray:
         """Copy of all entries."""

@@ -29,18 +29,24 @@ class PairTable:
     """An involution mapping each logical page to its toss-up partner."""
 
     def __init__(self, partners: Sequence[int]):
-        partner_list = [int(p) for p in partners]
-        n = len(partner_list)
-        if n < 1:
+        values = np.asarray(partners, dtype=np.int64)
+        n = int(values.size)
+        if values.ndim != 1 or n < 1:
             raise TableError("pair table needs at least one page")
-        for la, partner in enumerate(partner_list):
-            if not 0 <= partner < n:
-                raise TableError(f"partner {partner} of page {la} out of range")
-            if partner_list[partner] != la:
-                raise TableError(
-                    f"pairing is not an involution at page {la} -> {partner}"
-                )
-        self._partners = partner_list
+        out_of_range = (values < 0) | (values >= n)
+        if out_of_range.any():
+            la = int(np.flatnonzero(out_of_range)[0])
+            raise TableError(
+                f"partner {int(values[la])} of page {la} out of range"
+            )
+        broken = values[values] != np.arange(n, dtype=np.int64)
+        if broken.any():
+            la = int(np.flatnonzero(broken)[0])
+            raise TableError(
+                f"pairing is not an involution at page {la} -> {int(values[la])}"
+            )
+        #: Canonical involution storage.
+        self._partners = values.copy()
         self.n_pages = n
 
     @property
@@ -54,7 +60,15 @@ class PairTable:
             raise AddressError(
                 f"page {logical} out of range [0, {self.n_pages})"
             )
-        return self._partners[logical]
+        return int(self._partners[logical])
+
+    def partners_array(self) -> np.ndarray:
+        """The canonical partner array (for vectorized batch planning).
+
+        Returns the live storage — treat it as read-only; it stays
+        current across subsequent :meth:`exchange_roles` calls.
+        """
+        return self._partners
 
     def exchange_roles(self, la1: int, la2: int) -> None:
         """Update the involution after two logical pages exchange frames.
@@ -72,19 +86,20 @@ class PairTable:
                 )
         if la1 == la2:
             return
-
-        def transpose(x: int) -> int:
-            if x == la1:
-                return la2
-            if x == la2:
-                return la1
-            return x
-
-        old = self._partners
-        affected = {la1, la2, old[la1], old[la2]}
-        updates = {x: transpose(old[transpose(x)]) for x in affected}
-        for x, partner in updates.items():
-            self._partners[x] = partner
+        # Conjugation by the transposition t = (la1 la2):
+        # new_partner(x) = t(old_partner(t(x))).  Only la1, la2 and
+        # their old partners can change; for an old partner p outside
+        # {la1, la2} the formula collapses to new[p1] = la2 and
+        # new[p2] = la1 (old[p1] == la1 by the involution).
+        partners = self._partners
+        p1 = int(partners[la1])
+        p2 = int(partners[la2])
+        partners[la1] = la1 if p2 == la2 else (la2 if p2 == la1 else p2)
+        partners[la2] = la2 if p1 == la1 else (la1 if p1 == la2 else p1)
+        if p1 != la1 and p1 != la2:
+            partners[p1] = la2
+        if p2 != la1 and p2 != la2:
+            partners[p2] = la1
 
     def raw_partner(self, logical: int) -> int:
         """Stored entry, unvalidated (fault-injection surface)."""
@@ -92,7 +107,7 @@ class PairTable:
             raise AddressError(
                 f"page {logical} out of range [0, {self.n_pages})"
             )
-        return self._partners[logical]
+        return int(self._partners[logical])
 
     def poke_partner(self, logical: int, value: int) -> None:
         """Overwrite one entry in place — models SRAM corruption.
@@ -124,14 +139,11 @@ class PairTable:
             raise AddressError(
                 f"page {logical} out of range [0, {self.n_pages})"
             )
-        owners = [
-            x
-            for x, partner in enumerate(self._partners)
-            if partner == logical and x != logical
-        ]
-        if len(owners) > 1:
+        claimants = np.flatnonzero(self._partners == logical)
+        owners = claimants[claimants != logical]
+        if owners.size > 1:
             return False
-        self._partners[logical] = owners[0] if owners else logical
+        self._partners[logical] = int(owners[0]) if owners.size else logical
         return True
 
     def involution_errors(self, limit: int = 5) -> List[str]:
@@ -141,7 +153,7 @@ class PairTable:
         are only materialized when something is wrong.
         """
         n = self.n_pages
-        partners = np.asarray(self._partners, dtype=np.int64)
+        partners = self._partners
         errors: List[str] = []
         out_of_range = (partners < 0) | (partners >= n)
         for la in np.flatnonzero(out_of_range).tolist()[:limit]:
@@ -165,7 +177,9 @@ class PairTable:
         """All distinct pairs as (low, high) tuples; self-pairs as (x, x)."""
         seen = set()
         result = []
-        for la, partner in enumerate(self._partners):
+        # Inspection helper, never on the write path; materialize once.
+        partners = self._partners.tolist()
+        for la, partner in enumerate(partners):
             key = (min(la, partner), max(la, partner))
             if key not in seen:
                 seen.add(key)

@@ -5,6 +5,11 @@ its inverse so both directions are O(1).  All wear-leveling schemes that
 move data (WRL, BWL, TWL, and the simulator's view of Security Refresh
 swaps) mutate the mapping exclusively through the two ``swap_*`` methods,
 which keep the bijection invariant by construction.
+
+Both directions are stored as flat ``int64`` numpy arrays — the
+canonical state the batched write path gathers physical addresses from
+(:meth:`RemappingTable.mapping_array`) — and the scalar lookups are thin
+views over the same arrays.
 """
 
 from __future__ import annotations
@@ -23,12 +28,9 @@ class RemappingTable:
         if n_pages < 1:
             raise TableError("remapping table needs at least one page")
         self.n_pages = n_pages
-        self._la_to_pa: List[int] = list(range(n_pages))
-        self._pa_to_la: List[int] = list(range(n_pages))
-        # Lazy numpy mirror for the batch path: created on the first
-        # mapping_array() call and maintained in place by swaps from
-        # then on, so purely scalar runs never pay for it.
-        self._mapping_np: "np.ndarray | None" = None
+        #: Canonical forward (LA -> PA) and inverse (PA -> LA) arrays.
+        self._forward = np.arange(n_pages, dtype=np.int64)
+        self._inverse = np.arange(n_pages, dtype=np.int64)
 
     @property
     def entry_bits(self) -> int:
@@ -38,12 +40,12 @@ class RemappingTable:
     def lookup(self, logical: int) -> int:
         """Physical page currently backing ``logical``."""
         self._check(logical)
-        return self._la_to_pa[logical]
+        return int(self._forward[logical])
 
     def inverse(self, physical: int) -> int:
         """Logical page currently mapped to ``physical``."""
         self._check(physical)
-        return self._pa_to_la[physical]
+        return int(self._inverse[physical])
 
     def swap_logical(self, la1: int, la2: int) -> None:
         """Exchange the physical frames of two logical pages."""
@@ -51,14 +53,13 @@ class RemappingTable:
         self._check(la2)
         if la1 == la2:
             return
-        la_to_pa = self._la_to_pa
-        pa_to_la = self._pa_to_la
-        pa1, pa2 = la_to_pa[la1], la_to_pa[la2]
-        la_to_pa[la1], la_to_pa[la2] = pa2, pa1
-        pa_to_la[pa1], pa_to_la[pa2] = la2, la1
-        if self._mapping_np is not None:
-            self._mapping_np[la1] = pa2
-            self._mapping_np[la2] = pa1
+        forward = self._forward
+        inverse = self._inverse
+        pa1, pa2 = int(forward[la1]), int(forward[la2])
+        forward[la1] = pa2
+        forward[la2] = pa1
+        inverse[pa1] = la2
+        inverse[pa2] = la1
 
     def swap_physical(self, pa1: int, pa2: int) -> None:
         """Exchange the logical owners of two physical frames."""
@@ -66,29 +67,25 @@ class RemappingTable:
         self._check(pa2)
         if pa1 == pa2:
             return
-        self.swap_logical(self._pa_to_la[pa1], self._pa_to_la[pa2])
+        self.swap_logical(int(self._inverse[pa1]), int(self._inverse[pa2]))
 
     def mapping(self) -> List[int]:
         """Copy of the LA -> PA map."""
-        return list(self._la_to_pa)
+        return self._forward.tolist()
 
     def mapping_array(self) -> np.ndarray:
-        """The LA -> PA map as an ``int64`` array (batch path).
+        """The canonical LA -> PA array (batch path).
 
-        Returns the live mirror — treat it as read-only; it stays
+        Returns the live storage — treat it as read-only; it stays
         current across subsequent swaps.
         """
-        if self._mapping_np is None:
-            self._mapping_np = np.asarray(self._la_to_pa, dtype=np.int64)
-        return self._mapping_np
+        return self._forward
 
     def validate(self) -> None:
         """Assert the bijection invariant (used by tests)."""
-        for la, pa in enumerate(self._la_to_pa):
-            if self._pa_to_la[pa] != la:
-                raise TableError(
-                    f"remapping table inconsistent at LA {la} -> PA {pa}"
-                )
+        problems = self.consistency_errors(limit=1)
+        if problems:
+            raise TableError(f"remapping table inconsistent: {problems[0]}")
 
     def raw_entry(self, logical: int) -> int:
         """Stored forward entry, unvalidated (fault-injection surface).
@@ -97,22 +94,20 @@ class RemappingTable:
         entry *as stored*, even when a bit flip has made it nonsense.
         """
         self._check(logical)
-        return self._la_to_pa[logical]
+        return int(self._forward[logical])
 
     def poke_entry(self, logical: int, value: int) -> None:
         """Overwrite one forward entry in place — models SRAM corruption.
 
-        Only the forward array (and its live numpy mirror) changes; the
-        inverse array is deliberately left stale, exactly as a bit flip
-        in a hardware RT would leave the separately-stored inverse
-        untouched.  That stale inverse is both what breaks the bijection
+        Only the forward array changes; the inverse array is
+        deliberately left stale, exactly as a bit flip in a hardware RT
+        would leave the separately-stored inverse untouched.  That stale
+        inverse is both what breaks the bijection
         (:meth:`consistency_errors` reports it) and what makes
         :meth:`repair_entry` possible.
         """
         self._check(logical)
-        self._la_to_pa[logical] = int(value)
-        if self._mapping_np is not None:
-            self._mapping_np[logical] = int(value)
+        self._forward[logical] = int(value)
 
     def repair_entry(self, logical: int) -> bool:
         """Scrub-and-repair one forward entry from the inverse array.
@@ -124,14 +119,10 @@ class RemappingTable:
         fail-safe.
         """
         self._check(logical)
-        owners = [
-            pa for pa, la in enumerate(self._pa_to_la) if la == logical
-        ]
-        if len(owners) != 1:
+        owners = np.flatnonzero(self._inverse == logical)
+        if owners.size != 1:
             return False
-        self._la_to_pa[logical] = owners[0]
-        if self._mapping_np is not None:
-            self._mapping_np[logical] = owners[0]
+        self._forward[logical] = int(owners[0])
         return True
 
     def reset_identity(self) -> None:
@@ -141,10 +132,8 @@ class RemappingTable:
         degraded controller that forwards addresses unchanged still
         serves every access correctly, it just stops leveling.
         """
-        self._la_to_pa = list(range(self.n_pages))
-        self._pa_to_la = list(range(self.n_pages))
-        if self._mapping_np is not None:
-            self._mapping_np[:] = np.arange(self.n_pages, dtype=np.int64)
+        self._forward = np.arange(self.n_pages, dtype=np.int64)
+        self._inverse = np.arange(self.n_pages, dtype=np.int64)
 
     def consistency_errors(self, limit: int = 5) -> List[str]:
         """Describe every bijection violation (up to ``limit``).
@@ -154,8 +143,8 @@ class RemappingTable:
         messages are only materialized once something is wrong.
         """
         n = self.n_pages
-        forward = np.asarray(self._la_to_pa, dtype=np.int64)
-        inverse = np.asarray(self._pa_to_la, dtype=np.int64)
+        forward = self._forward
+        inverse = self._inverse
         identity = np.arange(n, dtype=np.int64)
         errors: List[str] = []
         out_of_range = (forward < 0) | (forward >= n)
@@ -172,12 +161,6 @@ class RemappingTable:
                 f"LA {la} -> PA {pa} but inverse says PA {pa} -> "
                 f"LA {int(inverse[pa])}"
             )
-        if (
-            not errors
-            and self._mapping_np is not None
-            and not np.array_equal(self._mapping_np, forward)
-        ):
-            errors.append("numpy mirror diverged from the forward array")
         return errors
 
     def _check(self, page: int) -> None:

@@ -26,7 +26,8 @@ class WriteNumberTable:
         self.n_pages = n_pages
         self.bits = bits
         self._max = (1 << bits) - 1
-        self._counts = [0] * n_pages
+        #: Canonical counter storage.
+        self._counts = np.zeros(n_pages, dtype=np.int64)
         self.total = 0
 
     @property
@@ -37,14 +38,16 @@ class WriteNumberTable:
     def record_write(self, logical: int) -> None:
         """Count one write to ``logical`` (saturating at the entry width)."""
         self._check(logical)
-        if self._counts[logical] < self._max:
-            self._counts[logical] += 1
+        counts = self._counts
+        value = int(counts[logical])
+        if value < self._max:
+            counts[logical] = value + 1
         self.total += 1
 
     def count(self, logical: int) -> int:
         """Writes recorded for ``logical`` this phase."""
         self._check(logical)
-        return self._counts[logical]
+        return int(self._counts[logical])
 
     def hottest_first(self) -> np.ndarray:
         """Logical pages ordered by descending recorded writes.
@@ -52,8 +55,7 @@ class WriteNumberTable:
         Ties break toward lower addresses (stable sort), matching a
         deterministic hardware priority encoder.
         """
-        counts = np.asarray(self._counts)
-        return np.argsort(-counts, kind="stable")
+        return np.argsort(-self._counts, kind="stable")
 
     def poke(self, logical: int, value: int) -> None:
         """Overwrite one counter in place — models SRAM corruption.
@@ -67,11 +69,11 @@ class WriteNumberTable:
 
     def counts(self) -> List[int]:
         """Copy of all counters."""
-        return list(self._counts)
+        return self._counts.tolist()
 
     def clear(self) -> None:
         """Reset all counters for the next prediction phase."""
-        self._counts = [0] * self.n_pages
+        self._counts[:] = 0
         self.total = 0
 
     def _check(self, page: int) -> None:

@@ -4,6 +4,11 @@ One small (7-bit in the paper) counter per page.  The TWL engine bumps a
 page's counter on every write and triggers a toss-up when the counter
 reaches the toss-up interval, then clears it (interval-triggered toss-up,
 §4.3).  Counters wrap at their bit width, as a hardware counter would.
+
+The canonical storage is a flat ``int64`` numpy array; the scalar
+accessors are thin views over it, and the batched write path updates
+whole windows of counters with one vectorized call
+(:meth:`WriteCounterTable.bulk_record`).
 """
 
 from __future__ import annotations
@@ -28,11 +33,9 @@ class WriteCounterTable:
         self.n_pages = n_pages
         self.bits = bits
         self.interval = interval
-        self._counters = [0] * n_pages
-        # Lazy numpy mirror for batch planning: created on the first
-        # values_array() call and maintained in place by every mutator
-        # from then on, so purely scalar runs never pay for it.
-        self._values_np: np.ndarray | None = None
+        #: Canonical counter storage (batch planners read it directly
+        #: through :meth:`values_array`).
+        self._values = np.zeros(n_pages, dtype=np.int64)
 
     @property
     def entry_bits(self) -> int:
@@ -46,12 +49,11 @@ class WriteCounterTable:
         every K writes to the page triggers a toss-up.
         """
         self._check(page)
-        count = self._counters[page] + 1
+        values = self._values
+        count = int(values[page]) + 1
         if count >= self.interval:
             count = 0
-        self._counters[page] = count
-        if self._values_np is not None:
-            self._values_np[page] = count
+        values[page] = count
         return count == 0
 
     def force_trigger_next(self, page: int) -> None:
@@ -63,68 +65,92 @@ class WriteCounterTable:
         interval (a single table write in hardware).
         """
         self._check(page)
-        self._counters[page] = self.interval - 1
-        if self._values_np is not None:
-            self._values_np[page] = self.interval - 1
+        self._values[page] = self.interval - 1
 
     def values_array(self) -> np.ndarray:
-        """All counters as an int64 array (for vectorized batch planning).
+        """The canonical counter array (for vectorized batch planning).
 
-        Returns the live mirror — treat it as read-only; it stays
+        Returns the live storage — treat it as read-only; it stays
         current across subsequent mutations.
         """
-        if self._values_np is None:
-            self._values_np = np.asarray(self._counters, dtype=np.int64)
-        return self._values_np
+        return self._values
+
+    def bulk_record(self, pages: np.ndarray) -> None:
+        """Record one write per entry of ``pages``, with wrapping.
+
+        Vectorized equivalent of calling :meth:`record_write` once per
+        entry *and discarding the trigger results* — the batched write
+        path pre-computes trigger positions from :meth:`values_array`
+        and serves them through the scalar path, so by construction the
+        only counters that wrap here belong to pages whose trigger is a
+        no-op (self-paired pages).  Caller guarantees every pre-update
+        counter is below the interval (true unless a fault was injected;
+        the planner falls back to the scalar path in that case).
+        """
+        values = self._values
+        if pages.size * 8 < self.n_pages:
+            # Duplicate-free small chunks (the common planner case) are
+            # one gather/scatter on the touched entries.
+            s = np.sort(pages)
+            if pages.size < 2 or not (s[1:] == s[:-1]).any():
+                values[pages] = (values[pages] + 1) % self.interval
+                return
+        counts = np.bincount(pages, minlength=self.n_pages)
+        touched = np.flatnonzero(counts)
+        values[touched] = (values[touched] + counts[touched]) % self.interval
+
+    def bulk_record_distinct(self, pages: np.ndarray) -> None:
+        """:meth:`bulk_record` for caller-guaranteed distinct pages.
+
+        Skips the duplicate scan — the TWL planner already sorted the
+        window to build its trigger schedule and proved distinctness.
+        """
+        values = self._values
+        values[pages] = (values[pages] + 1) % self.interval
 
     def bulk_record_quiet(self, per_page: np.ndarray) -> None:
         """Record per-page write counts known not to fire the trigger.
 
-        The batched write path pre-computes, from :meth:`values_array`,
-        the longest run of writes during which no counter can reach the
-        interval, then folds that run's counts in here in one call.  The
-        no-trigger guarantee is the caller's to uphold and is re-checked
-        page by page (a crossing here means the batch planner is wrong).
+        Like :meth:`bulk_record` but for runs the planner certified
+        trigger-free: the no-trigger guarantee is re-checked in one
+        vectorized pass (a crossing here means the batch planner is
+        wrong) before the counts are folded in.
         """
-        counters = self._counters
-        interval = self.interval
-        mirror = self._values_np
-        for page in np.flatnonzero(per_page).tolist():
-            count = counters[page] + int(per_page[page])
-            if count >= interval:
-                raise TableError(
-                    f"bulk_record_quiet crossed the trigger interval on page "
-                    f"{page} ({count} >= {interval})"
-                )
-            counters[page] = count
-            if mirror is not None:
-                mirror[page] = count
+        per_page = np.asarray(per_page, dtype=np.int64)
+        touched = np.flatnonzero(per_page)
+        values = self._values
+        updated = values[touched] + per_page[touched]
+        crossed = updated >= self.interval
+        if crossed.any():
+            page = int(touched[crossed][0])
+            raise TableError(
+                f"bulk_record_quiet crossed the trigger interval on page "
+                f"{page} ({int(values[page]) + int(per_page[page])} >= "
+                f"{self.interval})"
+            )
+        values[touched] = updated
 
     def value(self, page: int) -> int:
         """Current counter value for ``page``."""
         self._check(page)
-        return self._counters[page]
+        return int(self._values[page])
 
     def poke(self, page: int, value: int) -> None:
         """Overwrite one counter in place — models SRAM corruption.
 
         Bypasses the trigger semantics entirely (a bit flip does not
-        count as a write); the live numpy mirror is kept in sync so the
-        batch planner sees the corrupted value too.  Any value that fits
-        the entry width is representable — a corrupted counter at or
-        above the interval simply fires the trigger on the next write.
+        count as a write).  Any value that fits the entry width is
+        representable — a corrupted counter at or above the interval
+        simply fires the trigger on the next write (and disables the
+        batch planner's modular trigger prediction until it does).
         """
         self._check(page)
-        self._counters[page] = int(value)
-        if self._values_np is not None:
-            self._values_np[page] = int(value)
+        self._values[page] = int(value)
 
     def reset(self, page: int) -> None:
         """Clear the counter for ``page``."""
         self._check(page)
-        self._counters[page] = 0
-        if self._values_np is not None:
-            self._values_np[page] = 0
+        self._values[page] = 0
 
     def _check(self, page: int) -> None:
         if not 0 <= page < self.n_pages:

@@ -216,7 +216,7 @@ class BloomWearLeveling(WearLeveler):
         # so the guard is porous exactly the way the hardware's would be.
         cold = self._cold_pages(self._target_hot)
         cold_index = 0
-        for target in order.tolist():
+        for target in order.tolist():  # twl: allow(TWL006) reason=once-per-epoch rebalance
             if cold_index == len(cold):
                 break
             resident = self.remap.inverse(target)

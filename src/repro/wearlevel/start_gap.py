@@ -89,21 +89,92 @@ class StartGap(WearLeveler):
         return writes
 
     def write_batch(self, addresses) -> np.ndarray:
-        """Vectorized batch path: translation is fixed between gap moves.
+        """Closed-form batch path: the whole rotation is arithmetic.
 
-        The batch is cut into segments at gap-move boundaries; within a
-        segment the whole LA -> PA map is static, so the segment is one
-        vector translate plus one :meth:`PCMArray.apply_batch` call.
-        Gap moves (and the serial failure semantics, including the gap
-        move a failing boundary write still performs) are replayed
-        exactly as :meth:`write` would.
+        The gap cycles through ``n_logical + 1`` positions, one step per
+        ``gap_move_interval`` demand writes, so the start/gap registers
+        at any demand write of the batch — and every gap move's written
+        frame — follow in closed form from the registers at batch start.
+        The entire batch (demand writes plus move writes) then reduces
+        to a handful of vector expressions and one bulk accumulate.
+
+        Device-write *order* inside the batch is observable only through
+        first-failure attribution, so the fast path first checks whether
+        any page could reach its endurance under the batch's combined
+        counts; if so, it falls back to :meth:`_write_batch_exact`,
+        which replays the serial interleaving (including the gap move a
+        failing boundary write still performs).  The guard triggers at
+        most once per run — the batch that contains the failure.
         """
         seq = np.asarray(addresses, dtype=np.int64)
         if self.array.failed:
             return np.zeros(0, dtype=np.int64)
-        if seq.size and ((seq < 0).any() or (seq >= self._n_logical).any()):
-            bad = int(seq[(seq < 0) | (seq >= self._n_logical)][0])
+        n = self._n_logical
+        if seq.size and ((seq < 0).any() or (seq >= n).any()):
+            bad = int(seq[(seq < 0) | (seq >= n)][0])
             self.check_logical(bad)
+        if seq.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        array = self.array
+        interval = self.config.gap_move_interval
+        m = int(seq.size)
+        wsm0 = self._writes_since_move
+        p0 = self._gap
+        start0 = self._start
+        cycle = n + 1  # gap states: frames 0..n
+
+        if self._permutation is not None:
+            inner = self._randomize_vector()[seq]
+        else:
+            inner = seq
+        # Gap moves completed before demand write t (0-based in-batch).
+        moves_before = (wsm0 + np.arange(m, dtype=np.int64)) // interval
+        # A move at gap 0 wraps (gap jumps to n, start advances) instead
+        # of writing; wraps among the first j moves is closed-form too.
+        wraps_before = (moves_before + n - p0) // cycle
+        start_t = (start0 + wraps_before) % n
+        gap_t = (p0 - moves_before) % cycle
+        physical = (inner + start_t) % n
+        physical = physical + (physical >= gap_t)
+
+        total_moves = (wsm0 + m) // interval
+        moves = np.arange(total_moves, dtype=np.int64)
+        gap_at_move = (p0 - moves) % cycle
+        nonwrap = gap_at_move != 0
+        move_frames = gap_at_move[nonwrap]
+
+        counts = np.bincount(physical, minlength=array.n_pages)
+        if move_frames.size:
+            counts += np.bincount(move_frames, minlength=array.n_pages)
+        if not array.failed and (array.writes + counts >= array.endurance).any():
+            return self._write_batch_exact(seq)
+
+        array.apply_write_counts(counts)
+        out = np.ones(m, dtype=np.int64)
+        if total_moves:
+            # Move j fires right after demand write (j+1)*interval-wsm0-1
+            # and bills its migration write to that request.
+            move_positions = (moves + 1) * interval - wsm0 - 1
+            out[move_positions[nonwrap]] += 1
+            moved = int(nonwrap.sum())
+            self.swap_events += moved
+            self.swap_writes += moved
+        self.demand_writes += m
+        self._writes_since_move = (wsm0 + m) % interval
+        self._gap = int((p0 - total_moves) % cycle)
+        self._start = int((start0 + (total_moves + n - p0) // cycle) % n)
+        return out
+
+    def _write_batch_exact(self, seq: np.ndarray) -> np.ndarray:
+        """Serial-interleaving batch path (exact failure attribution).
+
+        The pre-refactor segmented implementation: translation is fixed
+        between gap moves, so each segment is one vector translate plus
+        one :meth:`PCMArray.apply_batch`, with gap moves (and the move a
+        failing boundary write still performs) replayed exactly as
+        :meth:`write` would.  Only runs for the batch a failure is
+        possible in.
+        """
         out = np.ones(seq.size, dtype=np.int64)
         array = self.array
         interval = self.config.gap_move_interval
@@ -173,11 +244,17 @@ class StartGap(WearLeveler):
 
     def _randomize_vector(self) -> np.ndarray:
         if self._randomize_table is None:
-            self._randomize_table = np.fromiter(
-                (self._randomize(page) for page in range(self._n_logical)),
-                dtype=np.int64,
-                count=self._n_logical,
+            # Vectorized cycle-walk: re-encrypt only the entries still
+            # outside the logical space (element-wise identical to the
+            # scalar :meth:`_randomize` loop).
+            values = self._permutation.encrypt_array(
+                np.arange(self._n_logical, dtype=np.int64)
             )
+            walking = values >= self._n_logical
+            while walking.any():
+                values[walking] = self._permutation.encrypt_array(values[walking])
+                walking = values >= self._n_logical
+            self._randomize_table = values
         return self._randomize_table
 
     def _move_gap(self) -> int:

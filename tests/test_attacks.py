@@ -138,6 +138,37 @@ class TestInconsistent:
             InconsistentWriteAttack(16, n_targets=4, victim_count=5)
 
 
+class TestNextWritesBatchIdentity:
+    """``next_writes(n)`` must equal n serial ``next_write()`` calls.
+
+    The vectorized overrides (scan, repeat) and the generic fallback
+    all feed the batched engine; any drift here breaks the engine-wide
+    batch-identity contract.
+    """
+
+    @pytest.mark.parametrize("name", attack_names())
+    def test_matches_serial(self, name):
+        serial = make_attack(name, 32, seed=9)
+        batched = make_attack(name, 32, seed=9)
+        expected = [serial.next_write() for _ in range(100)]
+        got = []
+        for chunk in (1, 7, 40, 52):
+            got.extend(batched.next_writes(chunk).tolist())
+        assert got == expected
+        assert batched.writes_emitted == serial.writes_emitted
+        assert batched.next_write() == serial.next_write()
+
+    def test_zero_length_batch(self):
+        attack = make_attack("scan", 8, seed=1)
+        assert attack.next_writes(0).size == 0
+        assert attack.writes_emitted == 0
+
+    def test_negative_batch_rejected(self):
+        attack = make_attack("scan", 8, seed=1)
+        with pytest.raises(ValueError):
+            attack.next_writes(-1)
+
+
 class TestRegistry:
     def test_names_in_paper_order(self):
         assert attack_names() == ["repeat", "random", "scan", "inconsistent"]

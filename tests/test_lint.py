@@ -1,6 +1,6 @@
 """Tests for the determinism lint pass and the runtime sanitizer.
 
-Covers ``repro.devtools.lint`` (rules TWL001–TWL005, pragma
+Covers ``repro.devtools.lint`` (rules TWL001–TWL006, pragma
 suppression, the full-tree-clean invariant) and
 ``repro.devtools.sanitize`` (global-RNG booby traps armed inside
 engine stepping and cell runs, disarmed elsewhere).
@@ -184,6 +184,64 @@ class TestRuleTWL004Ordering:
         assert lint_source(source, module="repro.sim.runner") == []
 
 
+class TestRuleTWL006ScalarHotLoop:
+    MODULE = "repro.tables.example"
+
+    def test_tolist_loop_flagged_in_hot_path(self):
+        source = "def f(arr):\n    for x in arr.tolist():\n        pass\n"
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL006"}
+
+    def test_enumerate_tolist_flagged(self):
+        source = (
+            "def f(arr):\n"
+            "    for i, x in enumerate(arr.tolist()):\n"
+            "        pass\n"
+        )
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL006"}
+
+    def test_comprehension_over_tolist_flagged(self):
+        source = "def f(arr):\n    return [x + 1 for x in arr.tolist()]\n"
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL006"}
+
+    def test_vectorized_code_clean(self):
+        source = "def f(arr):\n    return arr + 1\n"
+        assert lint_source(source, module=self.MODULE) == []
+
+    def test_reasoned_pragma_suppresses(self):
+        source = (
+            "def f(arr):\n"
+            "    for x in arr.tolist():  "
+            "# twl: allow(TWL006) reason=exact scalar tail\n"
+            "        pass\n"
+        )
+        assert lint_source(source, module=self.MODULE) == []
+
+    def test_pragma_without_reason_does_not_suppress(self):
+        source = (
+            "def f(arr):\n"
+            "    for x in arr.tolist():  # twl: allow(TWL006)\n"
+            "        pass\n"
+        )
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL006"}
+
+    def test_rule_scoped_to_hot_path_modules(self):
+        source = "def f(arr):\n    for x in arr.tolist():\n        pass\n"
+        assert lint_source(source, module="repro.report.tables") == []
+
+    def test_hot_path_tree_is_clean_or_pragmaed(self):
+        import repro.core.twl as twl_module
+        import repro.wearlevel.start_gap as sg_module
+
+        from repro.devtools.lint import lint_file
+
+        for module in (twl_module, sg_module):
+            assert lint_file(module.__file__) == []
+
+
 class TestRuleTWL005DunderAll:
     def test_undefined_name_flagged(self):
         out = _lint('__all__ = ["missing"]\n')
@@ -221,8 +279,15 @@ class TestInfrastructure:
         violation = Violation("x.py", 3, 7, "TWL001", "boom")
         assert violation.format() == "x.py:3:7: TWL001 boom"
 
-    def test_rules_table_covers_all_five(self):
-        assert set(RULES) == {"TWL001", "TWL002", "TWL003", "TWL004", "TWL005"}
+    def test_rules_table_covers_all_six(self):
+        assert set(RULES) == {
+            "TWL001",
+            "TWL002",
+            "TWL003",
+            "TWL004",
+            "TWL005",
+            "TWL006",
+        }
 
 
 class TestTreeClean:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
 import pytest
 
 from repro.config import ScaledArrayConfig, SoftErrorConfig
@@ -311,6 +312,84 @@ class TestInvariantChecker:
         assert error.table == "rt"
         assert error.details == ["LA 1 broken"]
         assert "step 12" in str(error)
+
+
+class TestArrayBackedFaultSurface:
+    """BitTarget peek/poke must hit the canonical numpy arrays live.
+
+    After the structure-of-arrays refactor the tables' scalar accessors
+    are views over flat arrays; these tests pin the contract that the
+    fault surface's closures read and write that same live storage (a
+    stale-copy regression would make injection silently inert).
+    """
+
+    def _scheme(self):
+        array = PCMArray.uniform(64, 768)
+        return make_scheme("twl_swp", array, seed=7)
+
+    def test_rt_peek_poke_round_trips_through_canonical_array(self):
+        scheme = self._scheme()
+        rt = scheme.fault_surface()["rt"]
+        rt.write(3, 5)
+        assert rt.read(3) == 5
+        assert int(scheme.remap.mapping_array()[3]) == 5
+        scheme.remap.poke_entry(3, 9)
+        assert rt.read(3) == 9
+
+    def test_wct_peek_poke_round_trips_through_canonical_array(self):
+        scheme = self._scheme()
+        wct = scheme.fault_surface()["wct"]
+        wct.write(5, 11)
+        assert scheme.write_counters.value(5) == 11
+        assert int(scheme.write_counters.values_array()[5]) == 11
+        scheme.write_counters.poke(5, 3)
+        assert wct.read(5) == 3
+
+    def test_swpt_peek_poke_round_trips_through_canonical_array(self):
+        scheme = self._scheme()
+        swpt = scheme.fault_surface()["swpt"]
+        swpt.write(0, 7)
+        assert scheme.pair_table.raw_partner(0) == 7
+        assert int(scheme.pair_table.partners_array()[0]) == 7
+        scheme.pair_table.repair_entry(0)
+        assert swpt.read(0) == scheme.pair_table.raw_partner(0)
+
+    def test_poked_non_bijective_rt_is_caught_by_checker(self):
+        scheme = self._scheme()
+        attack = make_attack("random", scheme.logical_pages, seed=7)
+        checker = InvariantCheckObserver(every=1)
+        engine = SimulationEngine(
+            scheme, AttackDriver(attack), observers=[checker], batch_size=16
+        )
+        # Duplicate one RT entry: the mapping is no longer a bijection.
+        scheme.remap.poke_entry(0, scheme.remap.lookup(1))
+        with pytest.raises(InvariantViolation) as info:
+            engine.run(500, require_failure=False)
+        assert info.value.table == "rt"
+
+    @pytest.mark.parametrize("poke_value_offset", [0, 3])
+    def test_wct_poke_above_interval_is_batch_identical(
+        self, poke_value_offset
+    ):
+        # A counter at or above the interval disables the planner's
+        # modular trigger prediction; the scalar fallback must stay
+        # bit-identical to the serial path until the counter recovers.
+        def run(batch_size):
+            array = PCMArray.uniform(64, 768)
+            scheme = make_scheme("twl_swp", array, seed=7)
+            wct = scheme.write_counters
+            wct.poke(4, wct.interval + poke_value_offset)
+            attack = make_attack("random", scheme.logical_pages, seed=7)
+            engine = SimulationEngine(
+                scheme, AttackDriver(attack), batch_size=batch_size
+            )
+            engine.run(4000, require_failure=False)
+            return array.write_counts(), scheme.stats()
+
+        serial_counts, serial_stats = run(1)
+        batched_counts, batched_stats = run(64)
+        assert np.array_equal(batched_counts, serial_counts)
+        assert batched_stats == serial_stats
 
 
 class TestRepairPrimitives:
