@@ -1,6 +1,6 @@
 # Convenience targets for the TWL reproduction.
 
-.PHONY: install test lint typecheck bench bench-quick bench-trajectory quick-parallel quick-resilient quick-sanitized quick-softerrors examples report clean
+.PHONY: install test lint typecheck bench bench-quick bench-trajectory quick-parallel quick-resilient quick-sanitized quick-softerrors quick-stream examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -9,7 +9,7 @@ test:
 	pytest tests/
 
 # Full lint gate: ruff (style/pyflakes/isort) + mypy on the typed core
-# + the repo's own determinism pass (rules TWL001-TWL006, see
+# + the repo's own determinism pass (rules TWL001-TWL007, see
 # docs/invariants.md).  ruff/mypy are dev extras; when absent locally
 # the corresponding step is skipped with a notice (CI installs both).
 lint:
@@ -73,6 +73,15 @@ quick-sanitized:
 # (see docs/robustness.md; also covered by tests/test_softerrors.py).
 quick-softerrors:
 	REPRO_SANITIZE=1 PYTHONPATH=src python -m repro.cli resilience --quick --jobs 2 --no-cache
+
+# Smoke the streaming workload pipeline end-to-end: the FTL dynamic
+# generator through every Figure-8 scheme, then the constant-memory
+# guarantee — post-warmup peak-RSS growth under a hard ceiling while
+# millions of streamed requests flow (see docs/workloads.md; also
+# covered by tests/test_streams.py and tests/test_engine_identity.py).
+quick-stream:
+	PYTHONPATH=src python -m repro.cli stream --quick --no-cache
+	PYTHONPATH=src python benchmarks/stream_rss_check.py
 
 examples:
 	python examples/quickstart.py

@@ -74,7 +74,8 @@ from repro.attacks.registry import make_attack  # noqa: E402
 from repro.config import TWLConfig  # noqa: E402
 from repro.engine import SimulationEngine  # noqa: E402
 from repro.pcm.array import PCMArray  # noqa: E402
-from repro.sim.drivers import AttackDriver  # noqa: E402
+from repro.sim.drivers import AttackDriver, StreamDriver  # noqa: E402
+from repro.traces import FTLWorkloadStream  # noqa: E402
 from repro.wearlevel.registry import make_scheme  # noqa: E402
 
 SCHEMA = "twl-bench-trajectory/1"
@@ -97,6 +98,20 @@ SCENARIOS = (
     ("twl", "twl", {}),
     ("twl_sparse", "twl", {"config": _TWL_SPARSE}),
     ("sr", "sr", {}),
+)
+
+#: Streamed scenarios: the same batched engine fed through the
+#: streaming pipeline (FTL dynamic generator -> StreamDriver) instead
+#: of an attack driver, so a throughput regression in chunk refill or
+#: the stream write-filter is caught the same way engine regressions
+#: are.  Kept in their own table because the workload differs from the
+#: attack scenarios; the regression gate matches scenarios by name, so
+#: adding these never affects gating of the committed attack baselines.
+_STREAM_CHUNK = 8192
+
+STREAM_SCENARIOS = (
+    ("twl_ftl_stream", "twl", {}),
+    ("nowl_ftl_stream", "nowl", {}),
 )
 
 
@@ -169,12 +184,43 @@ def measure_scenario(
     return best
 
 
+def measure_stream_scenario(
+    scheme_name: str, scheme_kwargs: dict, writes: int, rounds: int = _ROUNDS
+) -> float:
+    """Best-of-``rounds`` streamed demand writes/second for one scenario."""
+    best = 0.0
+    for _ in range(rounds):
+        array = PCMArray.uniform(_N_PAGES, 10**9)
+        scheme = make_scheme(scheme_name, array, seed=1, **scheme_kwargs)
+        stream = FTLWorkloadStream(
+            scheme.logical_pages, seed=1, chunk_size=_STREAM_CHUNK
+        )
+        engine = SimulationEngine(
+            scheme, StreamDriver(stream, scheme.logical_pages), batch_size=_BATCH_SIZE
+        )
+        start = time.perf_counter()
+        served = engine.drive(writes)
+        elapsed = time.perf_counter() - start
+        if served != writes:
+            raise RuntimeError(
+                f"{scheme_name} (streamed): served {served} of {writes} writes"
+            )
+        best = max(best, served / elapsed)
+    return best
+
+
 def collect(writes: int, tag: str) -> dict:
     """Run calibration plus every scenario; return the artifact dict."""
     calibration = calibrate()
     scenarios = {}
     for label, scheme_name, kwargs in SCENARIOS:
         wps = measure_scenario(scheme_name, kwargs, writes)
+        scenarios[label] = {
+            "batched_wps": round(wps, 1),
+            "normalized": round(wps / calibration, 3),
+        }
+    for label, scheme_name, kwargs in STREAM_SCENARIOS:
+        wps = measure_stream_scenario(scheme_name, kwargs, writes)
         scenarios[label] = {
             "batched_wps": round(wps, 1),
             "normalized": round(wps / calibration, 3),

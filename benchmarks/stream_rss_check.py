@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Constant-memory guarantee of the streaming workload pipeline.
+
+The streaming-first refactor (``docs/workloads.md``) promises that a
+streamed campaign's peak memory is set by the chunk size, never by how
+many requests the workload serves — that is what makes
+multi-billion-request campaigns reachable.  Nothing *fails* when that
+promise breaks (a stray materialization just grows the heap), so CI
+checks it dynamically: drive a warmup through the full pipeline —
+FTL dynamic generator → ``StreamDriver`` → batched engine — record the
+process peak RSS, then drive several times more traffic and assert the
+peak grew by less than a hard ceiling.
+
+A linear leak proportional to the request count (the failure mode a
+``TWL007`` violation causes) blows through the ceiling immediately: at
+8 bytes per buffered request the default 3M post-warmup writes would
+add ~30 MB against the default 48 MB ceiling only if over three
+quarters of the stream were being retained — and scaling ``--writes``
+up makes the check arbitrarily strict at constant ceiling.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/stream_rss_check.py
+    PYTHONPATH=src python benchmarks/stream_rss_check.py --writes 20000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import SimulationEngine  # noqa: E402
+from repro.pcm.array import PCMArray  # noqa: E402
+from repro.sim.drivers import StreamDriver  # noqa: E402
+from repro.traces import FTLWorkloadStream  # noqa: E402
+from repro.wearlevel.registry import make_scheme  # noqa: E402
+
+#: Endurance high enough that no page fails within any sane --writes.
+_ENDURANCE = 10**12
+
+
+def peak_rss_mb() -> float:
+    """Process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scheme", default="nowl", help="wear-leveling scheme")
+    parser.add_argument("--pages", type=int, default=4096)
+    parser.add_argument("--chunk-size", type=int, default=65536)
+    parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument(
+        "--warmup-writes",
+        type=int,
+        default=1_000_000,
+        help="demand writes before the RSS baseline is recorded",
+    )
+    parser.add_argument(
+        "--writes",
+        type=int,
+        default=3_000_000,
+        help="demand writes driven after the baseline",
+    )
+    parser.add_argument(
+        "--ceiling-mb",
+        type=float,
+        default=48.0,
+        help="max allowed peak-RSS growth after warmup (MiB)",
+    )
+    args = parser.parse_args(argv)
+
+    array = PCMArray.uniform(args.pages, _ENDURANCE)
+    scheme = make_scheme(args.scheme, array, seed=1)
+    stream = FTLWorkloadStream(
+        scheme.logical_pages, seed=1, chunk_size=args.chunk_size
+    )
+    driver = StreamDriver(stream, scheme.logical_pages)
+    engine = SimulationEngine(scheme, driver, batch_size=args.batch_size)
+
+    served = engine.drive(args.warmup_writes)
+    if served != args.warmup_writes:
+        print(f"warmup served only {served} of {args.warmup_writes} writes")
+        return 1
+    baseline = peak_rss_mb()
+
+    served = engine.drive(args.writes)
+    if served != args.writes:
+        print(f"main phase served only {served} of {args.writes} writes")
+        return 1
+    peak = peak_rss_mb()
+    growth = peak - baseline
+
+    print(
+        json.dumps(
+            {
+                "scheme": args.scheme,
+                "pages": args.pages,
+                "chunk_size": args.chunk_size,
+                "batch_size": args.batch_size,
+                "demand_writes": args.warmup_writes + args.writes,
+                "requests_consumed": driver.requests_consumed,
+                "stream_loops": driver.loops_completed,
+                "baseline_peak_rss_mb": round(baseline, 1),
+                "final_peak_rss_mb": round(peak, 1),
+                "growth_mb": round(growth, 1),
+                "ceiling_mb": args.ceiling_mb,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    if growth > args.ceiling_mb:
+        print(
+            f"\nRSS CEILING EXCEEDED: peak RSS grew {growth:.1f} MiB over "
+            f"{args.writes} post-warmup writes (ceiling {args.ceiling_mb} MiB) "
+            "— something in the streaming path is materializing the workload"
+        )
+        return 1
+    print(f"\npeak RSS growth {growth:.1f} MiB <= ceiling {args.ceiling_mb} MiB")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,8 +24,15 @@ progress to an append-only journal so a killed campaign restarted with
 the same flag skips every finished cell — all execution knobs, so the
 results stay bit-identical to a clean serial run.
 
+Streaming workloads (``docs/workloads.md``): ``twl-repro stream`` runs
+every Figure-8 scheme under a streamed workload at constant memory —
+the built-in FTL dynamic generator by default, or any on-disk trace via
+``--trace PATH`` (monolithic ``.npz``, chunked ``.twt``, text, or
+block-trace CSV, auto-detected).  ``--chunk-size N`` sets the stream
+chunk granularity; like ``--batch-size`` it cannot change results.
+
 Determinism tooling (``docs/invariants.md``): ``twl-repro lint`` runs
-the static determinism/purity pass (rules TWL001–TWL006) over the
+the static determinism/purity pass (rules TWL001–TWL007) over the
 package tree and exits non-zero on any violation; ``--sanitize`` (or
 ``REPRO_SANITIZE=1``) arms the runtime sanitizer, making any
 global-RNG call inside engine/sim execution raise
@@ -54,6 +61,7 @@ from .experiments import (
     fig9,
     overhead,
     resilience,
+    streaming,
     table1,
     table2,
 )
@@ -111,6 +119,14 @@ def _run_resilience(setup: ExperimentSetup) -> None:
     )
 
 
+def _run_streaming(setup: ExperimentSetup) -> None:
+    source = setup.stream_trace or "ftl (dynamic generator)"
+    _print(
+        f"Streamed workload — {source}",
+        streaming.run(setup).render(precision=4),
+    )
+
+
 def _run_ablations(setup: ExperimentSetup) -> None:
     _print("A1 — pairing policy", ablations.pairing_ablation(setup).render(precision=2))
     _print(
@@ -144,6 +160,7 @@ _EXPERIMENTS: Dict[str, Callable[[ExperimentSetup], None]] = {
     "ablations": _run_ablations,
     "energy": _run_energy,
     "resilience": _run_resilience,
+    "stream": _run_streaming,
 }
 
 
@@ -276,6 +293,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "for 'stream': stream this on-disk trace (.npz/.twt/text/CSV, "
+            "auto-detected) instead of the FTL dynamic generator"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "requests per stream chunk (default: 65536); an execution "
+            "knob — results are bit-identical at any value"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="for 'report': write the Markdown report to this file",
@@ -311,6 +347,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         failure=failure,
         resume=args.resume,
     )
+    if args.trace is not None:
+        setup = replace(setup, stream_trace=args.trace)
+    if args.chunk_size is not None:
+        setup = replace(setup, chunk_size=args.chunk_size)
     try:
         if args.experiment == "report":
             from .analysis.report import build_report
@@ -326,7 +366,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.experiment == "all":
             for name in (
                 "table1", "table2", "fig6", "fig7", "fig8", "fig9",
-                "overhead", "energy", "ablations", "resilience",
+                "overhead", "energy", "ablations", "resilience", "stream",
             ):
                 _EXPERIMENTS[name](setup)
         else:

@@ -37,6 +37,15 @@ third-party dependencies) and reports violations as named rules:
 ``TWL005``
     ``__all__`` must list only names that exist and every public
     function/class defined in the module.
+``TWL007``
+    No full-trace materialization (``.materialize()`` /
+    ``.write_page_list()`` / ``load_*_trace()``) inside the streaming
+    hot paths (:mod:`repro.sim`, :mod:`repro.engine`).  The workload
+    pipeline is streaming-first — drivers pull bounded chunks through
+    :class:`repro.traces.stream.TraceStream` so multi-billion-request
+    campaigns run at constant memory; one materializing call quietly
+    re-couples peak RSS to trace length.  Intentional materialized
+    adapters (``TraceDriver``) carry a reasoned pragma.
 
 A genuine exception is silenced inline with a *reasoned* pragma::
 
@@ -65,6 +74,7 @@ RULES: Dict[str, str] = {
     "TWL004": "unordered iteration/serialization in a fingerprinted path",
     "TWL005": "__all__ inconsistent with public module names",
     "TWL006": "per-element Python loop over a canonical array in a hot path",
+    "TWL007": "full-trace materialization in a streaming hot path",
 }
 
 #: Modules whose serialization/fingerprint role makes iteration order
@@ -130,6 +140,18 @@ _DATETIME_CLOCK_FNS = frozenset({"now", "utcnow", "today"})
 #: (exact failure attribution, fault-corrupted-state fallbacks) carry a
 #: reasoned ``# twl: allow(TWL006)`` pragma.
 _HOT_PATH_PREFIXES = ("repro.pcm", "repro.tables", "repro.wearlevel", "repro.core")
+
+#: Module prefixes that must stay constant-memory with respect to
+#: workload length (TWL007): the simulation drivers and the engine pull
+#: bounded chunks from :class:`repro.traces.stream.TraceStream`; a
+#: materializing call here re-couples peak RSS to trace length.
+_STREAMING_HOT_PREFIXES = ("repro.sim", "repro.engine")
+
+#: Method names that materialize a whole trace (TWL007).
+_MATERIALIZING_ATTRS = frozenset({"materialize", "write_page_list"})
+
+#: Module-level loader functions that materialize a whole trace (TWL007).
+_MATERIALIZING_FUNCS = frozenset({"load_trace", "load_text_trace", "load_block_trace"})
 
 _PRAGMA_RE = re.compile(
     r"#\s*twl:\s*allow\(\s*([A-Za-z0-9_\s,]+?)\s*\)(?:\s+reason=(\S[^#]*))?"
@@ -286,6 +308,7 @@ class _FileLinter(ast.NodeVisitor):
         self._check_clock = not module.startswith(_CLOCK_ALLOWED_PREFIXES)
         self._check_order = module in ORDERED_ITERATION_MODULES
         self._check_hot = module.startswith(_HOT_PATH_PREFIXES)
+        self._check_streaming = module.startswith(_STREAMING_HOT_PREFIXES)
 
     def run(self, tree: ast.Module) -> List[Violation]:
         self.imports.collect(tree)
@@ -314,6 +337,8 @@ class _FileLinter(ast.NodeVisitor):
                 self._check_clock_read(node, chain)
             if self._check_order:
                 self._check_json_sorted(node, chain)
+            if self._check_streaming:
+                self._check_materialization(node, chain)
         if self._check_order:
             for builtin in ("list", "tuple", "iter", "enumerate", "reversed"):
                 if (
@@ -416,6 +441,28 @@ class _FileLinter(ast.NodeVisitor):
                 "TWL002",
                 f"wall-clock read {flagged} outside repro.exec; clock values "
                 "must never reach result-producing code",
+            )
+
+    # -- TWL007 ---------------------------------------------------------
+    def _check_materialization(self, node: ast.Call, chain: List[str]) -> None:
+        tail = chain[-1]
+        if len(chain) > 1 and tail in _MATERIALIZING_ATTRS:
+            self._flag(
+                node,
+                "TWL007",
+                f".{tail}() materializes a whole trace inside a streaming "
+                "hot path; pull chunks through TraceStream/StreamDriver, or "
+                "mark an intentional materialized adapter with a reasoned "
+                "pragma",
+            )
+        elif tail in _MATERIALIZING_FUNCS:
+            self._flag(
+                node,
+                "TWL007",
+                f"{tail}() loads a whole trace into memory inside a "
+                "streaming hot path; open it with open_trace_stream, or "
+                "mark an intentional materialized adapter with a reasoned "
+                "pragma",
             )
 
     # -- TWL004 ---------------------------------------------------------
@@ -748,7 +795,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="twl-repro lint",
         description=(
             "Static determinism/purity checks for the TWL reproduction "
-            "(rules TWL001-TWL006; see docs/invariants.md)."
+            "(rules TWL001-TWL007; see docs/invariants.md)."
         ),
     )
     parser.add_argument(

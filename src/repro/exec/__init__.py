@@ -31,12 +31,14 @@ Typical use::
 from .cells import (
     KIND_ATTACK,
     KIND_OVERHEADS,
+    KIND_STREAM,
     KIND_TRACE,
     CellResult,
     ExperimentCell,
     attack_cell,
     overheads_cell,
     run_cell,
+    stream_cell,
     trace_cell,
 )
 from .hashing import CACHE_FORMAT_VERSION, canonical_value, cell_fingerprint
@@ -67,12 +69,14 @@ __all__ = [
     "encode_result",
     "KIND_ATTACK",
     "KIND_OVERHEADS",
+    "KIND_STREAM",
     "KIND_TRACE",
     "CellResult",
     "ExperimentCell",
     "attack_cell",
     "overheads_cell",
     "run_cell",
+    "stream_cell",
     "trace_cell",
     "CACHE_FORMAT_VERSION",
     "canonical_value",

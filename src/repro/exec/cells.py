@@ -18,7 +18,14 @@ cell; :func:`run_cell` executes it.  Three cell kinds exist:
 * ``overheads`` — drive a bounded write budget and report the scheme's
   measured swap behaviour
   (:class:`~repro.sim.metrics.SchemeOverheads`), used by the Figure-9
-  timing model and the Figure-7(a) swap-ratio sweep.
+  timing model and the Figure-7(a) swap-ratio sweep;
+* ``stream`` — run a scheme to first failure under a streamed workload
+  (:func:`repro.sim.runner.measure_stream_lifetime`): either a
+  registered dynamic generator (``repro.traces.registry``, e.g. the
+  FTL workload) sized inside the worker to the scheme's logical space,
+  or an on-disk trace opened through
+  :func:`~repro.traces.io.open_trace_stream` — never materialized, so
+  the cell runs at constant memory regardless of trace length.
 
 Because a worker only receives the spec (never a live trace, array or
 scheme object), executing a cell in a subprocess is bit-identical to
@@ -28,6 +35,7 @@ exactly that.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
@@ -42,16 +50,21 @@ from ..sim.runner import (
     DEFAULT_SCALED,
     build_array,
     measure_attack_lifetime,
+    measure_stream_lifetime,
     measure_trace_lifetime,
 )
+from ..traces.io import open_trace_stream
 from ..traces.parsec import BenchmarkProfile, get_profile, make_benchmark_trace
+from ..traces.registry import make_stream
+from ..traces.stream import DEFAULT_CHUNK_REQUESTS, TraceStream
 from ..wearlevel.registry import make_scheme
 
 #: Cell kinds.
 KIND_ATTACK = "attack"
 KIND_TRACE = "trace"
 KIND_OVERHEADS = "overheads"
-_KINDS = (KIND_ATTACK, KIND_TRACE, KIND_OVERHEADS)
+KIND_STREAM = "stream"
+_KINDS = (KIND_ATTACK, KIND_TRACE, KIND_OVERHEADS, KIND_STREAM)
 
 #: Union of the result types a cell can produce.
 CellResult = Union[LifetimeResult, SchemeOverheads]
@@ -100,6 +113,20 @@ class ExperimentCell:
     #: knob (pure verification — it either passes with an unchanged
     #: result or fails the cell), excluded from the fingerprint.
     check_invariants: bool = False
+    #: On-disk trace to stream (``stream`` kind; exclusive with a
+    #: generator ``workload``).  Identity-bearing: the path names the
+    #: workload.  The fingerprint covers the path string only, not the
+    #: file bytes — rewriting a trace in place requires clearing the
+    #: cache (or a version bump), see ``docs/workloads.md``.
+    trace_path: Optional[str] = None
+    #: Extra keyword arguments for the stream generator factory
+    #: (``stream`` kind), e.g. ``{"config": FTLConfig(...)}``.
+    #: Identity-bearing, like ``scheme_kwargs``.
+    stream_kwargs: Dict = field(default_factory=dict)
+    #: Requests per stream chunk (``stream`` kind).  An execution knob:
+    #: chunk segmentation only changes delivery granularity, never the
+    #: request sequence, so results are bit-identical at any value.
+    chunk_size: int = DEFAULT_CHUNK_REQUESTS
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -110,11 +137,15 @@ class ExperimentCell:
             raise ConfigError("overheads cells need drive_writes >= 1")
         if self.batch_size < 1:
             raise ConfigError(f"batch size must be positive, got {self.batch_size}")
+        if self.chunk_size < 1:
+            raise ConfigError(f"chunk size must be positive, got {self.chunk_size}")
         if self.kind == KIND_OVERHEADS and self.soft_errors is not None:
             raise ConfigError(
                 "overheads cells do not support soft-error injection "
                 "(the timing model needs clean swap counters)"
             )
+        if self.trace_path is not None and self.kind != KIND_STREAM:
+            raise ConfigError(f"{self.kind} cells do not take trace_path")
 
     def describe(self) -> str:
         """Human-readable identity: ``twl_swp×scan seed=2017``."""
@@ -202,6 +233,50 @@ def overheads_cell(
     )
 
 
+def stream_cell(
+    scheme: str,
+    stream: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    scaled: ScaledArrayConfig = DEFAULT_SCALED,
+    seed: int = 2017,
+    scheme_kwargs: Optional[dict] = None,
+    stream_kwargs: Optional[dict] = None,
+    chunk_size: int = DEFAULT_CHUNK_REQUESTS,
+    label: str = "",
+    soft_errors: Optional[SoftErrorConfig] = None,
+    check_invariants: bool = False,
+) -> ExperimentCell:
+    """Cell spec for a run-to-failure streamed-workload experiment.
+
+    Exactly one of ``stream`` (a registered generator name, e.g.
+    ``"ftl"``) or ``trace_path`` (an on-disk trace for
+    :func:`~repro.traces.io.open_trace_stream`) selects the workload.
+    """
+    if (stream is None) == (trace_path is None):
+        raise ConfigError(
+            "stream cells take exactly one of a generator name (stream=) "
+            "or an on-disk trace (trace_path=)"
+        )
+    if stream is not None:
+        workload = stream
+    else:
+        workload = os.path.splitext(os.path.basename(str(trace_path)))[0]
+    return ExperimentCell(
+        kind=KIND_STREAM,
+        scheme=scheme,
+        workload=workload,
+        scaled=scaled,
+        seed=seed,
+        scheme_kwargs=dict(scheme_kwargs or {}),
+        stream_kwargs=dict(stream_kwargs or {}),
+        trace_path=trace_path,
+        chunk_size=chunk_size,
+        label=label,
+        soft_errors=soft_errors,
+        check_invariants=check_invariants,
+    )
+
+
 def _benchmark_trace(cell: ExperimentCell) -> Trace:
     profile = cell.profile or get_profile(cell.workload)
     return make_benchmark_trace(
@@ -211,6 +286,35 @@ def _benchmark_trace(cell: ExperimentCell) -> Trace:
         seed=cell.seed,
         footprint_override=cell.footprint_override,
     )
+
+
+def _stream_factory(cell: ExperimentCell):
+    """Late-binding stream factory for a ``stream`` cell.
+
+    Built inside the worker from the picklable spec; the stream itself
+    is constructed only after the scheme exists, so generators size
+    themselves to the scheme's *logical* space (Start-Gap reserves a
+    physical frame).
+    """
+    if cell.trace_path is not None:
+        path = cell.trace_path
+        chunk_size = cell.chunk_size
+
+        def from_file(n_pages: int) -> TraceStream:
+            return open_trace_stream(path, chunk_size=chunk_size)
+
+        return from_file
+
+    def from_generator(n_pages: int) -> TraceStream:
+        return make_stream(
+            cell.workload,
+            n_pages,
+            seed=cell.seed,
+            chunk_size=cell.chunk_size,
+            **dict(cell.stream_kwargs),
+        )
+
+    return from_generator
 
 
 def run_cell(cell: ExperimentCell) -> CellResult:
@@ -240,6 +344,17 @@ def _run_cell_inner(cell: ExperimentCell) -> CellResult:
             seed=cell.seed,
             scheme_kwargs=dict(cell.scheme_kwargs),
             attack_kwargs=dict(cell.attack_kwargs),
+            batch_size=cell.batch_size,
+            soft_errors=cell.soft_errors,
+            check_invariants=cell.check_invariants,
+        )
+    if cell.kind == KIND_STREAM:
+        return measure_stream_lifetime(
+            cell.scheme,
+            _stream_factory(cell),
+            scaled=cell.scaled,
+            seed=cell.seed,
+            scheme_kwargs=dict(cell.scheme_kwargs),
             batch_size=cell.batch_size,
             soft_errors=cell.soft_errors,
             check_invariants=cell.check_invariants,

@@ -57,6 +57,9 @@ therefore valid at any batch size and under any label:
 ...     dataclasses.replace(cell, batch_size=4096))
 True
 >>> cell_fingerprint(cell) == cell_fingerprint(
+...     dataclasses.replace(cell, chunk_size=1024))
+True
+>>> cell_fingerprint(cell) == cell_fingerprint(
 ...     dataclasses.replace(cell, label="fig6 row 3"))
 True
 
@@ -96,14 +99,19 @@ CELL_IDENTITY_FIELDS: FrozenSet[str] = frozenset(
         "footprint_override",
         "profile",
         "soft_errors",
+        "trace_path",
+        "stream_kwargs",
     }
 )
 
 #: ``ExperimentCell`` fields that cannot change the result (execution
 #: knobs / display metadata) — excluded from the fingerprint, so a
-#: cached result is reused across any of their values.
+#: cached result is reused across any of their values.  ``chunk_size``
+#: is a knob by the same contract as ``batch_size``: stream chunk
+#: segmentation changes delivery granularity, never the request
+#: sequence.
 CELL_EXECUTION_FIELDS: FrozenSet[str] = frozenset(
-    {"batch_size", "check_invariants", "label"}
+    {"batch_size", "check_invariants", "chunk_size", "label"}
 )
 
 

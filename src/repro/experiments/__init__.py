@@ -18,6 +18,7 @@ from . import (
     ablations,
     energy,
     resilience,
+    streaming,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "ablations",
     "energy",
     "resilience",
+    "streaming",
 ]

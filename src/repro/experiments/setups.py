@@ -13,11 +13,12 @@ enables the on-disk result cache, ``failure`` carries the
 fail-fast vs keep-going) and ``resume`` points at a checkpoint
 journal.  ``active_setup`` reads them from ``REPRO_JOBS`` /
 ``REPRO_CACHE_DIR`` / ``REPRO_BATCH_SIZE`` / ``REPRO_RETRIES`` /
-``REPRO_CELL_TIMEOUT`` / ``REPRO_KEEP_GOING`` / ``REPRO_RESUME`` so
-the benchmark harness can be hardened without touching code; the CLI
-sets them from ``--jobs`` / ``--cache-dir`` / ``--no-cache`` /
-``--batch-size`` / ``--retries`` / ``--cell-timeout`` /
-``--keep-going`` / ``--resume``.
+``REPRO_CELL_TIMEOUT`` / ``REPRO_KEEP_GOING`` / ``REPRO_RESUME`` /
+``REPRO_TRACE`` / ``REPRO_CHUNK_SIZE`` so the benchmark harness can be
+hardened without touching code; the CLI sets them from ``--jobs`` /
+``--cache-dir`` / ``--no-cache`` / ``--batch-size`` / ``--retries`` /
+``--cell-timeout`` / ``--keep-going`` / ``--resume`` / ``--trace`` /
+``--chunk-size``.
 """
 
 from __future__ import annotations
@@ -64,6 +65,7 @@ SETUP_IDENTITY_FIELDS = frozenset(
         "overhead_writes",
         "seed",
         "twl_config",
+        "stream_trace",
     }
 )
 
@@ -73,7 +75,7 @@ SETUP_IDENTITY_FIELDS = frozenset(
 #: requires every field to appear in exactly one of these two sets, so
 #: a new field cannot silently join (or silently skip) cache identity.
 SETUP_EXECUTION_FIELDS = frozenset(
-    {"jobs", "cache_dir", "batch_size", "failure", "resume"}
+    {"jobs", "cache_dir", "batch_size", "chunk_size", "failure", "resume"}
 )
 
 
@@ -103,6 +105,13 @@ class ExperimentSetup:
     #: there are skipped and new completions are appended (crash-safe
     #: resume, independent of the cache).
     resume: Optional[str] = None
+    #: On-disk trace for the streaming experiment (None = the built-in
+    #: FTL dynamic workload generator).  Identity-bearing: the trace
+    #: *is* the workload.
+    stream_trace: Optional[str] = None
+    #: Requests per stream chunk.  Execution knob by the chunk-identity
+    #: contract — segmentation never changes the request sequence.
+    chunk_size: int = 65536
 
     @property
     def n_pages(self) -> int:
@@ -140,7 +149,9 @@ def active_setup() -> ExperimentSetup:
     ``REPRO_RETRIES=N`` retries failed cells, ``REPRO_CELL_TIMEOUT=S``
     bounds each cell's wall clock, ``REPRO_KEEP_GOING=1`` finishes the
     campaign past failures, and ``REPRO_RESUME=path`` checkpoints to
-    (and resumes from) a journal there.
+    (and resumes from) a journal there.  Streaming knobs:
+    ``REPRO_TRACE=path`` streams an on-disk trace instead of the FTL
+    generator, ``REPRO_CHUNK_SIZE=N`` sets the stream chunk size.
     """
     if os.environ.get("REPRO_QUICK", "").strip() in ("1", "true", "yes"):
         setup = quick_setup()
@@ -169,4 +180,10 @@ def active_setup() -> ExperimentSetup:
     resume = os.environ.get("REPRO_RESUME", "").strip()
     if resume:
         setup = replace(setup, resume=resume)
+    stream_trace = os.environ.get("REPRO_TRACE", "").strip()
+    if stream_trace:
+        setup = replace(setup, stream_trace=stream_trace)
+    chunk_size = os.environ.get("REPRO_CHUNK_SIZE", "").strip()
+    if chunk_size:
+        setup = replace(setup, chunk_size=max(1, int(chunk_size)))
     return setup

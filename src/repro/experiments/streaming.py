@@ -1,0 +1,88 @@
+"""Streamed-workload lifetime comparison (FTL dynamic workload tier).
+
+Runs every Figure-8 scheme under a *streamed* workload — by default the
+built-in FTL dynamic workload generator (allocation/invalidation/GC
+traffic with hot/cold separation, ``repro.traces.ftl``), or any on-disk
+trace via ``setup.stream_trace`` (``--trace`` on the CLI) — and reports
+lifetime fraction and wear amplification per scheme.
+
+Unlike the Figure-8 benchmark traces, the workload here is never
+materialized: cells go through :class:`~repro.sim.drivers.StreamDriver`
+and run at constant memory regardless of how many requests the stream
+serves before a page wears out (see ``docs/workloads.md``).  Chunk size
+and batch size are execution knobs — streamed results are bit-identical
+to materialized runs of the same request sequence
+(``tests/test_engine_identity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.tables import ResultTable
+from ..exec import ExperimentCell, run_setup_cells, stream_cell
+from ..sim.lifetime import LifetimeResult
+from .setups import FIG8_SCHEMES, ExperimentSetup, default_setup
+
+#: Scheme set for the streamed comparison (the Figure-8 population).
+STREAM_SCHEMES = FIG8_SCHEMES
+
+
+def _cell(scheme: str, setup: ExperimentSetup) -> ExperimentCell:
+    kwargs = {"config": setup.twl_config} if scheme.startswith("twl") else {}
+    if setup.stream_trace is not None:
+        return stream_cell(
+            scheme,
+            trace_path=setup.stream_trace,
+            scaled=setup.scaled,
+            seed=setup.seed,
+            scheme_kwargs=kwargs,
+            chunk_size=setup.chunk_size,
+        )
+    return stream_cell(
+        scheme,
+        stream="ftl",
+        scaled=setup.scaled,
+        seed=setup.seed,
+        scheme_kwargs=kwargs,
+        chunk_size=setup.chunk_size,
+    )
+
+
+def run_cell(
+    scheme: str,
+    setup: Optional[ExperimentSetup] = None,
+) -> LifetimeResult:
+    """Run one scheme's streamed-workload cell."""
+    setup = setup or default_setup()
+    return run_setup_cells([_cell(scheme, setup)], setup)[0]
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> ResultTable:
+    """Streamed-workload lifetime, one row per scheme."""
+    setup = setup or default_setup()
+    cells = [_cell(scheme, setup) for scheme in STREAM_SCHEMES]
+    results = run_setup_cells(cells, setup)
+    table = ResultTable(
+        ["scheme", "workload", "demand_writes", "lifetime_fraction", "overhead_ratio"]
+    )
+    for scheme, result in zip(STREAM_SCHEMES, results):
+        table.add_row(
+            scheme=scheme,
+            workload=result.workload,
+            demand_writes=result.demand_writes,
+            lifetime_fraction=round(result.lifetime_fraction, 4),
+            overhead_ratio=round(result.overhead_ratio, 4),
+        )
+    return table
+
+
+def main() -> None:
+    """Print the streamed-workload comparison table."""
+    setup = default_setup()
+    source = setup.stream_trace or "ftl (dynamic generator)"
+    print(run(setup).render(precision=4, title=f"Streamed workload — {source}"))
+
+
+if __name__ == "__main__":
+    main()

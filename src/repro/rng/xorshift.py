@@ -7,6 +7,8 @@ schemes).  Marsaglia's (13, 17, 5) triple; period ``2**32 - 1``.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import ConfigError
 
 _MASK32 = 0xFFFFFFFF
@@ -39,3 +41,25 @@ class XorShift32:
         if bound <= 0:
             raise ValueError(f"bound must be positive, got {bound}")
         return self.next_word() % bound
+
+    def next_words(self, count: int) -> np.ndarray:
+        """The next ``count`` 32-bit words, as an ``int64`` array.
+
+        The xorshift recurrence is inherently sequential, so this is the
+        same draw-by-draw loop :meth:`next_word` runs — just without a
+        method call per draw.  ``next_words(k)`` leaves the generator in
+        exactly the state ``k`` :meth:`next_word` calls would, which is
+        what lets batched scheme paths pre-draw a batch's decisions and
+        stay bit-identical to the serial path.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        out = np.empty(count, dtype=np.int64)
+        x = self.state
+        for index in range(count):
+            x ^= (x << 13) & _MASK32
+            x ^= x >> 17
+            x ^= (x << 5) & _MASK32
+            out[index] = x
+        self.state = x
+        return out

@@ -12,12 +12,13 @@
   model.
 """
 
-from .drivers import WorkloadDriver, TraceDriver, AttackDriver
+from .drivers import WorkloadDriver, TraceDriver, AttackDriver, StreamDriver
 from .lifetime import LifetimeResult, run_to_failure
 from .fastforward import FastForwardConfig, fast_forward_to_failure
 from .runner import (
     build_array,
     measure_attack_lifetime,
+    measure_stream_lifetime,
     measure_trace_lifetime,
     DEFAULT_SCALED,
 )
@@ -33,12 +34,14 @@ __all__ = [
     "WorkloadDriver",
     "TraceDriver",
     "AttackDriver",
+    "StreamDriver",
     "LifetimeResult",
     "run_to_failure",
     "FastForwardConfig",
     "fast_forward_to_failure",
     "build_array",
     "measure_attack_lifetime",
+    "measure_stream_lifetime",
     "measure_trace_lifetime",
     "DEFAULT_SCALED",
     "measure_scheme_overheads",

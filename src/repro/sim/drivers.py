@@ -1,8 +1,8 @@
 """Workload drivers.
 
-A driver owns a position in an infinite write stream (a looping trace or
-an adaptive attack) and hands demand writes to the simulation engine in
-two granularities:
+A driver owns a position in an infinite write stream (a looping trace,
+a chunked stream, or an adaptive attack) and hands demand writes to the
+simulation engine in two granularities:
 
 * :meth:`WorkloadDriver.drive` pushes writes through a scheme one at a
   time — the legacy per-write hot loop, with locals bound outside the
@@ -12,6 +12,14 @@ two granularities:
   addresses as an array without serving them, for the batched write
   protocol (:mod:`repro.engine`); :meth:`WorkloadDriver.observe_batch`
   feeds the per-request response costs back afterwards.
+
+:class:`StreamDriver` is the streaming-first workload path: it pulls
+``(ops, pages)`` chunks from a :class:`~repro.traces.stream.TraceStream`
+and buffers only the current chunk's writes, so multi-billion-request
+campaigns run at constant memory.  :class:`TraceDriver` is the
+materialized adapter kept for small in-RAM traces; streamed and
+materialized runs of the same workload are bit-identical
+(``tests/test_engine_identity.py``).
 """
 
 from __future__ import annotations
@@ -23,8 +31,15 @@ import numpy as np
 from ..attacks.base import AttackWorkload
 from ..config import TimingConfig
 from ..errors import SimulationError
+from ..traces.request import OP_WRITE
+from ..traces.stream import TraceStream
 from ..traces.trace import Trace
 from ..wearlevel.base import WearLeveler
+
+#: Consecutive writeless chunks after which a stream is declared broken
+#: (an endless generator that stops yielding writes would otherwise spin
+#: the refill loop forever).
+_MAX_WRITELESS_CHUNKS = 100_000
 
 
 class WorkloadDriver(abc.ABC):
@@ -68,7 +83,7 @@ class TraceDriver(WorkloadDriver):
     """Loops a finite trace's write stream forever (paper methodology)."""
 
     def __init__(self, trace: Trace, n_pages: int):
-        writes = trace.write_page_list()
+        writes = trace.write_page_list()  # twl: allow(TWL007) reason=TraceDriver is the intentional materialized adapter
         if not writes:
             raise SimulationError(f"trace {trace.name!r} contains no writes")
         if trace.max_page >= n_pages:
@@ -121,6 +136,110 @@ class TraceDriver(WorkloadDriver):
                 position = 0
                 self.loops_completed += 1
         self._position = position
+        return out
+
+
+class StreamDriver(WorkloadDriver):
+    """Loops a :class:`TraceStream`'s write stream at constant memory.
+
+    Pulls one chunk at a time, keeps only that chunk's write addresses
+    buffered, and rewinds finite streams at exhaustion (the paper's
+    loop-to-failure methodology).  Positions and loop counters are plain
+    Python ints, so multi-billion-request campaigns overflow nothing.
+
+    Identity: for the same underlying request sequence this driver
+    serves exactly the write sequence :class:`TraceDriver` serves — the
+    chunk size only changes *delivery granularity* (``next_batch`` may
+    return short batches at chunk boundaries, which the engine loop
+    tolerates), never the sequence, so streamed runs stay bit-identical
+    to materialized runs.
+    """
+
+    def __init__(self, stream: TraceStream, n_pages: int):
+        self._stream = stream
+        self._n_pages = n_pages
+        self._buffer = np.empty(0, dtype=np.int64)
+        self._offset = 0
+        self._name = stream.name
+        self.loops_completed = 0
+        #: Total requests (reads included) consumed from the stream.
+        self.requests_consumed = 0
+        self._writes_this_loop = False
+
+    @property
+    def workload_name(self) -> str:
+        return self._name
+
+    def _refill(self) -> None:
+        """Pull chunks until the write buffer is non-empty."""
+        stream = self._stream
+        writeless = 0
+        while True:
+            chunk = stream.next_chunk()
+            if chunk is None:
+                if not self._writes_this_loop:
+                    raise SimulationError(
+                        f"stream {self._name!r} contains no writes"
+                    )
+                stream.rewind()
+                self.loops_completed += 1
+                self._writes_this_loop = False
+                continue
+            ops, pages = chunk
+            self.requests_consumed += int(ops.size)
+            writes = pages[ops == OP_WRITE]
+            if writes.size == 0:
+                writeless += 1
+                if writeless >= _MAX_WRITELESS_CHUNKS:
+                    raise SimulationError(
+                        f"stream {self._name!r} yielded {writeless} "
+                        "consecutive chunks without a write"
+                    )
+                continue
+            if int(writes.max()) >= self._n_pages or int(writes.min()) < 0:
+                bad = writes[(writes < 0) | (writes >= self._n_pages)][0]
+                raise SimulationError(
+                    f"stream {self._name!r} touches page {int(bad)} outside "
+                    f"array of {self._n_pages}"
+                )
+            self._buffer = writes
+            self._offset = 0
+            self._writes_this_loop = True
+            return
+
+    def drive(self, scheme: WearLeveler, max_demand: int) -> int:
+        if max_demand < 0:
+            raise ValueError("max_demand must be non-negative")
+        write = scheme.write
+        array = scheme.array
+        served = 0
+        while served < max_demand and not array.failed:
+            if self._offset >= self._buffer.size:
+                self._refill()
+            take = min(max_demand - served, self._buffer.size - self._offset)
+            chunk = self._buffer[self._offset : self._offset + take]
+            consumed = 0
+            for logical in chunk.tolist():  # twl: allow(TWL006) reason=legacy per-write data path
+                write(logical)
+                consumed += 1
+                if array.failed:
+                    break
+            self._offset += consumed
+            served += consumed
+        return served
+
+    def next_batch(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        if self._offset >= self._buffer.size:
+            self._refill()
+        # Serve from the buffered chunk only: a short batch at a chunk
+        # boundary is cheaper than concatenating across chunks, and the
+        # engine loop tolerates it (batch segmentation cannot change
+        # results under the batch-identity contract).
+        take = min(n, self._buffer.size - self._offset)
+        out = self._buffer[self._offset : self._offset + take]
+        self._offset += take
         return out
 
 

@@ -7,7 +7,7 @@ the CLI all run experiments through identical code paths.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..attacks.registry import make_attack
 from ..config import ScaledArrayConfig, SoftErrorConfig, TimingConfig
@@ -15,11 +15,12 @@ from ..errors import ConfigError
 from ..pcm.array import PCMArray
 from ..pcm.endurance import sample_gaussian_endurance, sample_tail_faithful
 from ..rng.streams import make_generator
+from ..traces.stream import TraceStream
 from ..traces.trace import Trace
 from ..wearlevel.registry import make_scheme
-from .drivers import AttackDriver, TraceDriver
+from .drivers import AttackDriver, StreamDriver, TraceDriver
 from .fastforward import FastForwardConfig, fast_forward_to_failure
-from .lifetime import LifetimeResult, run_to_failure
+from .lifetime import DEFAULT_MAX_DEMAND, LifetimeResult, run_to_failure
 
 #: Default scale for experiments.  The endurance-to-footprint ratio
 #: matters: at full scale mean endurance / page count = 1e8 / 8.4M ≈ 12,
@@ -137,6 +138,49 @@ def measure_trace_lifetime(
         soft_errors=soft_errors,
         check_invariants=check_invariants,
     )
+
+
+def measure_stream_lifetime(
+    scheme_name: str,
+    stream_factory: Callable[[int], TraceStream],
+    scaled: ScaledArrayConfig = DEFAULT_SCALED,
+    seed: int = 2017,
+    scheme_kwargs: Optional[dict] = None,
+    batch_size: int = 1,
+    max_demand: int = DEFAULT_MAX_DEMAND,
+    require_failure: bool = True,
+    soft_errors: Optional[SoftErrorConfig] = None,
+    check_invariants: bool = False,
+) -> LifetimeResult:
+    """Lifetime of ``scheme_name`` under a streamed workload.
+
+    ``stream_factory`` receives the scheme's logical page count and
+    returns the :class:`~repro.traces.stream.TraceStream` to drive —
+    built *after* the scheme so generators (the FTL workload) size
+    themselves to the exposed logical space (Start-Gap reserves a
+    frame).  The stream is looped to failure through
+    :class:`~repro.sim.drivers.StreamDriver` at constant memory;
+    ``batch_size`` and the stream's chunk size are execution knobs —
+    results are bit-identical to a materialized
+    :func:`measure_trace_lifetime` run of the same request sequence.
+    """
+    _check_fault_support(False, soft_errors)
+    array = build_array(scaled)
+    scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
+    stream = stream_factory(scheme.logical_pages)
+    driver = StreamDriver(stream, scheme.logical_pages)
+    try:
+        return run_to_failure(
+            scheme,
+            driver,
+            max_demand=max_demand,
+            require_failure=require_failure,
+            batch_size=batch_size,
+            soft_errors=soft_errors,
+            check_invariants=check_invariants,
+        )
+    finally:
+        stream.close()
 
 
 def _check_fault_support(

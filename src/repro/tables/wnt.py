@@ -44,6 +44,26 @@ class WriteNumberTable:
             counts[logical] = value + 1
         self.total += 1
 
+    def record_write_batch(self, pages: np.ndarray) -> None:
+        """Count one write per entry of ``pages`` (batch path).
+
+        Saturation commutes with addition — each counter ends at
+        ``min(before + occurrences, max)`` either way — so one bincount
+        plus a clamp is bit-identical to recording the batch write by
+        write.
+        """
+        seq = np.asarray(pages, dtype=np.int64)
+        if seq.size == 0:
+            return
+        lo = int(seq.min())
+        hi = int(seq.max())
+        if lo < 0 or hi >= self.n_pages:
+            self._check(lo if lo < 0 else hi)
+        counts = self._counts
+        increments = np.bincount(seq, minlength=self.n_pages)
+        np.minimum(counts + increments, self._max, out=counts)
+        self.total += int(seq.size)
+
     def count(self, logical: int) -> int:
         """Writes recorded for ``logical`` this phase."""
         self._check(logical)

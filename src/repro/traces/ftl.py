@@ -1,0 +1,172 @@
+"""FTL-style dynamic workload generator (endless stream).
+
+Static synthetic profiles (:mod:`repro.traces.synth`) cannot express
+the allocator/OS-level dynamics that actually drive wear — SoftWear
+(arXiv 2004.03244) shows wear behavior follows allocation, invalidation
+and hot/cold reuse, and WoLFRaM (arXiv 2010.02825) evaluates under
+exactly such long-horizon dynamic write streams.
+:class:`FTLWorkloadStream` models that traffic at page granularity as a
+flash-translation-layer-style mix:
+
+* **hot updates** — in-place rewrites of a small hot working set
+  (``hot_fraction`` of the logical space), the update traffic an FTL's
+  hot/cold separation exists for;
+* **allocations** — a *leading cursor* walking a fixed random
+  permutation of the cold region, the log-structured append pattern of
+  fresh allocations (a page "invalidated" by its rewrite elsewhere is
+  eventually reallocated when the cursor wraps);
+* **GC relocations** — a *trailing cursor* over the same cold
+  permutation, modeling the garbage collector compacting behind the
+  allocator;
+* **reads** — uniform over the logical space (reads do not wear PCM but
+  exercise the streaming read/write mix plumbing).
+
+Determinism: all randomness derives from ``repro.rng`` streams.  The
+generator draws **exactly three uniform doubles per request** from one
+sequentially filled PCG64 stream, and carries its cursors across chunk
+boundaries via cumulative-count ranks — so the request sequence is a
+pure function of ``(seed, config, n_pages)`` and *independent of the
+chunk size* it is drawn in.  That chunk-size invariance is what makes
+``chunk_size`` an execution knob (excluded from cache fingerprints) and
+is pinned by ``tests/test_streams.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng.streams import make_generator
+from .request import OP_READ, OP_WRITE
+from .stream import DEFAULT_CHUNK_REQUESTS, Chunk, TraceStream
+
+
+@dataclass(frozen=True)
+class FTLConfig:
+    """Traffic mix of the FTL-style dynamic workload.
+
+    A frozen dataclass so it canonicalizes into cache fingerprints when
+    passed through ``stream_kwargs`` (see :mod:`repro.exec.hashing`).
+    """
+
+    #: Fraction of requests that are writes.
+    write_fraction: float = 0.75
+    #: Fraction of the logical space forming the hot working set.
+    hot_fraction: float = 0.125
+    #: Fraction of writes that are hot-set updates.
+    hot_write_fraction: float = 0.70
+    #: Fraction of writes that are GC relocations (trailing cursor).
+    gc_write_fraction: float = 0.10
+    #: Declared sustained write bandwidth (MB/s) for years() scaling.
+    write_bandwidth_mbps: float = 400.0
+
+    def validate(self) -> None:
+        if not 0.0 < self.write_fraction <= 1.0:
+            raise ConfigError(
+                f"write_fraction must be in (0, 1], got {self.write_fraction}"
+            )
+        if not 0.0 < self.hot_fraction < 1.0:
+            raise ConfigError(
+                f"hot_fraction must be in (0, 1), got {self.hot_fraction}"
+            )
+        if self.hot_write_fraction < 0.0 or self.gc_write_fraction < 0.0:
+            raise ConfigError("write-mix fractions must be non-negative")
+        if self.hot_write_fraction + self.gc_write_fraction > 1.0:
+            raise ConfigError(
+                "hot_write_fraction + gc_write_fraction must not exceed 1"
+            )
+        if self.write_bandwidth_mbps <= 0:
+            raise ConfigError("write bandwidth must be positive")
+
+
+class FTLWorkloadStream(TraceStream):
+    """Endless FTL-style dynamic write stream over ``n_pages`` pages."""
+
+    name = "ftl"
+    endless = True
+
+    def __init__(
+        self,
+        n_pages: int,
+        seed: int = 0,
+        config: FTLConfig = FTLConfig(),
+        chunk_size: int = DEFAULT_CHUNK_REQUESTS,
+    ):
+        if n_pages < 2:
+            raise ConfigError(
+                f"FTL workload needs at least two pages, got {n_pages}"
+            )
+        if chunk_size < 1:
+            raise ConfigError(f"chunk size must be positive, got {chunk_size}")
+        config.validate()
+        self.n_pages = n_pages
+        self.seed = seed
+        self.config = config
+        self.chunk_size = chunk_size
+        self.write_bandwidth_mbps: Optional[float] = config.write_bandwidth_mbps
+        # Fixed logical layout: one permutation, split hot | cold.  Drawn
+        # from its own labeled stream so the per-request draws below stay
+        # a pure 3-doubles-per-request sequence.
+        layout = make_generator(seed, "ftl-layout").permutation(n_pages)
+        n_hot = min(max(1, int(config.hot_fraction * n_pages)), n_pages - 1)
+        self._hot_set = layout[:n_hot]
+        self._cold_set = layout[n_hot:]
+        self._rng = make_generator(seed, "ftl-requests")
+        #: Allocation (leading) / GC (trailing) cursors over the cold
+        #: permutation.  Plain Python ints: multi-billion-request
+        #: campaigns overflow no fixed-width counter.
+        self._alloc_cursor = 0
+        self._gc_cursor = 0
+
+    def rewind(self) -> None:
+        """Restart the request stream (the layout is fixed at __init__)."""
+        self._rng = make_generator(self.seed, "ftl-requests")
+        self._alloc_cursor = 0
+        self._gc_cursor = 0
+
+    def next_chunk(self) -> Optional[Chunk]:
+        k = self.chunk_size
+        config = self.config
+        # Exactly 3 sequential uniforms per request (C-order fill), so a
+        # different chunk size consumes the identical prefix of the
+        # stream — the chunk-size-invariance contract.
+        u = self._rng.random((k, 3))
+        is_write = u[:, 0] < config.write_fraction
+        ops = np.where(is_write, OP_WRITE, OP_READ).astype(np.uint8)
+        pages = np.empty(k, dtype=np.int64)
+
+        # Reads: uniform over the logical space.
+        n = self.n_pages
+        read_mask = ~is_write
+        if read_mask.any():
+            idx = np.minimum((u[read_mask, 2] * n).astype(np.int64), n - 1)
+            pages[read_mask] = idx
+
+        hot_cut = config.hot_write_fraction
+        gc_cut = hot_cut + config.gc_write_fraction
+        kind = u[:, 1]
+        hot_mask = is_write & (kind < hot_cut)
+        gc_mask = is_write & (kind >= hot_cut) & (kind < gc_cut)
+        alloc_mask = is_write & (kind >= gc_cut)
+
+        if hot_mask.any():
+            n_hot = self._hot_set.size
+            idx = np.minimum((u[hot_mask, 2] * n_hot).astype(np.int64), n_hot - 1)
+            pages[hot_mask] = self._hot_set[idx]
+
+        n_cold = self._cold_set.size
+        if gc_mask.any():
+            # Trailing cursor: rank each GC event within the chunk and
+            # offset by the carried cursor, so chunk boundaries are
+            # invisible to the generated sequence.
+            ranks = np.cumsum(gc_mask)[gc_mask] - 1
+            pages[gc_mask] = self._cold_set[(self._gc_cursor + ranks) % n_cold]
+            self._gc_cursor += int(ranks.size)
+        if alloc_mask.any():
+            ranks = np.cumsum(alloc_mask)[alloc_mask] - 1
+            pages[alloc_mask] = self._cold_set[(self._alloc_cursor + ranks) % n_cold]
+            self._alloc_cursor += int(ranks.size)
+        return ops, pages

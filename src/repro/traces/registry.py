@@ -1,0 +1,44 @@
+"""Registry of named streaming workload generators.
+
+Mirrors :mod:`repro.attacks.registry`: experiment grids and the CLI
+name a stream (``"ftl"``), and :func:`make_stream` builds it sized to
+the scheme's logical address space with all randomness derived from the
+cell seed.  Generators registered here are first-class workload sources
+alongside the attacks — :func:`repro.sim.runner.measure_stream_lifetime`
+drives them through the same engine loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigError
+from .ftl import FTLWorkloadStream
+from .stream import DEFAULT_CHUNK_REQUESTS, TraceStream
+
+#: name -> factory(n_pages, seed, chunk_size, **kwargs).
+STREAM_FACTORIES: Dict[str, Callable[..., TraceStream]] = {
+    "ftl": FTLWorkloadStream,
+}
+
+
+def stream_names() -> List[str]:
+    """Registered stream generator names, sorted."""
+    return sorted(STREAM_FACTORIES)
+
+
+def make_stream(
+    name: str,
+    n_pages: int,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_REQUESTS,
+    **kwargs: object,
+) -> TraceStream:
+    """Build the named stream generator over ``n_pages`` pages."""
+    try:
+        factory = STREAM_FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown stream {name!r}; registered: {', '.join(stream_names())}"
+        ) from None
+    return factory(n_pages, seed=seed, chunk_size=chunk_size, **kwargs)

@@ -1,0 +1,183 @@
+"""Streaming workload sources: the :class:`TraceStream` protocol.
+
+The paper loops finite gem5-collected traces to failure; the repo's
+north star is multi-billion-request campaigns, which a fully
+materialized :class:`~repro.traces.trace.Trace` (two in-RAM numpy
+arrays) cannot reach.  A :class:`TraceStream` is the streaming-first
+replacement: a *chunked*, *rewindable* source of ``(ops, pages)`` array
+pairs plus the workload metadata the lifetime and timing models need.
+
+Design points:
+
+* **Chunked** — :meth:`TraceStream.next_chunk` yields bounded arrays,
+  so peak memory is the chunk size, never the stream length.  Chunk
+  boundaries are an execution detail: the request *sequence* a stream
+  yields is independent of how it is chunked, which is what lets the
+  engine's batch-identity contract extend to streamed runs
+  (``tests/test_engine_identity.py``).
+* **Rewindable** — :meth:`TraceStream.rewind` restarts a finite stream
+  from its first request, so drivers can loop a trace to failure
+  exactly as the paper does.  Endless generators (the FTL workload,
+  :mod:`repro.traces.ftl`) never exhaust and mark themselves with
+  :attr:`TraceStream.endless`.
+* **Adaptable** — :meth:`TraceStream.materialize` gathers a stream into
+  a plain :class:`~repro.traces.trace.Trace`; ``Trace.stream()`` wraps a
+  trace back into a :class:`MaterializedStream`.  ``Trace`` is thereby a
+  thin materialized adapter over the streaming protocol, kept for small
+  synthetic workloads and tests.
+
+See ``docs/workloads.md`` for the full pipeline story.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .trace import Trace
+
+#: One ``(ops, pages)`` array pair: ``uint8`` op codes and ``int64``
+#: page addresses of equal length.
+Chunk = Tuple[np.ndarray, np.ndarray]
+
+#: Default requests per chunk.  Large enough that per-chunk Python
+#: overhead vanishes against the vectorized work, small enough that a
+#: streamed campaign's peak RSS stays a few megabytes.
+DEFAULT_CHUNK_REQUESTS = 65536
+
+
+class TraceStream(abc.ABC):
+    """Chunked, rewindable source of page-granular memory requests."""
+
+    #: Workload label for result records.
+    name: str = "stream"
+    #: Sustained write bandwidth (MB/s) for lifetime-in-years scaling,
+    #: if the workload declares one.
+    write_bandwidth_mbps: Optional[float] = None
+    #: True for generators that never exhaust (``next_chunk`` never
+    #: returns ``None``); :meth:`materialize` refuses them without an
+    #: explicit request cap.
+    endless: bool = False
+
+    @property
+    def n_requests(self) -> Optional[int]:
+        """Total requests in the stream, if finite and known."""
+        return None
+
+    @abc.abstractmethod
+    def rewind(self) -> None:
+        """Restart the stream from its first request."""
+
+    @abc.abstractmethod
+    def next_chunk(self) -> Optional[Chunk]:
+        """The next ``(ops, pages)`` chunk, or ``None`` when exhausted.
+
+        Chunks are non-empty ``(uint8, int64)`` array pairs of equal
+        length.  Consumers must not assume any particular chunk size —
+        only that the concatenated sequence of chunks is the stream's
+        request sequence.
+        """
+
+    def chunks(self) -> Iterator[Chunk]:
+        """Iterate chunks until exhaustion (endless streams never stop)."""
+        while True:
+            chunk = self.next_chunk()
+            if chunk is None:
+                return
+            yield chunk
+
+    def materialize(self, max_requests: Optional[int] = None) -> "Trace":
+        """Gather the whole (rewound) stream into a :class:`Trace`.
+
+        ``max_requests`` truncates the result; it is mandatory for
+        endless streams, which otherwise raise :class:`TraceError`
+        rather than consume unbounded memory.
+        """
+        from .trace import Trace
+
+        if self.endless and max_requests is None:
+            raise TraceError(
+                f"stream {self.name!r} is endless; materialize() needs "
+                "an explicit max_requests cap"
+            )
+        if max_requests is not None and max_requests < 1:
+            raise TraceError("max_requests must be positive")
+        self.rewind()
+        ops_parts = []
+        pages_parts = []
+        gathered = 0
+        for ops, pages in self.chunks():
+            if max_requests is not None and gathered + ops.size > max_requests:
+                take = max_requests - gathered
+                ops, pages = ops[:take], pages[:take]
+            ops_parts.append(ops)
+            pages_parts.append(pages)
+            gathered += ops.size
+            if max_requests is not None and gathered >= max_requests:
+                break
+        if not gathered:
+            raise TraceError(f"stream {self.name!r} contains no requests")
+        return Trace(
+            np.concatenate(ops_parts),
+            np.concatenate(pages_parts),
+            name=self.name,
+            write_bandwidth_mbps=self.write_bandwidth_mbps,
+        )
+
+    def close(self) -> None:
+        """Release any underlying resources (file handles)."""
+
+    def __enter__(self) -> "TraceStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        total = self.n_requests
+        size = "endless" if self.endless else (total if total is not None else "?")
+        return f"{type(self).__name__}(name={self.name!r}, requests={size})"
+
+
+class MaterializedStream(TraceStream):
+    """Streaming view over an in-RAM :class:`~repro.traces.trace.Trace`.
+
+    The adapter that keeps the legacy materialized path alive inside the
+    streaming-first pipeline: chunks are zero-copy slices of the trace's
+    arrays.  ``Trace.stream(chunk_size)`` is the ergonomic constructor.
+    """
+
+    def __init__(self, trace: "Trace", chunk_size: int = DEFAULT_CHUNK_REQUESTS):
+        if chunk_size < 1:
+            raise TraceError(f"chunk size must be positive, got {chunk_size}")
+        self._trace = trace
+        self._chunk_size = chunk_size
+        self._position = 0
+        self.name = trace.name
+        self.write_bandwidth_mbps = trace.write_bandwidth_mbps
+
+    @property
+    def n_requests(self) -> Optional[int]:
+        return self._trace.n_requests
+
+    @property
+    def trace(self) -> "Trace":
+        """The backing trace (adapter escape hatch)."""
+        return self._trace
+
+    def rewind(self) -> None:
+        self._position = 0
+
+    def next_chunk(self) -> Optional[Chunk]:
+        start = self._position
+        trace = self._trace
+        if start >= trace.n_requests:
+            return None
+        stop = min(start + self._chunk_size, trace.n_requests)
+        self._position = stop
+        return trace.ops[start:stop], trace.pages[start:stop]

@@ -1,20 +1,31 @@
-"""Trace container.
+"""Trace container (the materialized adapter of the workload pipeline).
 
 A :class:`Trace` is a finite request sequence plus the workload metadata
 the lifetime and timing models need (write bandwidth, read/write mix).
 Lifetime simulation loops the trace until a page wears out, exactly as
 the paper does with its gem5-collected traces.
+
+The canonical workload source in this repo is the *streaming* protocol
+(:class:`~repro.traces.stream.TraceStream`, see ``docs/workloads.md``);
+a ``Trace`` is its thin fully-materialized adapter, appropriate for
+small synthetic workloads and tests where holding both arrays in RAM is
+fine.  :meth:`Trace.stream` wraps a trace as a chunked stream;
+:meth:`Trace.from_stream` gathers a (finite or capped) stream back into
+a trace.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 import numpy as np
 
 from ..errors import TraceError
 from ..units import mbps_to_bytes_per_second
 from .request import MemoryRequest, OP_READ, OP_WRITE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .stream import MaterializedStream, TraceStream
 
 
 class Trace:
@@ -73,6 +84,21 @@ class Trace:
         pages_array = np.asarray(pages, dtype=np.int64)
         ops = np.full(pages_array.size, OP_WRITE, dtype=np.uint8)
         return cls(ops, pages_array, name=name, write_bandwidth_mbps=write_bandwidth_mbps)
+
+    @classmethod
+    def from_stream(
+        cls, stream: "TraceStream", max_requests: Optional[int] = None
+    ) -> "Trace":
+        """Materialize a stream (rewound; capped at ``max_requests``)."""
+        return stream.materialize(max_requests=max_requests)
+
+    def stream(self, chunk_size: Optional[int] = None) -> "MaterializedStream":
+        """This trace as a chunked :class:`TraceStream` (zero-copy views)."""
+        from .stream import DEFAULT_CHUNK_REQUESTS, MaterializedStream
+
+        return MaterializedStream(
+            self, chunk_size=chunk_size or DEFAULT_CHUNK_REQUESTS
+        )
 
     # ------------------------------------------------------------------
     # Views

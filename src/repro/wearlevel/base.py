@@ -75,6 +75,20 @@ class WearLeveler(abc.ABC):
                 f"logical page {logical} out of range [0, {self.logical_pages})"
             )
 
+    def check_logical_batch(self, seq: np.ndarray) -> None:
+        """Validate a batch of logical addresses up front.
+
+        Raises :class:`~repro.errors.AddressError` naming the first
+        out-of-range address in request order — the address the serial
+        loop would have rejected.
+        """
+        if seq.size == 0:
+            return
+        n = self.logical_pages
+        if int(seq.min()) < 0 or int(seq.max()) >= n:
+            bad = int(seq[(seq < 0) | (seq >= n)][0])
+            self.check_logical(bad)
+
     # ------------------------------------------------------------------
     # The data path
     # ------------------------------------------------------------------

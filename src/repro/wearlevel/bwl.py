@@ -29,7 +29,7 @@ distribution right after the swap and grinds the weakest frames down
 from __future__ import annotations
 
 from collections import deque
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -147,6 +147,86 @@ class BloomWearLeveling(WearLeveler):
         if self._should_swap():
             writes += self._swap_phase()
         return writes
+
+    def write_batch(self, addresses: Sequence[int]) -> np.ndarray:
+        """Batch path: scalar heuristic scan, vectorized device writes.
+
+        BWL's swap decision depends on per-write Bloom-filter state, so
+        the filter probes cannot be vectorized — but the *device* side
+        can: the scan replicates the serial per-write filter/hot/cold
+        updates purely in controller state, finds the first position
+        whose write triggers a swap, and then issues that whole
+        trigger-free prefix as one
+        :meth:`~repro.pcm.array.PCMArray.apply_batch` call plus a
+        bincount into the frame-write counters.  That moves the array
+        bookkeeping — the dominant cost at scale — off the per-write
+        path while the heuristic stays exactly the serial sequence.
+
+        Identity with the serial path: a triggering demand write that
+        wears out a page still runs its swap phase (serial
+        :meth:`write` completes before the drive loop sees the
+        failure), and a mid-segment failure truncates the batch exactly
+        where the serial loop would.  Heuristic state scanned ahead of a
+        mid-segment failure is post-failure drift only — the run is
+        over, and nothing observable (stats, wear, result) reads it.
+        """
+        seq = np.asarray(addresses, dtype=np.int64)
+        array = self.array
+        if array.failed:
+            return np.zeros(0, dtype=np.int64)
+        self.check_logical_batch(seq)
+        if seq.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        out = np.ones(seq.size, dtype=np.int64)
+        forward = self.remap.mapping_array()  # live view: current across swaps
+        frame_writes = self._frame_writes
+        logicals = seq.tolist()
+        total = int(seq.size)
+        start = 0
+        while start < total:
+            # Heuristic scan: the serial per-write controller updates up
+            # to (and including) the first swap trigger.  Aliases rebind
+            # each round — _swap_phase replaces these containers.
+            hot_filter = self.hot_filter
+            hot_set = self._hot_set
+            hot_list = self._hot_list
+            cold_set = self._cold_set
+            cold_queue = self._cold_queue
+            trigger = -1
+            stop = total
+            for index in range(start, total):
+                logical = logicals[index]
+                hot_filter.insert(logical)
+                self._detection_writes += 1
+                if logical not in hot_set:
+                    estimate = hot_filter.estimate(logical)
+                    if estimate >= self.hot_threshold:
+                        hot_set.add(logical)
+                        hot_list.append(logical)
+                        cold_set.discard(logical)
+                    elif estimate <= self.cold_threshold and logical not in cold_set:
+                        if len(cold_queue) == cold_queue.maxlen:
+                            cold_set.discard(cold_queue[0])
+                        cold_queue.append(logical)
+                        cold_set.add(logical)
+                if self._should_swap():
+                    trigger = index
+                    stop = index + 1
+                    break
+            segment_physical = forward[seq[start:stop]]
+            applied = array.apply_batch(segment_physical)
+            frame_writes += np.bincount(
+                segment_physical[:applied], minlength=frame_writes.size
+            )
+            self.demand_writes += applied
+            if applied < stop - start:
+                return out[: start + applied]
+            if trigger >= 0:
+                out[trigger] += self._swap_phase()
+                if array.failed:
+                    return out[:stop]
+            start = stop
+        return out
 
     def _should_swap(self) -> bool:
         """Swap when enough hot pages are known, bounded by phase length.

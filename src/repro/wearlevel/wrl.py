@@ -25,6 +25,8 @@ wear-rate (closest to death) frame and can then be hammered.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..config import WRLConfig
@@ -88,6 +90,64 @@ class WearRateLeveling(WearLeveler):
             self.phase = PHASE_PREDICTION
             self._phase_writes = 0
         return writes
+
+    def write_batch(self, addresses: Sequence[int]) -> np.ndarray:
+        """Vectorized batch path: segment the batch at phase boundaries.
+
+        Between phase boundaries the data path is a pure gather through
+        the remapping table, so each boundary-free run of demand writes
+        is one :meth:`~repro.pcm.array.PCMArray.apply_batch` call plus a
+        bincount into the frame-write counters and (in the prediction
+        phase) one batched WNT update.  The scalar
+        :meth:`_swap_phase` runs only at boundaries — once per
+        ``prediction_length``/``running_length`` writes.
+
+        Identity with the serial path: a boundary demand write that
+        wears out a page still completes its phase transition (serial
+        :meth:`write` runs to the end before the drive loop sees the
+        failure), and a mid-segment failure truncates the batch exactly
+        where the serial loop would have stopped.
+        """
+        seq = np.asarray(addresses, dtype=np.int64)
+        array = self.array
+        if array.failed:
+            return np.zeros(0, dtype=np.int64)
+        self.check_logical_batch(seq)
+        if seq.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        out = np.ones(seq.size, dtype=np.int64)
+        forward = self.remap.mapping_array()  # live view: current across swaps
+        frame_writes = self._frame_writes
+        total = int(seq.size)
+        start = 0
+        while start < total:
+            if self.phase == PHASE_PREDICTION:
+                room = self.prediction_length - self._phase_writes
+            else:
+                room = self.running_length - self._phase_writes
+            stop = min(total, start + room)
+            segment = seq[start:stop]
+            physical = forward[segment]
+            applied = array.apply_batch(physical)
+            frame_writes += np.bincount(physical[:applied], minlength=frame_writes.size)
+            self.demand_writes += applied
+            if self.phase == PHASE_PREDICTION:
+                self.wnt.record_write_batch(segment[:applied])
+            self._phase_writes += applied
+            if applied < stop - start:
+                return out[: start + applied]
+            if self.phase == PHASE_PREDICTION and self._phase_writes >= self.prediction_length:
+                out[stop - 1] += self._swap_phase()
+                self.phase = PHASE_RUNNING
+                self._phase_writes = 0
+            elif self.phase == PHASE_RUNNING and self._phase_writes >= self.running_length:
+                self.wnt.clear()
+                self.phase = PHASE_PREDICTION
+                self._phase_writes = 0
+            if array.failed:
+                return out[:stop]
+            start = stop
+        return out
 
     def fault_surface(self):
         """WRL's injectable SRAM state: RT and the WNT.

@@ -23,8 +23,9 @@ from repro.attacks.registry import attack_names, make_attack
 from repro.config import SoftErrorConfig
 from repro.engine import InvariantCheckObserver
 from repro.pcm.array import PCMArray
-from repro.sim.drivers import AttackDriver, TraceDriver
+from repro.sim.drivers import AttackDriver, StreamDriver, TraceDriver
 from repro.sim.lifetime import run_to_failure
+from repro.traces import OP_READ, OP_WRITE, FTLWorkloadStream
 from repro.traces.trace import Trace
 from repro.wearlevel.registry import make_scheme, scheme_names
 
@@ -127,6 +128,105 @@ def test_trace_driver_identity(scheme_name):
     assert batched == serial
     assert np.array_equal(batched_counts, serial_counts)
     assert batched_stats == serial_stats
+
+
+# --- streamed vs materialized identity -------------------------------
+#
+# The chunk-identity contract: a StreamDriver pulling a workload in
+# chunks serves exactly the write sequence the materialized TraceDriver
+# serves, so streamed runs are bit-identical to materialized runs at
+# any chunk size × batch size.  This is what allows ``chunk_size`` to
+# be excluded from the exec-layer cache fingerprint.  Scales here are
+# smaller than the attack matrix above: the matrix is scheme-wide and
+# each cell runs the workload twice.
+
+_STREAM_N_PAGES = 256
+_STREAM_ENDURANCE = 1024
+_STREAM_MAX_DEMAND = 60_000
+
+
+def _mixed_stream_trace(n_pages: int) -> Trace:
+    """A read/write mix so streamed runs exercise the op filter."""
+    rng = np.random.default_rng(7)
+    n_requests = 4000
+    ops = np.where(rng.random(n_requests) < 0.75, OP_WRITE, OP_READ).astype(np.uint8)
+    pages = rng.integers(0, n_pages, size=n_requests)
+    return Trace(ops, pages, name="synthetic")
+
+
+def _run_stream_trace(scheme_name, chunk_size, batch_size):
+    array = PCMArray.uniform(_STREAM_N_PAGES, _STREAM_ENDURANCE)
+    scheme = make_scheme(scheme_name, array, seed=11)
+    trace = _mixed_stream_trace(scheme.logical_pages)
+    if chunk_size is None:
+        driver = TraceDriver(trace, scheme.logical_pages)
+    else:
+        driver = StreamDriver(trace.stream(chunk_size), scheme.logical_pages)
+    result = run_to_failure(
+        scheme,
+        driver,
+        max_demand=_STREAM_MAX_DEMAND,
+        require_failure=False,
+        batch_size=batch_size,
+    )
+    return result, array.write_counts(), scheme.stats()
+
+
+@pytest.mark.parametrize("scheme_name", scheme_names())
+def test_streamed_identical_to_materialized(scheme_name):
+    serial, serial_counts, serial_stats = _run_stream_trace(
+        scheme_name, chunk_size=None, batch_size=1
+    )
+    streamed, streamed_counts, streamed_stats = _run_stream_trace(
+        scheme_name, chunk_size=97, batch_size=_BATCH_SIZE
+    )
+    assert streamed == serial
+    assert np.array_equal(streamed_counts, serial_counts)
+    assert streamed_stats == serial_stats
+
+
+@pytest.mark.parametrize("chunk_size", [1, 63, 64, 65])
+def test_stream_chunk_boundaries_around_batch_size(chunk_size):
+    """Chunk sizes at and astride the batch size (64) change nothing.
+
+    Chunk 1 forces a short batch at every engine step; 63/65 misalign
+    every chunk boundary against the batch boundary."""
+    serial, serial_counts, serial_stats = _run_stream_trace(
+        "twl", chunk_size=None, batch_size=1
+    )
+    streamed, streamed_counts, streamed_stats = _run_stream_trace(
+        "twl", chunk_size=chunk_size, batch_size=_BATCH_SIZE
+    )
+    assert streamed == serial
+    assert np.array_equal(streamed_counts, serial_counts)
+    assert streamed_stats == serial_stats
+
+
+def _run_ftl(scheme_name, chunk_size, batch_size):
+    array = PCMArray.uniform(_STREAM_N_PAGES, _STREAM_ENDURANCE)
+    scheme = make_scheme(scheme_name, array, seed=11)
+    stream = FTLWorkloadStream(scheme.logical_pages, seed=11, chunk_size=chunk_size)
+    result = run_to_failure(
+        scheme,
+        StreamDriver(stream, scheme.logical_pages),
+        max_demand=_STREAM_MAX_DEMAND,
+        require_failure=False,
+        batch_size=batch_size,
+    )
+    return result, array.write_counts(), scheme.stats()
+
+
+@pytest.mark.parametrize("scheme_name", ["sr", "wrl", "bwl", "twl"])
+def test_ftl_stream_chunk_and_batch_invariance(scheme_name):
+    """The endless FTL generator has no materialized counterpart, so
+    its identity contract is stated across execution knobs: any
+    (chunk_size, batch_size) pair yields the same run."""
+    reference = _run_ftl(scheme_name, chunk_size=512, batch_size=1)
+    for chunk_size, batch_size in ((97, 64), (4096, 256)):
+        other = _run_ftl(scheme_name, chunk_size, batch_size)
+        assert other[0] == reference[0]
+        assert np.array_equal(other[1], reference[1])
+        assert other[2] == reference[2]
 
 
 def test_adaptive_attack_degrades_to_per_write_batches():

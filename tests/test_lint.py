@@ -1,6 +1,6 @@
 """Tests for the determinism lint pass and the runtime sanitizer.
 
-Covers ``repro.devtools.lint`` (rules TWL001–TWL006, pragma
+Covers ``repro.devtools.lint`` (rules TWL001–TWL007, pragma
 suppression, the full-tree-clean invariant) and
 ``repro.devtools.sanitize`` (global-RNG booby traps armed inside
 engine stepping and cell runs, disarmed elsewhere).
@@ -242,6 +242,62 @@ class TestRuleTWL006ScalarHotLoop:
             assert lint_file(module.__file__) == []
 
 
+class TestRuleTWL007Materialization:
+    MODULE = "repro.sim.example"
+
+    def test_materialize_call_flagged_in_streaming_hot_path(self):
+        source = "def f(stream):\n    return stream.materialize()\n"
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL007"}
+
+    def test_write_page_list_flagged(self):
+        source = "def f(trace):\n    return trace.write_page_list()\n"
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL007"}
+
+    def test_load_trace_flagged(self):
+        source = (
+            "from repro.traces import load_trace\n"
+            "def f(path):\n    return load_trace(path)\n"
+        )
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL007"}
+
+    def test_engine_modules_also_covered(self):
+        source = "def f(stream):\n    return stream.materialize()\n"
+        out = lint_source(source, module="repro.engine.core")
+        assert _rules(out) == {"TWL007"}
+
+    def test_chunked_iteration_clean(self):
+        source = (
+            "def f(stream):\n"
+            "    for ops, pages in stream.chunks():\n"
+            "        pass\n"
+        )
+        assert lint_source(source, module=self.MODULE) == []
+
+    def test_rule_scoped_to_streaming_hot_paths(self):
+        source = "def f(stream):\n    return stream.materialize()\n"
+        assert lint_source(source, module="repro.traces.text_format") == []
+        assert lint_source(source, module="repro.exec.cells") == []
+
+    def test_reasoned_pragma_suppresses(self):
+        source = (
+            "def f(trace):\n"
+            "    return trace.write_page_list()  "
+            "# twl: allow(TWL007) reason=materialized adapter\n"
+        )
+        assert lint_source(source, module=self.MODULE) == []
+
+    def test_pragma_without_reason_does_not_suppress(self):
+        source = (
+            "def f(trace):\n"
+            "    return trace.write_page_list()  # twl: allow(TWL007)\n"
+        )
+        out = lint_source(source, module=self.MODULE)
+        assert _rules(out) == {"TWL007"}
+
+
 class TestRuleTWL005DunderAll:
     def test_undefined_name_flagged(self):
         out = _lint('__all__ = ["missing"]\n')
@@ -279,7 +335,7 @@ class TestInfrastructure:
         violation = Violation("x.py", 3, 7, "TWL001", "boom")
         assert violation.format() == "x.py:3:7: TWL001 boom"
 
-    def test_rules_table_covers_all_six(self):
+    def test_rules_table_covers_all_rules(self):
         assert set(RULES) == {
             "TWL001",
             "TWL002",
@@ -287,6 +343,7 @@ class TestInfrastructure:
             "TWL004",
             "TWL005",
             "TWL006",
+            "TWL007",
         }
 
 
