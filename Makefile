@@ -1,6 +1,6 @@
 # Convenience targets for the TWL reproduction.
 
-.PHONY: install test lint typecheck bench bench-quick bench-trajectory quick-parallel quick-resilient quick-sanitized quick-softerrors quick-stream examples report clean
+.PHONY: install test lint typecheck bench bench-quick bench-trajectory quick-parallel quick-resilient quick-sanitized quick-softerrors quick-stream quick-chaos examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -82,6 +82,21 @@ quick-softerrors:
 quick-stream:
 	PYTHONPATH=src python -m repro.cli stream --quick --no-cache
 	PYTHONPATH=src python benchmarks/stream_rss_check.py
+
+# Smoke the crash-consistency layer end-to-end: a deterministic mid-run
+# SIGKILL takes a worker down after 50k demand writes, the pool
+# rebuilds, and the killed cell resumes from its last committed
+# snapshot — all under the runtime determinism sanitizer, with results
+# bit-identical to an uninterrupted campaign (see docs/robustness.md;
+# the per-scheme matrix is tests/test_snapshot_identity.py and the
+# subprocess SIGKILL proof is tests/test_resilience.py).
+quick-chaos:
+	STATE=$$(mktemp -d) && CACHE=$$(mktemp -d) && \
+	REPRO_FAULTS="{\"mode\": \"kill\", \"rate\": 1.0, \"times\": 1, \"max_total\": 1, \"kill_at_demand\": 50000, \"state_dir\": \"$$STATE\"}" \
+	REPRO_SANITIZE=1 \
+	PYTHONPATH=src python -m repro.cli stream --quick --jobs 2 \
+		--cache-dir "$$CACHE" --snapshot-every 20000 \
+		--resume "$$STATE/manifest.jsonl"
 
 examples:
 	python examples/quickstart.py

@@ -47,6 +47,22 @@ class AttackWorkload(abc.ABC):
             (next_write() for _ in range(n)), dtype=np.int64, count=n
         )
 
+    def snapshot(self) -> dict:
+        """Full mutable state: base counter plus the subclass hook."""
+        return {"attack": self._snapshot_state(), "writes_emitted": self.writes_emitted}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        self.writes_emitted = int(state["writes_emitted"])
+        self._restore_state(state["attack"])
+
+    def _snapshot_state(self) -> dict:
+        """Subclass hook: attack-specific mutable state (default none)."""
+        return {}
+
+    def _restore_state(self, state: dict) -> None:
+        """Subclass hook mirroring :meth:`_snapshot_state`."""
+
     def observe_response(self, latency_cycles: float) -> None:
         """Feed back the measured response time of the last request.
 

@@ -26,6 +26,20 @@ class SwapDetector:
         self._baseline = 0.0
         self.detections = 0
 
+    def snapshot(self) -> dict:
+        """Learned baseline and counters (mid-run persistence)."""
+        return {
+            "baseline": self._baseline,
+            "detections": self.detections,
+            "samples": self._samples,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        self._baseline = float(state["baseline"])
+        self.detections = int(state["detections"])
+        self._samples = int(state["samples"])
+
     def observe(self, latency_cycles: float) -> bool:
         """Record one response time; True when a swap is detected.
 

@@ -148,6 +148,34 @@ class InconsistentWriteAttack(AttackWorkload):
         return self._period_estimate
 
     # ------------------------------------------------------------------
+    # Mid-run persistence
+    # ------------------------------------------------------------------
+    def _snapshot_state(self) -> dict:
+        return {
+            "cursor": self._cursor,
+            "detector": self.detector.snapshot(),
+            "flip_pending": self._flip_pending,
+            "pass_schedule": list(self._pass_schedule),
+            "period_estimate": self._period_estimate,
+            "reversals": self.reversals,
+            "reversed": self._reversed,
+            "writes_since_flip": self._writes_since_flip,
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        # The pass schedule is stored rather than rebuilt: it was
+        # materialized from the period estimate *at flip time*, which a
+        # later EMA update has since moved past.
+        self._cursor = int(state["cursor"])
+        self.detector.restore(state["detector"])
+        self._flip_pending = bool(state["flip_pending"])
+        self._pass_schedule = [int(page) for page in state["pass_schedule"]]
+        self._period_estimate = float(state["period_estimate"])
+        self.reversals = int(state["reversals"])
+        self._reversed = bool(state["reversed"])
+        self._writes_since_flip = int(state["writes_since_flip"])
+
+    # ------------------------------------------------------------------
     # Write stream
     # ------------------------------------------------------------------
     def next_write(self) -> int:

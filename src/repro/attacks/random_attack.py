@@ -22,5 +22,11 @@ class RandomWriteAttack(AttackWorkload):
         super().__init__(n_pages)
         self._rng = XorShift32((derive_seed(seed, "attack-random") % 0xFFFF_FFFE) + 1)
 
+    def _snapshot_state(self) -> dict:
+        return {"rng": self._rng.snapshot()}
+
+    def _restore_state(self, state: dict) -> None:
+        self._rng.restore(state["rng"])
+
     def next_write(self) -> int:
         return self._emit(self._rng.next_below(self.n_pages))

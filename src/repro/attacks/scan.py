@@ -24,6 +24,12 @@ class ScanWriteAttack(AttackWorkload):
             raise ValueError(f"start {start} out of range [0, {n_pages})")
         self._next = start
 
+    def _snapshot_state(self) -> dict:
+        return {"next": self._next}
+
+    def _restore_state(self, state: dict) -> None:
+        self._next = int(state["next"])
+
     def next_write(self) -> int:
         current = self._next
         self._next += 1

@@ -58,6 +58,20 @@ class CountingBloomFilter:
             raise ValueError("threshold must be >= 1")
         return self.estimate(key) >= threshold
 
+    def snapshot(self) -> dict:
+        """Counters plus the insert total (the hash family is derivable)."""
+        return {"counters": list(self._counters), "inserted": self.inserted}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        counters = [int(value) for value in state["counters"]]
+        if len(counters) != self.bits:
+            raise ConfigError(
+                f"snapshot holds {len(counters)} counters, filter has {self.bits}"
+            )
+        self._counters = counters
+        self.inserted = int(state["inserted"])
+
     def clear(self) -> None:
         """Reset all counters (done at each phase boundary in BWL)."""
         self._counters = [0] * self.bits

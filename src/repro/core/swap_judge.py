@@ -49,6 +49,15 @@ class SwapJudge:
         self.direct = 0
         self.swapped = 0
 
+    def snapshot(self) -> dict:
+        """Decision counters (mid-run persistence)."""
+        return {"direct": self.direct, "swapped": self.swapped}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        self.direct = int(state["direct"])
+        self.swapped = int(state["swapped"])
+
     def judge(self, addr_write: int, addr_choose: int, addr_not_choose: int) -> WritePlan:
         """Plan the write given the toss-up's chosen frame.
 

@@ -38,6 +38,20 @@ class TossUp:
         self.decisions = 0
         self.chose_a = 0
 
+    def snapshot(self) -> dict:
+        """RNG registers plus decision counters (mid-run persistence)."""
+        return {
+            "chose_a": self.chose_a,
+            "decisions": self.decisions,
+            "rng": self.rng.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        self.chose_a = int(state["chose_a"])
+        self.decisions = int(state["decisions"])
+        self.rng.restore(state["rng"])
+
     def choose_a(self, endurance_a: int, endurance_b: int) -> bool:
         """True when the toss-up selects page A for the write."""
         threshold = toss_up_threshold(endurance_a, endurance_b, self.rng_bits)

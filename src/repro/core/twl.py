@@ -421,6 +421,35 @@ class TossUpWearLeveling(WearLeveler):
         return 2
 
     # ------------------------------------------------------------------
+    # Mid-run persistence
+    # ------------------------------------------------------------------
+    def _snapshot_state(self):
+        # The endurance table is format-time ROM (derivable from the
+        # array); everything else the engine mutates is captured here.
+        return {
+            "inter_pair_swaps": self.inter_pair_swaps,
+            "interpair_counter": self._interpair_counter,
+            "pair_table": self.pair_table.snapshot(),
+            "remap": self.remap.snapshot(),
+            "swap_judge": self.swap_judge.snapshot(),
+            "toss_up": self.toss_up.snapshot(),
+            "toss_up_activations": self.toss_up_activations,
+            "victim_rng": self._victim_rng.snapshot(),
+            "write_counters": self.write_counters.snapshot(),
+        }
+
+    def _restore_state(self, state):
+        self.inter_pair_swaps = int(state["inter_pair_swaps"])
+        self._interpair_counter = int(state["interpair_counter"])
+        self.pair_table.restore(state["pair_table"])
+        self.remap.restore(state["remap"])
+        self.swap_judge.restore(state["swap_judge"])
+        self.toss_up.restore(state["toss_up"])
+        self.toss_up_activations = int(state["toss_up_activations"])
+        self._victim_rng.restore(state["victim_rng"])
+        self.write_counters.restore(state["write_counters"])
+
+    # ------------------------------------------------------------------
     # Fault surface
     # ------------------------------------------------------------------
     def fault_surface(self):

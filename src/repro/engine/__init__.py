@@ -8,7 +8,12 @@
 * :mod:`repro.engine.invariants` — :class:`InvariantCheckObserver`,
   runtime verification of wear-leveler state invariants (RT
   bijectivity, write-count conservation, ET immutability, SWPT
-  validity) raising :class:`repro.errors.InvariantViolation`.
+  validity) raising :class:`repro.errors.InvariantViolation`;
+* :mod:`repro.engine.snapshot` — the versioned, CRC-guarded mid-run
+  snapshot container and :class:`SnapshotPlan` (sub-cell recovery,
+  ``docs/robustness.md``);
+* :mod:`repro.engine.interrupt` — the fault harness's kill-at-demand
+  arming point, honored by the engine step loop.
 """
 
 from .core import DEFAULT_CHUNK_DEMAND, EngineOutcome, SimulationEngine
@@ -19,6 +24,14 @@ from .observers import (
     SchemeOverheads,
     SchemeOverheadsObserver,
     WearTimelineObserver,
+)
+from .snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SNAPSHOT_MAGIC,
+    SnapshotPlan,
+    discard_snapshot,
+    read_snapshot,
+    write_snapshot,
 )
 
 __all__ = [
@@ -31,4 +44,10 @@ __all__ = [
     "SchemeOverheads",
     "SchemeOverheadsObserver",
     "WearTimelineObserver",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SNAPSHOT_MAGIC",
+    "SnapshotPlan",
+    "discard_snapshot",
+    "read_snapshot",
+    "write_snapshot",
 ]

@@ -38,9 +38,11 @@ from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 from ..config import TimingConfig
 from ..devtools import sanitize
-from ..errors import DeterminismViolation, SimulationError
+from ..errors import DeterminismViolation, SimulationError, SnapshotError
 from ..pcm.faults import FirstFailure
+from . import interrupt
 from .observers import BatchSnapshot, EngineObserver
+from .snapshot import SnapshotPlan, write_snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..pcm.softerrors import SoftErrorInjector
@@ -99,6 +101,13 @@ class SimulationEngine:
         index), and due flips are delivered after the step before
         observers see the snapshot — which keeps batched runs
         bit-identical to serial runs under nonzero fault rates.
+    snapshots:
+        Optional :class:`repro.engine.snapshot.SnapshotPlan`.  With a
+        demand cadence (``every``), steps are clamped so snapshots land
+        on exact absolute demand indices; with a time cadence
+        (``seconds`` plus an injected clock) they land at whatever step
+        boundary the interval elapses.  Emission is inert: it never
+        changes what a run computes, only when its state hits disk.
     """
 
     def __init__(
@@ -110,6 +119,7 @@ class SimulationEngine:
         timing: TimingConfig = TimingConfig(),
         chunk_demand: int = DEFAULT_CHUNK_DEMAND,
         soft_errors: Optional["SoftErrorInjector"] = None,
+        snapshots: Optional[SnapshotPlan] = None,
     ) -> None:
         if batch_size < 1:
             raise SimulationError(f"batch size must be positive, got {batch_size}")
@@ -132,6 +142,14 @@ class SimulationEngine:
         self.batches = 0
         #: Simulated time spent serving those writes, in cycles.
         self.simulated_cycles = 0.0
+        self._snapshots = snapshots
+        #: Snapshot files emitted by this engine instance.
+        self.snapshots_written = 0
+        self._last_snapshot_clock: Optional[float] = (
+            snapshots.clock()
+            if snapshots is not None and snapshots.clock is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Observer management
@@ -202,6 +220,9 @@ class SimulationEngine:
         batched = self.batch_size > 1
         write_cycles = float(self.timing.write_cycles)
         served_total = 0
+        plan = self._snapshots
+        cadence = plan.every if plan is not None else None
+        kill_at = interrupt.armed_kill_at()
         while served_total < max_demand and not array.failed:
             quota = max_demand - served_total
             if injector is not None:
@@ -210,6 +231,16 @@ class SimulationEngine:
                 # delivery point is then the same for every batch size,
                 # extending the batch-identity contract to faulted runs.
                 quota = min(quota, injector.demand_until_next(self.demand_served))
+            if cadence is not None:
+                # Same clamp for the snapshot cadence: snapshots land on
+                # exact absolute demand indices (multiples of ``every``),
+                # so a resumed run re-enters the identical step sequence.
+                boundary = (self.demand_served // cadence + 1) * cadence
+                quota = min(quota, boundary - self.demand_served)
+            if kill_at is not None and kill_at > self.demand_served:
+                # Fault-harness kill point: die exactly at the armed
+                # demand index, never mid-batch.
+                quota = min(quota, kill_at - self.demand_served)
             device_before = array.total_writes
             if batched:
                 addresses = driver.next_batch(min(self.batch_size, quota))
@@ -246,7 +277,80 @@ class SimulationEngine:
                     scheme=scheme,
                 )
                 self._notify("on_batch", snapshot)
+            if plan is not None:
+                due = (
+                    cadence is not None and self.demand_served % cadence == 0
+                )
+                if not due and plan.seconds is not None:
+                    now = plan.clock()
+                    if now - self._last_snapshot_clock >= plan.seconds:
+                        self._last_snapshot_clock = now
+                        due = True
+                if due:
+                    self.emit_snapshot()
+            if kill_at is not None and self.demand_served >= kill_at:
+                # The snapshot (if due at this boundary) is already on
+                # disk: a crash-consistent process death.
+                interrupt.deliver_kill()
         return served_total
+
+    # ------------------------------------------------------------------
+    # Mid-run persistence
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Complete engine state as a plain state tree.
+
+        Everything a resume needs: the engine counters, the array's wear
+        state, the scheme's tables/RNG registers, the driver's stream
+        position, and (when soft errors are active) the injector's
+        schedule position.  Restoring this tree into a freshly
+        constructed engine of the same configuration reproduces the
+        run's future bit-exactly.
+        """
+        state: dict = {
+            "array": self.scheme.array.snapshot(),
+            "batches": self.batches,
+            "demand_served": self.demand_served,
+            "driver": self.driver.snapshot(),
+            "scheme": self.scheme.snapshot(),
+            "simulated_cycles": self.simulated_cycles,
+        }
+        if self._soft_errors is not None:
+            state["soft_errors"] = self._soft_errors.snapshot()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot_state`.
+
+        Must run on a freshly constructed engine: the injector's
+        reload-style repair hooks capture architectural register values
+        at construction, so the scheme is restored only *after* every
+        construction-time capture has happened.
+        """
+        has_injector = self._soft_errors is not None
+        if has_injector != ("soft_errors" in state):
+            raise SnapshotError(
+                "snapshot/engine soft-error configuration mismatch: "
+                f"snapshot {'has' if 'soft_errors' in state else 'lacks'} "
+                "injector state"
+            )
+        self.scheme.array.restore(state["array"])  # type: ignore[arg-type]
+        self.scheme.restore(state["scheme"])  # type: ignore[arg-type]
+        self.driver.restore(state["driver"])  # type: ignore[arg-type]
+        if self._soft_errors is not None:
+            self._soft_errors.restore(state["soft_errors"])  # type: ignore[arg-type]
+        self.batches = int(state["batches"])  # type: ignore[arg-type]
+        self.demand_served = int(state["demand_served"])  # type: ignore[arg-type]
+        self.simulated_cycles = float(state["simulated_cycles"])  # type: ignore[arg-type]
+
+    def emit_snapshot(self) -> str:
+        """Atomically write the current state to the plan's path."""
+        plan = self._snapshots
+        if plan is None:
+            raise SimulationError("engine has no snapshot plan")
+        write_snapshot(plan.path, self.snapshot_state(), meta=plan.meta)
+        self.snapshots_written += 1
+        return plan.path
 
     # ------------------------------------------------------------------
     # Run orchestration

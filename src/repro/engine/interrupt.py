@@ -1,0 +1,46 @@
+"""Mid-run kill arming for the fault harness.
+
+The PR 3 fault layer (:mod:`repro.exec.faults`) injects failures at the
+*cell* boundary; proving crash consistency of mid-run snapshots needs a
+kill at an exact **demand-write index** inside the engine loop.  This
+module is the hand-off point: the fault layer arms an index at worker
+entry, the engine clamps its step quota so a step boundary lands exactly
+on that index, and then delivers ``SIGKILL`` to itself — an un-catchable
+death at a deterministic instant, for any batch size.
+
+Lives in :mod:`repro.engine` (not :mod:`repro.exec`) so the engine can
+consult it without importing the executor layer; the module holds a
+single process-local value and nothing else.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Optional
+
+_armed_at: Optional[int] = None
+
+
+def arm_kill_at(demand_index: int) -> None:
+    """Arm a SIGKILL at the given absolute demand-write index."""
+    global _armed_at
+    if demand_index < 0:
+        raise ValueError(f"kill index must be non-negative, got {demand_index}")
+    _armed_at = demand_index
+
+
+def armed_kill_at() -> Optional[int]:
+    """The armed demand index, or None when no kill is pending."""
+    return _armed_at
+
+
+def clear() -> None:
+    """Disarm any pending kill (used by tests and between cells)."""
+    global _armed_at
+    _armed_at = None
+
+
+def deliver_kill() -> None:
+    """Kill the current process, un-catchably, right now."""
+    os.kill(os.getpid(), signal.SIGKILL)

@@ -52,6 +52,17 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent state."""
 
 
+class SnapshotError(ReproError):
+    """A mid-run snapshot file is malformed, truncated or mismatched.
+
+    Raised by :mod:`repro.engine.snapshot` when a snapshot container
+    fails its magic/version/CRC validation, or when a snapshot's
+    recorded identity (scheme, page count) does not match the run it is
+    being restored into.  A corrupt snapshot never silently resumes: the
+    caller falls back to recomputing the cell from scratch.
+    """
+
+
 class ExtrapolationError(ReproError):
     """Fast-forward lifetime extrapolation could not converge."""
 

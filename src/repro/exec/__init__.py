@@ -36,6 +36,7 @@ from .cells import (
     CellResult,
     ExperimentCell,
     attack_cell,
+    cell_snapshot_path,
     overheads_cell,
     run_cell,
     stream_cell,
@@ -74,6 +75,7 @@ __all__ = [
     "CellResult",
     "ExperimentCell",
     "attack_cell",
+    "cell_snapshot_path",
     "overheads_cell",
     "run_cell",
     "stream_cell",

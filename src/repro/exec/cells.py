@@ -41,6 +41,7 @@ from typing import Dict, Optional, Union
 
 from ..config import ScaledArrayConfig, SoftErrorConfig
 from ..devtools import sanitize
+from ..engine import SnapshotPlan, discard_snapshot
 from ..errors import ConfigError
 from ..sim.drivers import TraceDriver
 from ..traces.trace import Trace
@@ -127,6 +128,16 @@ class ExperimentCell:
     #: chunk segmentation only changes delivery granularity, never the
     #: request sequence, so results are bit-identical at any value.
     chunk_size: int = DEFAULT_CHUNK_REQUESTS
+    #: Mid-run snapshot cadence in demand writes (0 = disabled).  An
+    #: execution knob: snapshot emission is inert and a resumed run is
+    #: bit-identical to an uninterrupted one (sub-cell recovery,
+    #: ``docs/robustness.md``), so the cached result is valid at any
+    #: cadence.  Ignored by ``overheads`` cells (bounded short drives).
+    snapshot_every: int = 0
+    #: Directory for this cell's snapshot file (named by the cell
+    #: fingerprint).  An execution knob like the cadence; both must be
+    #: set for checkpointing to arm.
+    snapshot_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -146,6 +157,10 @@ class ExperimentCell:
             )
         if self.trace_path is not None and self.kind != KIND_STREAM:
             raise ConfigError(f"{self.kind} cells do not take trace_path")
+        if self.snapshot_every < 0:
+            raise ConfigError(
+                f"snapshot cadence must be non-negative, got {self.snapshot_every}"
+            )
 
     def describe(self) -> str:
         """Human-readable identity: ``twl_swp×scan seed=2017``."""
@@ -335,7 +350,46 @@ def run_cell(cell: ExperimentCell) -> CellResult:
         return _run_cell_inner(cell)
 
 
+def cell_snapshot_path(cell: ExperimentCell) -> Optional[str]:
+    """Where this cell's mid-run snapshot lives, if checkpointing is on.
+
+    Named by the cell fingerprint so a resumed process finds exactly the
+    snapshot of the experiment it is about to re-run — and never one of
+    a different spec (execution knobs excluded: re-running at a
+    different ``batch_size`` still resumes).
+    """
+    if cell.snapshot_every < 1 or cell.snapshot_dir is None:
+        return None
+    from .hashing import cell_fingerprint
+
+    return os.path.join(cell.snapshot_dir, f"{cell_fingerprint(cell)}.snap")
+
+
+def _snapshot_plan(cell: ExperimentCell) -> Optional[SnapshotPlan]:
+    path = cell_snapshot_path(cell)
+    if path is None or cell.kind == KIND_OVERHEADS:
+        return None
+    os.makedirs(cell.snapshot_dir, exist_ok=True)  # type: ignore[arg-type]
+    # strict=False: a torn snapshot (the atomic-rename protocol makes
+    # this mean disk corruption, not a crashed writer) falls back to a
+    # fresh run instead of permanently wedging the cell.
+    return SnapshotPlan(
+        path=path, every=cell.snapshot_every, resume=True, strict=False
+    )
+
+
 def _run_cell_inner(cell: ExperimentCell) -> CellResult:
+    plan = _snapshot_plan(cell)
+    result = _dispatch_cell(cell, plan)
+    if plan is not None:
+        # The run completed: its snapshot is spent state, not cache.
+        discard_snapshot(plan.path)
+    return result
+
+
+def _dispatch_cell(
+    cell: ExperimentCell, snapshots: Optional[SnapshotPlan]
+) -> CellResult:
     if cell.kind == KIND_ATTACK:
         return measure_attack_lifetime(
             cell.scheme,
@@ -347,6 +401,7 @@ def _run_cell_inner(cell: ExperimentCell) -> CellResult:
             batch_size=cell.batch_size,
             soft_errors=cell.soft_errors,
             check_invariants=cell.check_invariants,
+            snapshots=snapshots,
         )
     if cell.kind == KIND_STREAM:
         return measure_stream_lifetime(
@@ -358,6 +413,7 @@ def _run_cell_inner(cell: ExperimentCell) -> CellResult:
             batch_size=cell.batch_size,
             soft_errors=cell.soft_errors,
             check_invariants=cell.check_invariants,
+            snapshots=snapshots,
         )
     if cell.kind == KIND_TRACE:
         return measure_trace_lifetime(
@@ -369,6 +425,7 @@ def _run_cell_inner(cell: ExperimentCell) -> CellResult:
             batch_size=cell.batch_size,
             soft_errors=cell.soft_errors,
             check_invariants=cell.check_invariants,
+            snapshots=snapshots,
         )
     # KIND_OVERHEADS — mirror experiments.fig9.measure_overheads.
     trace = _benchmark_trace(cell)

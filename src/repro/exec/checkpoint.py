@@ -45,6 +45,13 @@ JOURNAL_FORMAT_VERSION = 1
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
 
+#: Journal size (bytes) past which opening auto-compacts.  Long
+#: retry-heavy campaigns append a ``failed`` line per exhausted cell
+#: and a ``done`` line per eventual success; only the latest record per
+#: fingerprint matters on load, so everything else is dead weight read
+#: and skipped on every open.
+DEFAULT_COMPACT_BYTES = 1 << 20
+
 
 class CheckpointJournal:
     """Append-only JSONL manifest of completed/failed campaign cells.
@@ -56,7 +63,9 @@ class CheckpointJournal:
     callers can report how much work the journal saved.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self, path: str, compact_bytes: Optional[int] = DEFAULT_COMPACT_BYTES
+    ) -> None:
         self.path = path
         self._done: Dict[str, CellResult] = {}
         self._failed: Dict[str, str] = {}
@@ -73,6 +82,13 @@ class CheckpointJournal:
             )
         self._load()
         self.resumed = len(self._done)
+        if compact_bytes is not None:
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                size = 0
+            if size >= compact_bytes:
+                self.compact()
 
     def _load(self) -> None:
         try:
@@ -110,6 +126,70 @@ class CheckpointJournal:
             elif status == STATUS_FAILED:
                 if fingerprint not in self._done:
                     self._failed[fingerprint] = str(record.get("error", ""))
+
+    def compact(self) -> int:
+        """Rewrite the journal keeping the winning record per fingerprint.
+
+        The load rules (``done`` beats ``failed``; among ``done`` lines
+        the last wins) mean every superseded line is pure read-and-skip
+        overhead on subsequent opens.  This rewrites the file to exactly
+        one record per fingerprint — the one ``_load`` would keep — in
+        sorted fingerprint order, via the atomic tmp-then-rename
+        protocol, and returns how many lines were dropped.  Garbage
+        lines (truncated, wrong format) are dropped too; they carry no
+        resumable state.  A no-op (0 returned, file untouched) when
+        nothing would be dropped.
+        """
+        try:
+            with open(self.path) as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return 0
+        survivors: Dict[str, Dict] = {}
+        total = 0
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            total += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if record.get("format") != JOURNAL_FORMAT_VERSION:
+                continue
+            fingerprint = record.get("fingerprint")
+            if not isinstance(fingerprint, str):
+                continue
+            status = record.get("status")
+            if status == STATUS_DONE:
+                survivors[fingerprint] = record
+            elif status == STATUS_FAILED:
+                kept = survivors.get(fingerprint)
+                if kept is None or kept.get("status") != STATUS_DONE:
+                    survivors[fingerprint] = record
+        dropped = total - len(survivors)
+        if dropped <= 0:
+            return 0
+        tmp = f"{self.path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w") as handle:
+                for fingerprint in sorted(survivors):
+                    handle.write(
+                        json.dumps(survivors[fingerprint], sort_keys=True) + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return dropped
 
     def _append(self, record: Dict) -> None:
         line = json.dumps(record, sort_keys=True) + "\n"

@@ -56,6 +56,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..engine import discard_snapshot
+from ..engine import interrupt as engine_interrupt
 from ..errors import (
     CampaignError,
     CellExecutionError,
@@ -63,7 +65,7 @@ from ..errors import (
     error_context,
 )
 from .cache import CellCache
-from .cells import CellResult, ExperimentCell, run_cell
+from .cells import CellResult, ExperimentCell, cell_snapshot_path, run_cell
 from .checkpoint import CheckpointJournal
 from .faults import maybe_inject
 from .hashing import cell_fingerprint
@@ -161,9 +163,22 @@ def _execute_one(
     try:
         try:
             with error_context(f"cell {cell.describe()}", CellExecutionError):
+                # Pool workers are reused across cells: a kill armed for
+                # a previous cell (but never reached) must not leak.
+                engine_interrupt.clear()
                 maybe_inject(cell)
                 return run_cell(cell)
         except _TimeoutAlarm:
+            # A timed-out cell abandons its run: any snapshot it emitted
+            # (plus stray atomic-write temp files) is dead state that
+            # would otherwise leak into the cache directory — and worse,
+            # seed a *resume* of a run we just declared over-budget.
+            snapshot = cell_snapshot_path(cell)
+            if snapshot is not None:
+                try:
+                    discard_snapshot(snapshot)
+                except OSError:
+                    pass
             raise CellTimeoutError(
                 f"cell {cell.describe()} timed out after {timeout:.6g}s wall-clock"
             ) from None
@@ -432,7 +447,8 @@ def run_setup_cells(
     """Run cells under an :class:`~repro.experiments.setups.ExperimentSetup`.
 
     Reads the setup's ``jobs``, ``cache_dir``, ``batch_size``,
-    ``failure`` and ``resume`` fields — the single integration point
+    ``snapshot_every``, ``failure`` and ``resume`` fields — the single
+    integration point
     through which every figure/ablation module gets parallelism,
     caching, the batched write protocol and the failure policy (cells
     that do not pin their own ``batch_size`` inherit the setup's).  A
@@ -448,6 +464,17 @@ def run_setup_cells(
     if batch_size > 1:
         cells = [
             replace(cell, batch_size=batch_size) if cell.batch_size == 1 else cell
+            for cell in cells
+        ]
+    snapshot_every = getattr(setup, "snapshot_every", 0)
+    snapshot_dir = getattr(setup, "cache_dir", None)
+    if snapshot_every > 0 and snapshot_dir:
+        # Snapshots live next to the cache entries they protect; cells
+        # that pin their own cadence keep it.
+        cells = [
+            replace(cell, snapshot_every=snapshot_every, snapshot_dir=snapshot_dir)
+            if cell.snapshot_every == 0
+            else cell
             for cell in cells
         ]
     if progress is None and len(cells) <= 1:

@@ -95,6 +95,12 @@ class FaultPlan:
     #: ``transient`` plans, wrong for ``kill`` (the marker must outlive
     #: the worker).
     state_dir: Optional[str] = None
+    #: ``kill`` mode refinement: instead of dying at worker entry, arm
+    #: :mod:`repro.engine.interrupt` so the engine SIGKILLs the process
+    #: exactly when the run reaches this absolute demand-write index —
+    #: mid-run, after any snapshots due by then are on disk.  The
+    #: crash-consistency proof point (``tests/test_resilience.py``).
+    kill_at_demand: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -105,6 +111,15 @@ class FaultPlan:
             raise ConfigError(f"fault times must be >= 1, got {self.times}")
         if self.max_total is not None and self.max_total < 1:
             raise ConfigError(f"fault max_total must be >= 1, got {self.max_total}")
+        if self.kill_at_demand is not None:
+            if self.mode != MODE_KILL:
+                raise ConfigError(
+                    f"kill_at_demand only applies to {MODE_KILL!r} plans"
+                )
+            if self.kill_at_demand < 1:
+                raise ConfigError(
+                    f"kill_at_demand must be >= 1, got {self.kill_at_demand}"
+                )
 
     def selects(self, fingerprint: str) -> bool:
         """Whether this plan targets the cell with ``fingerprint``."""
@@ -123,6 +138,8 @@ class FaultPlan:
             record["max_total"] = self.max_total
         if self.state_dir is not None:
             record["state_dir"] = self.state_dir
+        if self.kill_at_demand is not None:
+            record["kill_at_demand"] = self.kill_at_demand
         return json.dumps(record)
 
 
@@ -205,6 +222,14 @@ def maybe_inject(cell: "ExperimentCell") -> None:
         return
     # MODE_KILL — die the way an OOM-killed worker dies: no cleanup,
     # no exception, just gone.  The parent sees BrokenProcessPoolError.
+    # With kill_at_demand, death is deferred into the engine step loop
+    # so it lands exactly at the armed demand index (after due
+    # snapshots hit disk — the crash-consistency scenario).
+    if plan.kill_at_demand is not None:
+        from ..engine import interrupt
+
+        interrupt.arm_kill_at(plan.kill_at_demand)
+        return
     os.kill(os.getpid(), signal.SIGKILL)
 
 

@@ -63,6 +63,18 @@ True
 ...     dataclasses.replace(cell, label="fig6 row 3"))
 True
 
+The snapshot cadence and directory are knobs by the sub-cell recovery
+contract: emission is inert and a resumed run is bit-identical to an
+uninterrupted one, so checkpointed and plain runs share one cache slot
+(and a resume after changing only knobs still finds its snapshot):
+
+>>> cell_fingerprint(cell) == cell_fingerprint(
+...     dataclasses.replace(cell, snapshot_every=100_000))
+True
+>>> cell_fingerprint(cell) == cell_fingerprint(
+...     dataclasses.replace(cell, snapshot_dir="/tmp/snaps"))
+True
+
 The classification must stay exhaustive: a field in neither set makes
 :func:`cell_fingerprint` raise (and lint rule TWL003 fail statically),
 so adding a spec field without deciding its cache role is an error,
@@ -111,7 +123,14 @@ CELL_IDENTITY_FIELDS: FrozenSet[str] = frozenset(
 #: segmentation changes delivery granularity, never the request
 #: sequence.
 CELL_EXECUTION_FIELDS: FrozenSet[str] = frozenset(
-    {"batch_size", "check_invariants", "chunk_size", "label"}
+    {
+        "batch_size",
+        "check_invariants",
+        "chunk_size",
+        "label",
+        "snapshot_dir",
+        "snapshot_every",
+    }
 )
 
 

@@ -14,11 +14,12 @@ fail-fast vs keep-going) and ``resume`` points at a checkpoint
 journal.  ``active_setup`` reads them from ``REPRO_JOBS`` /
 ``REPRO_CACHE_DIR`` / ``REPRO_BATCH_SIZE`` / ``REPRO_RETRIES`` /
 ``REPRO_CELL_TIMEOUT`` / ``REPRO_KEEP_GOING`` / ``REPRO_RESUME`` /
-``REPRO_TRACE`` / ``REPRO_CHUNK_SIZE`` so the benchmark harness can be
-hardened without touching code; the CLI sets them from ``--jobs`` /
-``--cache-dir`` / ``--no-cache`` / ``--batch-size`` / ``--retries`` /
-``--cell-timeout`` / ``--keep-going`` / ``--resume`` / ``--trace`` /
-``--chunk-size``.
+``REPRO_TRACE`` / ``REPRO_CHUNK_SIZE`` / ``REPRO_SNAPSHOT_EVERY`` so
+the benchmark harness can be hardened without touching code; the CLI
+sets them from ``--jobs`` / ``--cache-dir`` / ``--no-cache`` /
+``--batch-size`` / ``--retries`` / ``--cell-timeout`` /
+``--keep-going`` / ``--resume`` / ``--trace`` / ``--chunk-size`` /
+``--snapshot-every``.
 """
 
 from __future__ import annotations
@@ -75,7 +76,15 @@ SETUP_IDENTITY_FIELDS = frozenset(
 #: requires every field to appear in exactly one of these two sets, so
 #: a new field cannot silently join (or silently skip) cache identity.
 SETUP_EXECUTION_FIELDS = frozenset(
-    {"jobs", "cache_dir", "batch_size", "chunk_size", "failure", "resume"}
+    {
+        "jobs",
+        "cache_dir",
+        "batch_size",
+        "chunk_size",
+        "failure",
+        "resume",
+        "snapshot_every",
+    }
 )
 
 
@@ -112,6 +121,13 @@ class ExperimentSetup:
     #: Requests per stream chunk.  Execution knob by the chunk-identity
     #: contract — segmentation never changes the request sequence.
     chunk_size: int = 65536
+    #: Mid-run snapshot cadence in demand writes (0 = off).  When set
+    #: (and ``cache_dir`` is available to hold the snapshot files),
+    #: long cells periodically checkpoint engine state so a killed run
+    #: resumes sub-cell instead of from zero.  Execution knob by the
+    #: sub-cell recovery contract: emission is inert and a resumed run
+    #: is bit-identical to an uninterrupted one.
+    snapshot_every: int = 0
 
     @property
     def n_pages(self) -> int:
@@ -151,7 +167,9 @@ def active_setup() -> ExperimentSetup:
     campaign past failures, and ``REPRO_RESUME=path`` checkpoints to
     (and resumes from) a journal there.  Streaming knobs:
     ``REPRO_TRACE=path`` streams an on-disk trace instead of the FTL
-    generator, ``REPRO_CHUNK_SIZE=N`` sets the stream chunk size.
+    generator, ``REPRO_CHUNK_SIZE=N`` sets the stream chunk size, and
+    ``REPRO_SNAPSHOT_EVERY=N`` emits a mid-run engine snapshot every N
+    demand writes so killed cells resume sub-cell.
     """
     if os.environ.get("REPRO_QUICK", "").strip() in ("1", "true", "yes"):
         setup = quick_setup()
@@ -186,4 +204,7 @@ def active_setup() -> ExperimentSetup:
     chunk_size = os.environ.get("REPRO_CHUNK_SIZE", "").strip()
     if chunk_size:
         setup = replace(setup, chunk_size=max(1, int(chunk_size)))
+    snapshot_every = os.environ.get("REPRO_SNAPSHOT_EVERY", "").strip()
+    if snapshot_every:
+        setup = replace(setup, snapshot_every=max(0, int(snapshot_every)))
     return setup

@@ -302,6 +302,46 @@ class PCMArray:
                 )
 
     # ------------------------------------------------------------------
+    # Mid-run persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The mutable wear state; endurance is format-time and derivable."""
+        failure = self._first_failure
+        return {
+            "failed": self.failed,
+            "first_failure": None
+            if failure is None
+            else {
+                "device_writes": failure.device_writes,
+                "page_endurance": failure.page_endurance,
+                "physical_page": failure.physical_page,
+            },
+            "total_writes": self.total_writes,
+            "writes": self.writes.copy(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        writes = np.asarray(state["writes"], dtype=np.int64)
+        if writes.shape != self.writes.shape:
+            raise ConfigError(
+                f"snapshot holds {writes.size} pages, array has {self.n_pages}"
+            )
+        self.writes[:] = writes
+        self.total_writes = int(state["total_writes"])
+        self.failed = bool(state["failed"])
+        failure = state["first_failure"]
+        self._first_failure = (
+            None
+            if failure is None
+            else FirstFailure(
+                physical_page=int(failure["physical_page"]),
+                device_writes=int(failure["device_writes"]),
+                page_endurance=int(failure["page_endurance"]),
+            )
+        )
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     @property

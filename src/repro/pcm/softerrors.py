@@ -160,6 +160,43 @@ class SoftErrorInjector:
             self._next_at = self._draw_gap(self._next_at)
         return fired
 
+    def snapshot(self) -> Dict[str, object]:
+        """Schedule position, RNG register and delivered-event log.
+
+        The fault surface itself belongs to the scheme (its tables and
+        registers are snapshotted there); what the injector owns is
+        *when* the next flip fires and what already happened.
+        """
+        return {
+            "events": [
+                [event.demand_index, event.target, event.entry, event.bit, event.action]
+                for event in self.events
+            ],
+            "next_at": self._next_at,
+            "rng": self._rng.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a state captured by :meth:`snapshot`.
+
+        Must run on an injector built against a *fresh* scheme: the
+        reload-style repair hooks capture architectural register values
+        at construction, exactly as in the uninterrupted run.
+        """
+        self._rng.restore(state["rng"])  # type: ignore[arg-type]
+        next_at = state["next_at"]
+        self._next_at = None if next_at is None else int(next_at)
+        self.events = [
+            SoftErrorEvent(
+                demand_index=int(record[0]),
+                target=str(record[1]),
+                entry=int(record[2]),
+                bit=int(record[3]),
+                action=str(record[4]),
+            )
+            for record in state["events"]  # type: ignore[union-attr]
+        ]
+
     def summary(self) -> Dict[str, int]:
         """Outcome counters in fixed key order (cache-serialization safe)."""
         counts = {

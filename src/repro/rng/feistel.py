@@ -217,6 +217,28 @@ class FeistelRNG:
         """Values per key epoch."""
         return self._network.period
 
+    def snapshot(self) -> dict:
+        """The architectural registers: epoch and in-epoch counter.
+
+        The per-epoch word table and the round-key network are pure
+        functions of ``(seed, epoch)`` and are rebuilt on restore.
+        """
+        return {"counter": self._counter, "epoch": self._epoch}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        epoch = int(state["epoch"])
+        self._epoch = epoch
+        self._counter = int(state["counter"])
+        # Epoch 0's key roll formula degenerates to the construction seed,
+        # so one expression rebuilds the network for any epoch.
+        self._network = FeistelNetwork(
+            bits=self.bits,
+            seed=self._seed + 0x10001 * epoch,
+            rounds=self._rounds,
+        )
+        self._words = None
+
     def next_word(self) -> int:
         """Next pseudorandom word in ``[0, 2**bits)``."""
         if self.bits <= self._TABLE_BITS_MAX:

@@ -64,6 +64,14 @@ class GaloisLFSR:
         """Sequence period for a maximal tap mask."""
         return (1 << self.width) - 1
 
+    def snapshot(self) -> dict:
+        """The full register state (one ``width``-bit word)."""
+        return {"state": self.state}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        self.state = int(state["state"])
+
     def step(self) -> int:
         """Advance one step and return the new state."""
         lsb = self.state & 1

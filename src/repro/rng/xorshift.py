@@ -42,6 +42,14 @@ class XorShift32:
             raise ValueError(f"bound must be positive, got {bound}")
         return self.next_word() % bound
 
+    def snapshot(self) -> dict:
+        """The full register state (one 32-bit word)."""
+        return {"state": self.state}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        self.state = int(state["state"])
+
     def next_words(self, count: int) -> np.ndarray:
         """The next ``count`` 32-bit words, as an ``int64`` array.
 

@@ -73,6 +73,23 @@ class WorkloadDriver(abc.ABC):
     def observe_batch(self, physical_write_counts: np.ndarray) -> None:
         """Feed back the per-request physical write counts of a batch."""
 
+    def snapshot(self) -> dict:
+        """The driver's mutable position state as a plain state tree.
+
+        Restoring it into a freshly constructed driver over the same
+        workload reproduces the remaining write sequence bit-exactly
+        (the sub-cell recovery contract, ``docs/robustness.md``).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support mid-run snapshots"
+        )
+
+    def restore(self, state: dict) -> None:
+        """Restore a position captured by :meth:`snapshot`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support mid-run snapshots"
+        )
+
     @property
     @abc.abstractmethod
     def workload_name(self) -> str:
@@ -138,6 +155,13 @@ class TraceDriver(WorkloadDriver):
         self._position = position
         return out
 
+    def snapshot(self) -> dict:
+        return {"loops_completed": self.loops_completed, "position": self._position}
+
+    def restore(self, state: dict) -> None:
+        self.loops_completed = int(state["loops_completed"])
+        self._position = int(state["position"])
+
 
 class StreamDriver(WorkloadDriver):
     """Loops a :class:`TraceStream`'s write stream at constant memory.
@@ -165,6 +189,10 @@ class StreamDriver(WorkloadDriver):
         #: Total requests (reads included) consumed from the stream.
         self.requests_consumed = 0
         self._writes_this_loop = False
+        #: Chunks consumed since the last rewind — the position hint the
+        #: stream's :meth:`~repro.traces.stream.TraceStream.snapshot_position`
+        #: needs (the base stream protocol cannot observe chunk pulls).
+        self._chunks_this_loop = 0
 
     @property
     def workload_name(self) -> str:
@@ -184,8 +212,10 @@ class StreamDriver(WorkloadDriver):
                 stream.rewind()
                 self.loops_completed += 1
                 self._writes_this_loop = False
+                self._chunks_this_loop = 0
                 continue
             ops, pages = chunk
+            self._chunks_this_loop += 1
             self.requests_consumed += int(ops.size)
             writes = pages[ops == OP_WRITE]
             if writes.size == 0:
@@ -242,6 +272,29 @@ class StreamDriver(WorkloadDriver):
         self._offset += take
         return out
 
+    def snapshot(self) -> dict:
+        # The unserved tail of the current chunk travels in the snapshot
+        # (re-decoding it would need a chunk re-pull the stream position
+        # has already moved past); the stream itself records only its
+        # chunk-granular position.
+        return {
+            "buffer": self._buffer[self._offset :].copy(),
+            "chunks_this_loop": self._chunks_this_loop,
+            "loops_completed": self.loops_completed,
+            "requests_consumed": self.requests_consumed,
+            "stream": self._stream.snapshot_position(self._chunks_this_loop),
+            "writes_this_loop": self._writes_this_loop,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._buffer = np.asarray(state["buffer"], dtype=np.int64)
+        self._offset = 0
+        self._chunks_this_loop = int(state["chunks_this_loop"])
+        self.loops_completed = int(state["loops_completed"])
+        self.requests_consumed = int(state["requests_consumed"])
+        self._writes_this_loop = bool(state["writes_this_loop"])
+        self._stream.restore_position(state["stream"])  # type: ignore[arg-type]
+
 
 class AttackDriver(WorkloadDriver):
     """Drives an adaptive attack, feeding back response latencies.
@@ -296,3 +349,9 @@ class AttackDriver(WorkloadDriver):
         write_cycles = float(self.timing.write_cycles)
         for physical_writes in physical_write_counts.tolist():
             observe(write_cycles * physical_writes)
+
+    def snapshot(self) -> dict:
+        return {"attack": self.attack.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self.attack.restore(state["attack"])  # type: ignore[arg-type]

@@ -14,12 +14,20 @@ Figure 8 plots exactly this quantity.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from ..analysis.calibration import PAPER_IDEAL_CALIBRATION, ideal_lifetime_seconds
 from ..config import PCMConfig, PAPER_PCM, SoftErrorConfig
-from ..engine import EngineObserver, InvariantCheckObserver, SimulationEngine
+from ..engine import (
+    EngineObserver,
+    InvariantCheckObserver,
+    SimulationEngine,
+    SnapshotPlan,
+    read_snapshot,
+)
+from ..errors import SnapshotError
 from ..pcm.faults import FirstFailure
 from ..pcm.softerrors import SoftErrorInjector
 from ..units import SECONDS_PER_YEAR, mbps_to_bytes_per_second
@@ -91,6 +99,7 @@ def run_to_failure(
     observers: Iterable[EngineObserver] = (),
     soft_errors: Optional[SoftErrorConfig] = None,
     check_invariants: bool = False,
+    snapshots: Optional[SnapshotPlan] = None,
 ) -> LifetimeResult:
     """Exact simulation: drive demand writes until the first page failure.
 
@@ -108,6 +117,16 @@ def run_to_failure(
     without a failure and ``require_failure`` is set — a sign the scale
     was chosen too large for exact simulation (use fast-forward
     instead).
+
+    ``snapshots`` arms mid-run checkpointing (sub-cell recovery): the
+    engine emits crash-consistent snapshots at the plan's cadence, and
+    when the plan allows resume and its path holds a snapshot, the run
+    restores it and continues from the recorded demand index instead of
+    replaying from zero.  A resumed run is bit-identical to the
+    uninterrupted run (``tests/test_snapshot_identity.py``).  Restore
+    ordering matters: the injector is built against the *fresh* scheme
+    (its reload-repair hooks capture pristine register values, exactly
+    as in the uninterrupted run) before any state is restored.
     """
     injector = None
     if soft_errors is not None and soft_errors.rate > 0.0:
@@ -123,9 +142,20 @@ def run_to_failure(
         batch_size=batch_size,
         observers=attached,
         soft_errors=injector,
+        snapshots=snapshots,
     )
     demand_before = scheme.demand_writes
-    engine.run(max_demand, require_failure=require_failure)
+    if snapshots is not None and snapshots.resume and os.path.exists(snapshots.path):
+        try:
+            _meta, saved = read_snapshot(snapshots.path)
+        except SnapshotError:
+            if snapshots.strict:
+                raise
+            saved = None
+        if saved is not None:
+            engine.restore_state(saved)
+    remaining = max(0, max_demand - engine.demand_served)
+    engine.run(remaining, require_failure=require_failure)
     failed = scheme.array.failed
     failure = scheme.array.first_failure
     if failed and failure is not None:

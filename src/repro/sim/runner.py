@@ -19,6 +19,7 @@ from ..traces.stream import TraceStream
 from ..traces.trace import Trace
 from ..wearlevel.registry import make_scheme
 from .drivers import AttackDriver, StreamDriver, TraceDriver
+from ..engine import SnapshotPlan
 from .fastforward import FastForwardConfig, fast_forward_to_failure
 from .lifetime import DEFAULT_MAX_DEMAND, LifetimeResult, run_to_failure
 
@@ -66,6 +67,7 @@ def measure_attack_lifetime(
     batch_size: int = 1,
     soft_errors: Optional[SoftErrorConfig] = None,
     check_invariants: bool = False,
+    snapshots: Optional[SnapshotPlan] = None,
 ) -> LifetimeResult:
     """Lifetime of ``scheme_name`` under ``attack_name`` at scaled size.
 
@@ -76,9 +78,11 @@ def measure_attack_lifetime(
     ``check_invariants`` enable controller soft-error injection and the
     runtime invariant checker (exact simulation only: fast-forward
     extrapolates wear analytically, which has no step loop to deliver
-    flips through).
+    flips through).  ``snapshots`` arms mid-run checkpointing and
+    resume (sub-cell recovery; exact simulation only — see
+    :func:`repro.sim.lifetime.run_to_failure`).
     """
-    _check_fault_support(fastforward, soft_errors)
+    _check_fault_support(fastforward, soft_errors, snapshots)
     array = build_array(scaled)
     scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
     attack = make_attack(
@@ -98,6 +102,7 @@ def measure_attack_lifetime(
         batch_size=batch_size,
         soft_errors=soft_errors,
         check_invariants=check_invariants,
+        snapshots=snapshots,
     )
 
 
@@ -112,15 +117,17 @@ def measure_trace_lifetime(
     batch_size: int = 1,
     soft_errors: Optional[SoftErrorConfig] = None,
     check_invariants: bool = False,
+    snapshots: Optional[SnapshotPlan] = None,
 ) -> LifetimeResult:
     """Lifetime of ``scheme_name`` looping ``trace`` at scaled size.
 
     ``batch_size`` selects the engine's batched write protocol; results
     are bit-identical to the default per-write path.  ``soft_errors``
     and ``check_invariants`` behave as in
-    :func:`measure_attack_lifetime` (exact simulation only).
+    :func:`measure_attack_lifetime` (exact simulation only), and so
+    does ``snapshots``.
     """
-    _check_fault_support(fastforward, soft_errors)
+    _check_fault_support(fastforward, soft_errors, snapshots)
     array = build_array(scaled)
     scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
     driver = TraceDriver(trace, scheme.logical_pages)
@@ -137,6 +144,7 @@ def measure_trace_lifetime(
         batch_size=batch_size,
         soft_errors=soft_errors,
         check_invariants=check_invariants,
+        snapshots=snapshots,
     )
 
 
@@ -151,6 +159,7 @@ def measure_stream_lifetime(
     require_failure: bool = True,
     soft_errors: Optional[SoftErrorConfig] = None,
     check_invariants: bool = False,
+    snapshots: Optional[SnapshotPlan] = None,
 ) -> LifetimeResult:
     """Lifetime of ``scheme_name`` under a streamed workload.
 
@@ -164,7 +173,7 @@ def measure_stream_lifetime(
     results are bit-identical to a materialized
     :func:`measure_trace_lifetime` run of the same request sequence.
     """
-    _check_fault_support(False, soft_errors)
+    _check_fault_support(False, soft_errors, snapshots)
     array = build_array(scaled)
     scheme = make_scheme(scheme_name, array, seed=seed, **(scheme_kwargs or {}))
     stream = stream_factory(scheme.logical_pages)
@@ -178,23 +187,32 @@ def measure_stream_lifetime(
             batch_size=batch_size,
             soft_errors=soft_errors,
             check_invariants=check_invariants,
+            snapshots=snapshots,
         )
     finally:
         stream.close()
 
 
 def _check_fault_support(
-    fastforward: bool, soft_errors: Optional[SoftErrorConfig]
+    fastforward: bool,
+    soft_errors: Optional[SoftErrorConfig],
+    snapshots: Optional[SnapshotPlan] = None,
 ) -> None:
-    """Reject fault injection on the fast-forward path up front.
+    """Reject fault injection / checkpointing on fast-forward up front.
 
     Fast-forward extrapolates the tail of the run analytically; there
-    is no step loop to schedule flips against, so silently dropping
-    them would make a "faulted" result quietly identical to the clean
-    one.  Failing loudly is the honest option.
+    is no step loop to schedule flips against — or to emit snapshots
+    from — so silently dropping either would make the run quietly
+    different from what was asked for.  Failing loudly is the honest
+    option.
     """
     if fastforward and soft_errors is not None and soft_errors.rate > 0.0:
         raise ConfigError(
             "soft-error injection requires exact simulation; "
             "fastforward=True cannot deliver scheduled bit flips"
+        )
+    if fastforward and snapshots is not None:
+        raise ConfigError(
+            "mid-run snapshots require exact simulation; "
+            "fastforward=True has no step loop to emit them from"
         )

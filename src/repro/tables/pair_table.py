@@ -101,6 +101,19 @@ class PairTable:
         if p2 != la1 and p2 != la2:
             partners[p2] = la1
 
+    def snapshot(self) -> dict:
+        """The partner array, copied (mid-run persistence)."""
+        return {"partners": self._partners.copy()}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`.
+
+        Writes the storage in place, skipping the constructor's
+        involution check: a snapshot taken after an unrepaired poke must
+        round-trip the one-sided entry exactly.
+        """
+        self._partners[:] = np.asarray(state["partners"], dtype=np.int64)
+
     def raw_partner(self, logical: int) -> int:
         """Stored entry, unvalidated (fault-injection surface)."""
         if not 0 <= logical < self.n_pages:

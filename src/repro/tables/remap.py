@@ -69,6 +69,22 @@ class RemappingTable:
             return
         self.swap_logical(int(self._inverse[pa1]), int(self._inverse[pa2]))
 
+    def snapshot(self) -> dict:
+        """Both direction arrays, copied (mid-run persistence)."""
+        return {"forward": self._forward.copy(), "inverse": self._inverse.copy()}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`.
+
+        Rebinds rather than writes in place so a table that went through
+        :meth:`reset_identity` (which rebinds the storage) restores
+        correctly, and deliberately skips the bijection check — a
+        snapshot taken after an unrepaired soft error must round-trip
+        the corruption exactly.
+        """
+        self._forward = np.asarray(state["forward"], dtype=np.int64).copy()
+        self._inverse = np.asarray(state["inverse"], dtype=np.int64).copy()
+
     def mapping(self) -> List[int]:
         """Copy of the LA -> PA map."""
         return self._forward.tolist()

@@ -77,6 +77,15 @@ class WriteNumberTable:
         """
         return np.argsort(-self._counts, kind="stable")
 
+    def snapshot(self) -> dict:
+        """Counters plus the phase-total (mid-run persistence)."""
+        return {"counts": self._counts.copy(), "total": self.total}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        self._counts[:] = np.asarray(state["counts"], dtype=np.int64)
+        self.total = int(state["total"])
+
     def poke(self, logical: int, value: int) -> None:
         """Overwrite one counter in place — models SRAM corruption.
 

@@ -130,6 +130,14 @@ class WriteCounterTable:
             )
         values[touched] = updated
 
+    def snapshot(self) -> dict:
+        """The counter array, copied (mid-run persistence)."""
+        return {"values": self._values.copy()}
+
+    def restore(self, state: dict) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        self._values[:] = np.asarray(state["values"], dtype=np.int64)
+
     def value(self, page: int) -> int:
         """Current counter value for ``page``."""
         self._check(page)

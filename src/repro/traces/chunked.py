@@ -271,6 +271,33 @@ class ChunkedFileStream(TraceStream):
         self._require_handle().seek(self._data_start)
         self._chunk_index = 0
 
+    def seek(self, chunk_index: int) -> None:
+        """Seek over payloads: O(chunks), never decompresses anything."""
+        if chunk_index < 0:
+            raise TraceError(f"chunk index must be non-negative, got {chunk_index}")
+        handle = self._require_handle()
+        if chunk_index == 0:
+            self.rewind()
+            return
+        # The scan generator restores the handle position on close, so
+        # resolve the target offset first and seek afterwards.
+        scan = self._scan_chunk_headers()
+        target = None
+        try:
+            for index, (_, payload_len, offset) in enumerate(scan):
+                if index + 1 == chunk_index:
+                    target = offset + payload_len
+                    break
+        finally:
+            scan.close()
+        if target is None:
+            raise TraceError(
+                f"stream {self.name!r} exhausted while seeking to chunk "
+                f"{chunk_index} in {self.path}"
+            )
+        handle.seek(target)
+        self._chunk_index = chunk_index
+
     def next_chunk(self) -> Optional[Chunk]:
         handle = self._require_handle()
         index = self._chunk_index

@@ -38,7 +38,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, TraceError
 from ..rng.streams import make_generator
 from .request import OP_READ, OP_WRITE
 from .stream import DEFAULT_CHUNK_REQUESTS, Chunk, TraceStream
@@ -126,6 +126,52 @@ class FTLWorkloadStream(TraceStream):
         self._rng = make_generator(self.seed, "ftl-requests")
         self._alloc_cursor = 0
         self._gc_cursor = 0
+
+    def seek(self, chunk_index: int) -> None:
+        """Fast-forward by drawing (and discarding) whole chunks.
+
+        The stream is a pure function of ``(seed, config, chunk_index)``
+        — never of wall clock or prior consumers — so replaying from a
+        rewind always lands on the identical position.  Endless streams
+        cannot seek past EOF.
+        """
+        if chunk_index < 0:
+            raise TraceError(
+                f"chunk index must be non-negative, got {chunk_index}"
+            )
+        self.rewind()
+        for _ in range(chunk_index):
+            self.next_chunk()
+
+    def snapshot_position(self, chunk_index: int) -> dict:
+        """O(1) position: the PCG64 register plus the two cold cursors."""
+        state = self._rng.bit_generator.state
+        return {
+            "alloc_cursor": self._alloc_cursor,
+            "gc_cursor": self._gc_cursor,
+            "rng_state": {
+                "bit_generator": state["bit_generator"],
+                "has_uint32": int(state["has_uint32"]),
+                "state_inc": state["state"]["inc"],
+                "state_state": state["state"]["state"],
+                "uinteger": int(state["uinteger"]),
+            },
+        }
+
+    def restore_position(self, state: dict) -> None:
+        rng_state = state["rng_state"]
+        self.rewind()
+        self._rng.bit_generator.state = {
+            "bit_generator": rng_state["bit_generator"],
+            "state": {
+                "state": int(rng_state["state_state"]),
+                "inc": int(rng_state["state_inc"]),
+            },
+            "has_uint32": int(rng_state["has_uint32"]),
+            "uinteger": int(rng_state["uinteger"]),
+        }
+        self._alloc_cursor = int(state["alloc_cursor"])
+        self._gc_cursor = int(state["gc_cursor"])
 
     def next_chunk(self) -> Optional[Chunk]:
         k = self.chunk_size

@@ -83,6 +83,42 @@ class TraceStream(abc.ABC):
         request sequence.
         """
 
+    def seek(self, chunk_index: int) -> None:
+        """Position the stream so the next chunk is chunk ``chunk_index``.
+
+        ``seek(0)`` is :meth:`rewind`.  Seeking past the end of a finite
+        stream raises :class:`TraceError` — a resume must never silently
+        start from a different request than the snapshot recorded.  The
+        base implementation rewinds and replays ``chunk_index`` chunks;
+        streams with cheap positioning (materialized slices, chunked
+        files with an offset index, pure generators) override it with an
+        O(1)/O(index) path.
+        """
+        if chunk_index < 0:
+            raise TraceError(f"chunk index must be non-negative, got {chunk_index}")
+        self.rewind()
+        for skipped in range(chunk_index):
+            if self.next_chunk() is None:
+                raise TraceError(
+                    f"stream {self.name!r} exhausted at chunk {skipped} "
+                    f"while seeking to chunk {chunk_index}"
+                )
+
+    def snapshot_position(self, chunk_index: int) -> dict:
+        """Serializable stream position after ``chunk_index`` chunks.
+
+        ``chunk_index`` counts the chunks consumed since the last
+        rewind; the driver tracks it, because the base protocol cannot
+        observe :meth:`next_chunk` calls.  Streams whose position is not
+        a pure function of the chunk count (stateful generators)
+        override this to capture their own registers.
+        """
+        return {"chunk_index": int(chunk_index)}
+
+    def restore_position(self, state: dict) -> None:
+        """Restore a position captured by :meth:`snapshot_position`."""
+        self.seek(int(state["chunk_index"]))  # type: ignore[arg-type]
+
     def chunks(self) -> Iterator[Chunk]:
         """Iterate chunks until exhaustion (endless streams never stop)."""
         while True:
@@ -172,6 +208,20 @@ class MaterializedStream(TraceStream):
 
     def rewind(self) -> None:
         self._position = 0
+
+    def seek(self, chunk_index: int) -> None:
+        if chunk_index < 0:
+            raise TraceError(f"chunk index must be non-negative, got {chunk_index}")
+        position = chunk_index * self._chunk_size
+        total = self._trace.n_requests
+        # Chunk ceil(total / chunk_size) is the first past-EOF chunk.
+        n_chunks = -(-total // self._chunk_size)
+        if chunk_index > n_chunks:
+            raise TraceError(
+                f"stream {self.name!r} has {n_chunks} chunks; cannot seek "
+                f"to chunk {chunk_index}"
+            )
+        self._position = min(position, total)
 
     def next_chunk(self) -> Optional[Chunk]:
         start = self._position

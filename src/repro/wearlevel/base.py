@@ -134,6 +134,47 @@ class WearLeveler(abc.ABC):
         return out[:served]
 
     # ------------------------------------------------------------------
+    # Mid-run persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The scheme's complete mutable state as a plain state tree.
+
+        Base counters plus whatever the subclass hook
+        (:meth:`_snapshot_state`) contributes: tables, RNG registers,
+        phase machines.  Derivable structures (endurance tables, layout
+        permutations, hash families) are rebuilt by construction and
+        never serialized.  Restoring this state into a freshly
+        constructed scheme of the same configuration reproduces the
+        run's future bit-exactly — the contract
+        ``tests/test_snapshot_identity.py`` enforces for every scheme.
+        """
+        return {
+            "base": {
+                "demand_writes": self.demand_writes,
+                "fault_degraded": self.fault_degraded,
+                "swap_events": self.swap_events,
+                "swap_writes": self.swap_writes,
+            },
+            "scheme": self._snapshot_state(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        base = state["base"]
+        self.demand_writes = int(base["demand_writes"])  # type: ignore[index]
+        self.fault_degraded = bool(base["fault_degraded"])  # type: ignore[index]
+        self.swap_events = int(base["swap_events"])  # type: ignore[index]
+        self.swap_writes = int(base["swap_writes"])  # type: ignore[index]
+        self._restore_state(state["scheme"])  # type: ignore[arg-type]
+
+    def _snapshot_state(self) -> Dict[str, object]:
+        """Subclass hook: scheme-specific mutable state (default none)."""
+        return {}
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        """Subclass hook mirroring :meth:`_snapshot_state`."""
+
+    # ------------------------------------------------------------------
     # Fault surface
     # ------------------------------------------------------------------
     def fault_surface(self) -> Dict[str, "BitTarget"]:

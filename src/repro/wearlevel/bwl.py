@@ -228,6 +228,37 @@ class BloomWearLeveling(WearLeveler):
             start = stop
         return out
 
+    def _snapshot_state(self):
+        # _hot_set / _cold_set are derivable from the ordered lists; the
+        # queue and hot list are stored in insertion order so eviction
+        # and migration priority replay exactly.
+        return {
+            "cold_queue": list(self._cold_queue),
+            "detection_writes": self._detection_writes,
+            "frame_writes": self._frame_writes.copy(),
+            "hot_filter": self.hot_filter.snapshot(),
+            "hot_list": list(self._hot_list),
+            "hot_threshold": self.hot_threshold,
+            "remap": self.remap.snapshot(),
+            "swap_phases_completed": self.swap_phases_completed,
+        }
+
+    def _restore_state(self, state):
+        self._frame_writes[:] = np.asarray(state["frame_writes"], dtype=np.int64)
+        self.remap.restore(state["remap"])
+        self.hot_filter.restore(state["hot_filter"])
+        self.hot_threshold = int(state["hot_threshold"])
+        self._detection_writes = int(state["detection_writes"])
+        self.swap_phases_completed = int(state["swap_phases_completed"])
+        # Rebind fresh containers (write_batch aliases them per round and
+        # _swap_phase replaces them): sets are rebuilt from the lists.
+        self._hot_list = [int(la) for la in state["hot_list"]]
+        self._hot_set = set(self._hot_list)
+        self._cold_queue = deque(
+            (int(la) for la in state["cold_queue"]), maxlen=4 * self._target_hot
+        )
+        self._cold_set = set(self._cold_queue)
+
     def _should_swap(self) -> bool:
         """Swap when enough hot pages are known, bounded by phase length.
 

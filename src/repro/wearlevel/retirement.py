@@ -137,6 +137,25 @@ class RetirementWearLeveling(WearLeveler):
         self._count_swap(1)
         return 1
 
+    def _snapshot_state(self):
+        # The noisy endurance estimates and retirement thresholds are
+        # derivable (seeded); the moving state is the RT, the per-frame
+        # write counts and the spare-pool membership.
+        return {
+            "frame_writes": list(self._frame_writes),
+            "remap": self.remap.snapshot(),
+            "retired_frames": self.retired_frames,
+            "spare_pool_exhausted": self.spare_pool_exhausted,
+            "spares": sorted(self._spares),
+        }
+
+    def _restore_state(self, state):
+        self._frame_writes = [int(c) for c in state["frame_writes"]]
+        self.remap.restore(state["remap"])
+        self.retired_frames = int(state["retired_frames"])
+        self.spare_pool_exhausted = bool(state["spare_pool_exhausted"])
+        self._spares = {int(s) for s in state["spares"]}
+
     def fault_surface(self):
         """Retirement's injectable SRAM state: the remapping table.
 

@@ -133,6 +133,20 @@ class SecurityRefresh(WearLeveler):
                 return out[: start + applied]
         return out
 
+    def _snapshot_state(self):
+        return {
+            "refresh_steps": self.refresh_steps,
+            "remap": self.remap.snapshot(),
+            "trigger_rng": self._trigger_rng.snapshot(),
+            "victim_rng": self._victim_rng.snapshot(),
+        }
+
+    def _restore_state(self, state):
+        self.refresh_steps = int(state["refresh_steps"])
+        self.remap.restore(state["remap"])
+        self._trigger_rng.restore(state["trigger_rng"])
+        self._victim_rng.restore(state["victim_rng"])
+
     def _refresh_step(self, logical: int) -> int:
         """Swap the written page's frame with a uniformly random frame."""
         n = self.remap.n_pages
@@ -241,6 +255,39 @@ class SingleLevelSecurityRefresh(WearLeveler):
             region.write_count = 0
             writes += self._refresh_step(region)
         return writes
+
+    def _snapshot_state(self):
+        # Region geometry (base/size) is derivable from the config; the
+        # keys, sweep pointers and write counters are the moving state.
+        # The LFSR register must be restored directly — construction
+        # consumed draws for the initial keys, and re-drawing would
+        # desynchronize every later key rotation.
+        return {
+            "lfsr": self._lfsr.snapshot(),
+            "regions": [
+                {
+                    "key_current": region.key_current,
+                    "key_next": region.key_next,
+                    "pointer": region.pointer,
+                    "write_count": region.write_count,
+                }
+                for region in self._regions
+            ],
+        }
+
+    def _restore_state(self, state):
+        self._lfsr.restore(state["lfsr"])
+        records = state["regions"]
+        if len(records) != len(self._regions):
+            raise ConfigError(
+                f"snapshot holds {len(records)} SR regions, scheme has "
+                f"{len(self._regions)}"
+            )
+        for region, record in zip(self._regions, records):
+            region.key_current = int(record["key_current"])
+            region.key_next = int(record["key_next"])
+            region.pointer = int(record["pointer"])
+            region.write_count = int(record["write_count"])
 
     def _refresh_step(self, region: _XorLevel) -> int:
         """Advance the region's sweep by one offset."""

@@ -199,6 +199,20 @@ class StartGap(WearLeveler):
                 return out[:position]
         return out
 
+    def _snapshot_state(self):
+        # The Feistel permutation and its table are static (derivable
+        # from the seed); only the rotation registers move.
+        return {
+            "gap": self._gap,
+            "start": self._start,
+            "writes_since_move": self._writes_since_move,
+        }
+
+    def _restore_state(self, state):
+        self._gap = int(state["gap"])
+        self._start = int(state["start"])
+        self._writes_since_move = int(state["writes_since_move"])
+
     def fault_surface(self):
         """Start-Gap's injectable state: the start and gap registers.
 

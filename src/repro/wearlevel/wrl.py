@@ -149,6 +149,24 @@ class WearRateLeveling(WearLeveler):
             start = stop
         return out
 
+    def _snapshot_state(self):
+        return {
+            "frame_writes": self._frame_writes.copy(),
+            "phase": self.phase,
+            "phase_writes": self._phase_writes,
+            "remap": self.remap.snapshot(),
+            "swap_phases_completed": self.swap_phases_completed,
+            "wnt": self.wnt.snapshot(),
+        }
+
+    def _restore_state(self, state):
+        self._frame_writes[:] = np.asarray(state["frame_writes"], dtype=np.int64)
+        self.phase = str(state["phase"])
+        self._phase_writes = int(state["phase_writes"])
+        self.remap.restore(state["remap"])
+        self.swap_phases_completed = int(state["swap_phases_completed"])
+        self.wnt.restore(state["wnt"])
+
     def fault_surface(self):
         """WRL's injectable SRAM state: RT and the WNT.
 

@@ -602,3 +602,223 @@ class TestTimeoutOutsideMainThread:
         # Handler restored after the cell, and no alarm left pending.
         assert signal.getsignal(signal.SIGALRM) == before
         assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+
+class TestJournalCompaction:
+    """Satellite: ``compact()`` rewrites superseded journal history."""
+
+    def test_compact_drops_superseded_and_garbage(self, tmp_path):
+        cells = _grid()
+        clean = run_cells(cells, jobs=1)
+        manifest = str(tmp_path / "campaign.jsonl")
+        journal = CheckpointJournal(manifest)
+        run_cells(cells[:2], jobs=1, journal=journal)
+        # A cell that failed, then succeeded on a later attempt: the
+        # failed line is superseded history.
+        fingerprint = cell_fingerprint(cells[2])
+        journal.record_failed(cells[2], fingerprint, "transient boom")
+        journal.record_done(cells[2], fingerprint, run_cells([cells[2]])[0])
+        with open(manifest, "a") as handle:
+            handle.write("{garbage, not json\n")
+        assert sum(1 for _ in open(manifest)) == 5
+        assert journal.compact() == 2
+        assert sum(1 for _ in open(manifest)) == 3
+        reloaded = CheckpointJournal(manifest)
+        assert len(reloaded) == 3
+        assert reloaded.failed_count == 0
+        # Compacting an already-minimal journal is a no-op.
+        assert reloaded.compact() == 0
+        assert run_cells(cells, jobs=1, journal=reloaded) == clean
+
+    def test_failed_only_records_survive(self, tmp_path):
+        manifest = str(tmp_path / "campaign.jsonl")
+        journal = CheckpointJournal(manifest)
+        cell = _grid()[0]
+        journal.record_failed(cell, "fp-a", "first")
+        journal.record_failed(cell, "fp-a", "second")
+        assert journal.compact() == 1
+        reloaded = CheckpointJournal(manifest)
+        assert reloaded.failed_count == 1
+        assert len(reloaded) == 0
+
+    def test_auto_compact_on_open_past_threshold(self, tmp_path):
+        cells = _grid()
+        manifest = str(tmp_path / "campaign.jsonl")
+        journal = CheckpointJournal(manifest)
+        fingerprint = cell_fingerprint(cells[0])
+        journal.record_failed(cells[0], fingerprint, "boom")
+        journal.record_done(cells[0], fingerprint, run_cells([cells[0]])[0])
+        assert sum(1 for _ in open(manifest)) == 2
+        # Under the (default, generous) threshold: open leaves the file
+        # byte-identical.
+        before = open(manifest).read()
+        CheckpointJournal(manifest)
+        assert open(manifest).read() == before
+        # Past the threshold: open compacts.
+        compacted = CheckpointJournal(manifest, compact_bytes=1)
+        assert compacted.resumed == 1
+        assert sum(1 for _ in open(manifest)) == 1
+
+
+class TestTimeoutSnapshotCleanup:
+    """Satellite: a timed-out cell never leaks snapshot files."""
+
+    def test_timeout_discards_snapshot_and_temps(self, monkeypatch, tmp_path):
+        import dataclasses
+
+        from repro.engine import write_snapshot
+        from repro.exec import cell_snapshot_path
+
+        cell = dataclasses.replace(
+            _grid()[0],
+            snapshot_every=1_000,
+            snapshot_dir=str(tmp_path / "snaps"),
+        )
+        os.makedirs(cell.snapshot_dir)
+        # The state a killed-by-timeout run would leave behind: a
+        # durable snapshot plus a torn temp sibling.
+        path = cell_snapshot_path(cell)
+        write_snapshot(path, {"demand_served": 1_000})
+        with open(f"{path}.12345.tmp", "wb") as handle:
+            handle.write(b"partial")
+        _arm(monkeypatch, tmp_path, mode="hang", rate=1.0, times=1, hang_seconds=20.0)
+        with pytest.raises(CellTimeoutError):
+            run_cells([cell], jobs=1, policy=FailurePolicy(timeout=0.3))
+        assert os.listdir(cell.snapshot_dir) == []
+
+
+class TestKillAndResume:
+    """Tentpole acceptance: SIGKILL at an armed mid-run demand index,
+    resume from the on-disk snapshot, bit-identical outcome."""
+
+    EVERY = 3_000
+    KILL_AT = 7_500
+
+    def _stream_cell(self, tmp_path, snapshots=True):
+        import dataclasses
+
+        from repro.exec import stream_cell
+
+        cell = stream_cell("twl", stream="ftl", scaled=SCALED, seed=11, chunk_size=512)
+        cell = dataclasses.replace(cell, batch_size=16)
+        if snapshots:
+            cell = dataclasses.replace(
+                cell,
+                snapshot_every=self.EVERY,
+                snapshot_dir=str(tmp_path / "snaps"),
+            )
+        return cell
+
+    def test_kill_plan_validation(self):
+        with pytest.raises(ConfigError, match="kill"):
+            FaultPlan(mode="transient", kill_at_demand=100)
+        with pytest.raises(ConfigError, match=">= 1"):
+            FaultPlan(mode="kill", kill_at_demand=0)
+        plan = FaultPlan(mode="kill", kill_at_demand=100)
+        assert '"kill_at_demand": 100' in plan.to_env()
+
+    def test_sigkill_midrun_is_crash_consistent(self, tmp_path):
+        """Die for real at the armed demand index; the last cadence
+        boundary's snapshot must be durable, and resuming from it must
+        reproduce the uninterrupted run bit-exactly."""
+        import dataclasses
+        import subprocess
+        import sys
+
+        import repro
+        from repro.engine import read_snapshot
+        from repro.exec import cell_snapshot_path, run_cell
+
+        cell = self._stream_cell(tmp_path)
+        clean = run_cell(
+            dataclasses.replace(cell, snapshot_every=0, snapshot_dir=None)
+        )
+        assert clean.demand_writes > self.KILL_AT  # the kill is mid-run
+        plan = FaultPlan(
+            mode="kill",
+            kill_at_demand=self.KILL_AT,
+            state_dir=str(tmp_path / "fault-state"),
+        )
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        script = (
+            "import sys, dataclasses\n"
+            f"sys.path.insert(0, {src_root!r})\n"
+            "from repro.config import ScaledArrayConfig\n"
+            "from repro.exec import stream_cell\n"
+            "from repro.exec.executor import _execute_one\n"
+            "cell = dataclasses.replace(\n"
+            "    stream_cell('twl', stream='ftl',\n"
+            f"                scaled=ScaledArrayConfig(n_pages={SCALED.n_pages},\n"
+            f"                                         endurance_mean={SCALED.endurance_mean}),\n"
+            "                seed=11, chunk_size=512),\n"
+            f"    batch_size=16, snapshot_every={self.EVERY},\n"
+            f"    snapshot_dir={str(tmp_path / 'snaps')!r})\n"
+            "_execute_one(cell, timeout=None)\n"
+        )
+        env = dict(os.environ, REPRO_FAULTS=plan.to_env())
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True
+        )
+        assert proc.returncode == -9, proc.stderr.decode()  # SIGKILLed
+        # Crash consistency: the last snapshot before the kill point is
+        # complete and durable.
+        path = cell_snapshot_path(cell)
+        _meta, state = read_snapshot(path)
+        assert state["demand_served"] == (self.KILL_AT // self.EVERY) * self.EVERY
+        # Resume (no faults armed) and compare bit-exactly.
+        result = run_cell(cell)
+        assert result == clean
+        assert os.listdir(cell.snapshot_dir) == []
+
+    def test_pool_recovers_from_midrun_kill_and_matches(self, monkeypatch, tmp_path):
+        import dataclasses
+
+        from repro.exec import stream_cell
+
+        # Two cells so the pool path engages (a single pending cell
+        # runs serially in the parent — where an armed kill would take
+        # the campaign process down, by design of the kill mode).
+        cells = [
+            dataclasses.replace(
+                stream_cell(
+                    "twl", stream="ftl", scaled=SCALED, seed=seed, chunk_size=512
+                ),
+                batch_size=16,
+                snapshot_every=self.EVERY,
+                snapshot_dir=str(tmp_path / "snaps"),
+            )
+            for seed in (11, 12)
+        ]
+        clean = run_cells(
+            [
+                dataclasses.replace(cell, snapshot_every=0, snapshot_dir=None)
+                for cell in cells
+            ],
+            jobs=1,
+        )
+        _arm(
+            monkeypatch, tmp_path,
+            mode="kill", rate=1.0, times=1, max_total=1,
+            kill_at_demand=self.KILL_AT,
+        )
+        lines = []
+        results = run_cells(cells, jobs=2, progress=lines.append)
+        assert results == clean
+        assert any("rebuilding" in line for line in lines)
+        assert os.listdir(str(tmp_path / "snaps")) == []
+
+    def test_armed_kill_does_not_leak_into_next_cell(self, monkeypatch, tmp_path):
+        """A kill armed past a short cell's lifetime must not survive
+        into the next cell run by the same worker."""
+        from repro.engine import interrupt
+
+        _arm(
+            monkeypatch, tmp_path,
+            mode="kill", rate=1.0, times=1, max_total=1,
+            kill_at_demand=10_000_000,  # far past any cell's lifetime
+        )
+        cells = _grid()
+        results = run_cells(cells, jobs=1, policy=FailurePolicy())
+        monkeypatch.delenv(FAULTS_ENV)
+        assert results == run_cells(cells, jobs=1)
+        assert interrupt.armed_kill_at() is None

@@ -575,3 +575,117 @@ class TestMeasureStreamLifetime:
         assert result.failed
         assert result.workload == "ftl"
         assert result.demand_writes > 0
+
+
+class TestSeekAndPosition:
+    """``seek`` / ``snapshot_position`` / ``restore_position``: the
+    stream half of sub-cell recovery (``docs/robustness.md``)."""
+
+    def test_materialized_seek_edges(self):
+        trace = _mixed_trace(n_requests=100)
+        stream = trace.stream(chunk_size=30)  # chunks of 30/30/30/10
+        stream.next_chunk()
+        stream.next_chunk()
+        stream.seek(0)
+        ops, pages = _gather(stream)
+        assert np.array_equal(pages, trace.pages)
+        stream.seek(3)  # last chunk
+        chunk = stream.next_chunk()
+        assert np.array_equal(chunk[1], trace.pages[90:])
+        stream.seek(4)  # exactly EOF: positioned, exhausted, legal
+        assert stream.next_chunk() is None
+        with pytest.raises(TraceError, match="cannot seek"):
+            stream.seek(5)
+        with pytest.raises(TraceError, match="non-negative"):
+            stream.seek(-1)
+
+    def test_chunked_file_seek(self, tmp_path):
+        trace = _mixed_trace(n_requests=100)
+        path = str(tmp_path / "trace.twt")
+        save_chunked_trace(trace, path, chunk_size=30)
+        with ChunkedFileStream(path) as stream:
+            stream.next_chunk()
+            stream.seek(0)
+            ops, pages = _gather(stream)
+            assert np.array_equal(pages, trace.pages)
+            stream.seek(3)  # last chunk (payload-skipping, no decode)
+            assert np.array_equal(stream.next_chunk()[1], trace.pages[90:])
+            stream.seek(4)  # exactly EOF
+            assert stream.next_chunk() is None
+            with pytest.raises(TraceError, match="exhausted"):
+                stream.seek(5)
+            with pytest.raises(TraceError, match="non-negative"):
+                stream.seek(-1)
+
+    def test_text_stream_seek_replays(self, tmp_path):
+        trace = _mixed_trace(n_requests=90)
+        path = str(tmp_path / "trace.txt")
+        save_text_trace(trace, path)
+        with open_trace_stream(path, chunk_size=40) as stream:
+            stream.next_chunk()
+            stream.seek(2)  # base-protocol rewind + replay
+            tail = stream.next_chunk()
+            assert np.array_equal(tail[1], trace.pages[80:])
+            with pytest.raises(TraceError, match="exhausted at chunk"):
+                stream.seek(10)
+
+    def test_position_round_trip_is_generic(self, tmp_path):
+        trace = _mixed_trace(n_requests=100)
+        path = str(tmp_path / "trace.twt")
+        save_chunked_trace(trace, path, chunk_size=30)
+        with ChunkedFileStream(path) as stream:
+            stream.next_chunk()
+            stream.next_chunk()
+            state = stream.snapshot_position(2)
+            assert state == {"chunk_index": 2}
+        with ChunkedFileStream(path) as fresh:
+            fresh.restore_position(state)
+            assert np.array_equal(fresh.next_chunk()[1], trace.pages[60:90])
+
+    def test_ftl_seek_is_pure_in_seed_config_index(self):
+        sought = FTLWorkloadStream(64, seed=3, chunk_size=50)
+        sought.seek(5)
+        replayed = FTLWorkloadStream(64, seed=3, chunk_size=50)
+        for _ in range(5):
+            replayed.next_chunk()
+        for _ in range(3):
+            a, b = sought.next_chunk(), replayed.next_chunk()
+            assert np.array_equal(a[0], b[0])
+            assert np.array_equal(a[1], b[1])
+        # A third consumer never perturbs the mapping: seek again after
+        # arbitrary extra consumption, same chunks come back.
+        sought.next_chunk()
+        sought.seek(5)
+        again = sought.next_chunk()
+        fresh = FTLWorkloadStream(64, seed=3, chunk_size=50)
+        fresh.seek(5)
+        assert np.array_equal(again[1], fresh.next_chunk()[1])
+        with pytest.raises(TraceError, match="non-negative"):
+            fresh.seek(-2)
+
+    def test_ftl_position_snapshot_restores_without_replay(self):
+        stream = FTLWorkloadStream(64, seed=7, chunk_size=50)
+        for _ in range(4):
+            stream.next_chunk()
+        state = stream.snapshot_position(4)
+        expected = [stream.next_chunk() for _ in range(3)]
+        fresh = FTLWorkloadStream(64, seed=7, chunk_size=50)
+        fresh.restore_position(state)
+        for want in expected:
+            got = fresh.next_chunk()
+            assert np.array_equal(want[0], got[0])
+            assert np.array_equal(want[1], got[1])
+
+    def test_stream_driver_snapshot_restore_mid_loop(self):
+        trace = _mixed_trace(n_requests=60, n_pages=16)
+        driver = StreamDriver(trace.stream(chunk_size=13), n_pages=16)
+        for _ in range(3):
+            driver.next_batch(7)
+        state = driver.snapshot()
+        expected = [driver.next_batch(7).copy() for _ in range(12)]
+        fresh = StreamDriver(trace.stream(chunk_size=13), n_pages=16)
+        fresh.restore(state)
+        for want in expected:
+            assert np.array_equal(fresh.next_batch(7), want)
+        assert fresh.loops_completed == driver.loops_completed
+        assert fresh.requests_consumed == driver.requests_consumed
