@@ -9,9 +9,11 @@ test:
 	pytest tests/
 
 # Full lint gate: ruff (style/pyflakes/isort) + mypy on the typed core
-# + the repo's own determinism pass (rules TWL001-TWL007, see
-# docs/invariants.md).  ruff/mypy are dev extras; when absent locally
-# the corresponding step is skipped with a notice (CI installs both).
+# + the repo's own two-phase analyzer (per-file determinism rules
+# TWL001-TWL007 plus the project-wide state & effect rules
+# TWL008-TWL010, see docs/invariants.md).  ruff/mypy are dev extras;
+# when absent locally the corresponding step is skipped with a notice
+# (CI installs both).
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \

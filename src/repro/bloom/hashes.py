@@ -16,7 +16,7 @@ from ..rng.streams import derive_seed
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
 
-class HashFamily:
+class HashFamily:  # twl: allow(TWL008) reason=_cache memoizes a pure hash; rebuilding it after a restore is behaviour-neutral
     """``k`` independent multiply-shift hashes onto ``[0, m)``.
 
     ``m`` must be a power of two (the shift amount is 64 - log2(m)).

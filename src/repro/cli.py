@@ -337,11 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
-    if args.experiment == "lint":
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw[:1] == ["lint"]:
+        # The lint verb owns its own argument surface (paths, --format,
+        # --no-classify); hand everything after the verb straight through
+        # instead of teaching the experiment parser lint's flags.
         from .devtools.lint import main as lint_main
 
-        return lint_main([])
+        return lint_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.sanitize:
         # Set the env var too so pool workers under spawn arm themselves.
         os.environ[sanitize.SANITIZE_ENV] = "1"

@@ -8,9 +8,13 @@ wall-clock reads leak into result-producing paths, and every spec
 field is deliberately classified as identity-bearing or execution-only.
 This package makes those invariants *enforced* instead of folklore:
 
-* :mod:`repro.devtools.lint` — a stdlib-``ast`` static-analysis pass
-  over the package tree, reporting named, suppressible rules
-  (``TWL001``–``TWL005``); ``twl-repro lint`` and ``make lint`` run it.
+* :mod:`repro.devtools.lint` — a two-phase stdlib-``ast`` analyzer:
+  per-file determinism rules plus a project-wide index pass
+  (:mod:`repro.devtools.project_index`) feeding the cross-module state
+  and effect rules in :mod:`repro.devtools.state_rules`.  Named,
+  suppressible rules ``TWL001``–``TWL010``; ``twl-repro lint`` and
+  ``make lint`` run it, and ``--format json`` emits the stable finding
+  schema CI annotates from.
 * :mod:`repro.devtools.sanitize` — a runtime determinism sanitizer
   (``REPRO_SANITIZE=1`` / ``--sanitize``) that monkeypatches the
   ``random`` / ``numpy.random`` global-state entry points to raise

@@ -10,8 +10,14 @@ classified as identity-bearing or execution-only.  A single stray
 ``np.random.rand()`` in :mod:`repro.sim` would silently corrupt cache
 reuse and resume bit-identity with zero test failures.
 
-This module walks the package tree with the stdlib ``ast`` module (no
-third-party dependencies) and reports violations as named rules:
+This module is a two-phase, project-wide analyzer built on the stdlib
+``ast`` module (no third-party dependencies).  Phase one runs the
+single-file rules below over each module and builds a whole-tree symbol
+and effect index (:mod:`repro.devtools.project_index`: classes,
+cross-module base resolution, per-method ``self.*`` effect sets); phase
+two runs the cross-module state rules
+(:mod:`repro.devtools.state_rules`) against that index and audits every
+suppression pragma.  Violations are reported as named rules:
 
 ``TWL001``
     No ``random.*`` calls, no global-state ``numpy.random.*`` calls,
@@ -37,6 +43,11 @@ third-party dependencies) and reports violations as named rules:
 ``TWL005``
     ``__all__`` must list only names that exist and every public
     function/class defined in the module.
+``TWL006``
+    No per-element Python loops over canonical arrays
+    (``for x in arr.tolist(): ...``) inside the engine hot-path
+    packages; the batched write protocol exists to avoid exactly that
+    scalar cost.  Deliberate scalar tails carry a reasoned pragma.
 ``TWL007``
     No full-trace materialization (``.materialize()`` /
     ``.write_page_list()`` / ``load_*_trace()``) inside the streaming
@@ -46,6 +57,22 @@ third-party dependencies) and reports violations as named rules:
     campaigns run at constant memory; one materializing call quietly
     re-couples peak RSS to trace length.  Intentional materialized
     adapters (``TraceDriver``) carry a reasoned pragma.
+``TWL008``
+    Snapshot completeness (cross-module): every mutable instance
+    attribute of a class implementing the snapshot protocol —
+    including attributes assigned only outside ``__init__`` and
+    inherited ones — must be captured by the snapshot side and rebuilt
+    by the restore side; stateful classes in the audited state
+    packages must implement the protocol at all.
+``TWL009``
+    Batch/scalar effect parity (cross-module): a ``write_batch``
+    override must mutate exactly the state surface of its scalar
+    ``write`` path, transitively through every helper either one
+    calls.
+``TWL010``
+    No stale suppressions: a ``# twl: allow(...)`` pragma that no
+    longer matches any finding on its line is itself a finding, so
+    suppressions cannot rot in place.
 
 A genuine exception is silenced inline with a *reasoned* pragma::
 
@@ -53,16 +80,20 @@ A genuine exception is silenced inline with a *reasoned* pragma::
 
 Pragmas without a ``reason=`` do not suppress.  Rationale for each
 rule lives in ``docs/invariants.md``; ``twl-repro lint`` and
-``make lint`` are the entry points.
+``make lint`` are the entry points, and ``--format json`` emits the
+stable machine-readable finding schema CI turns into annotations.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import io
+import json
 import os
 import re
 import sys
+import tokenize
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -75,7 +106,18 @@ RULES: Dict[str, str] = {
     "TWL005": "__all__ inconsistent with public module names",
     "TWL006": "per-element Python loop over a canonical array in a hot path",
     "TWL007": "full-trace materialization in a streaming hot path",
+    "TWL008": "mutable state not covered by the snapshot/restore protocol",
+    "TWL009": "write_batch effect set differs from the scalar write path",
+    "TWL010": "stale twl: allow pragma suppressing no finding",
 }
+
+#: Rules a single-file pass can decide on its own.  TWL008/TWL009 need
+#: the whole-tree index and TWL010 needs the full finding set, so
+#: :func:`lint_source`/:func:`lint_file` audit only pragmas whose rule
+#: list stays within this set; the project pass audits the rest.
+_SINGLE_FILE_RULES: FrozenSet[str] = frozenset(
+    {"TWL000", "TWL001", "TWL002", "TWL003", "TWL004", "TWL005", "TWL006", "TWL007"}
+)
 
 #: Modules whose serialization/fingerprint role makes iteration order
 #: load-bearing (TWL004 applies only here).
@@ -171,6 +213,70 @@ class Violation:
     def format(self) -> str:
         """``path:line:col: RULE message`` diagnostic line."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# twl: allow(...)`` suppression comment."""
+
+    line: int
+    col: int
+    rules: FrozenSet[str]
+    reason: Optional[str]
+
+    @property
+    def has_reason(self) -> bool:
+        return self.reason is not None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A violation together with its suppression status."""
+
+    violation: Violation
+    suppressed: bool
+    #: The matching pragma when one covers this line/rule (present even
+    #: for a reasonless pragma, which matches but does not suppress).
+    pragma: Optional[Pragma] = None
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Full result of a project lint pass, suppressed findings included."""
+
+    findings: Tuple[Finding, ...]
+    files: Tuple[str, ...]
+
+    @property
+    def violations(self) -> List[Violation]:
+        """Unsuppressed violations — what drives the exit status."""
+        return [f.violation for f in self.findings if not f.suppressed]
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The stable ``--format json`` schema (version 1)."""
+        return {
+            "version": 1,
+            "files_checked": len(self.files),
+            "findings": [
+                {
+                    "rule": f.violation.rule,
+                    "path": f.violation.path,
+                    "line": f.violation.line,
+                    "col": f.violation.col,
+                    "message": f.violation.message,
+                    "suppressed": f.suppressed,
+                    "pragma": (
+                        None
+                        if f.pragma is None
+                        else {
+                            "rules": sorted(f.pragma.rules),
+                            "reason": f.pragma.reason,
+                        }
+                    ),
+                }
+                for f in self.findings
+            ],
+        }
 
 
 def module_name_for(path: str) -> str:
@@ -634,23 +740,85 @@ def _toplevel_bindings(tree: ast.Module) -> Tuple[Set[str], bool]:
     return bound, has_star
 
 
-def _suppressed(violation: Violation, pragmas: Dict[int, Tuple[Set[str], bool]]) -> bool:
-    entry = pragmas.get(violation.line)
-    if entry is None:
+def _suppressed(violation: Violation, pragmas: Dict[int, Pragma]) -> bool:
+    pragma = pragmas.get(violation.line)
+    if pragma is None:
         return False
-    rules, has_reason = entry
-    return violation.rule in rules and has_reason
+    return violation.rule in pragma.rules and pragma.has_reason
 
 
-def _collect_pragmas(source: str) -> Dict[int, Tuple[Set[str], bool]]:
-    pragmas: Dict[int, Tuple[Set[str], bool]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA_RE.search(line)
-        if match:
-            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
-            has_reason = bool(match.group(2) and match.group(2).strip())
-            pragmas[lineno] = (rules, has_reason)
+def _collect_pragmas(source: str) -> Dict[int, Pragma]:
+    """Suppression pragmas by line, from real comment tokens only.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps pragma
+    *examples* inside docstrings and string literals — like the one in
+    this module's own docstring — from registering as live
+    suppressions, which matters now that TWL010 audits every pragma.
+    Matching is anchored at the comment start for the same reason: a
+    doc comment *mentioning* a pragma is not one.
+    """
+    pragmas: Dict[int, Pragma] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.match(token.string)
+            if not match:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            reason = match.group(2)
+            reason = reason.strip() if reason and reason.strip() else None
+            pragmas[token.start[0]] = Pragma(
+                line=token.start[0],
+                col=token.start[1],
+                rules=rules,
+                reason=reason,
+            )
+    except tokenize.TokenError:
+        pass
     return pragmas
+
+
+def _stale_pragma_violations(
+    path: str,
+    pragmas: Dict[int, Pragma],
+    violations: Sequence[Violation],
+    restrict: Optional[FrozenSet[str]] = None,
+) -> List[Violation]:
+    """TWL010 for pragmas matching no violation on their line.
+
+    A pragma is *used* when any of its listed rules has a finding on
+    the pragma's line (even a reasonless pragma — the finding is then
+    reported unsuppressed, which is diagnosis enough).  ``restrict``
+    limits the audit to pragmas whose rule list stays within the given
+    set (the single-file pass cannot judge project-level rules).
+    """
+    rules_by_line: Dict[int, Set[str]] = {}
+    for violation in violations:
+        rules_by_line.setdefault(violation.line, set()).add(violation.rule)
+    stale: List[Violation] = []
+    for line in sorted(pragmas):
+        pragma = pragmas[line]
+        if restrict is not None and not pragma.rules <= restrict:
+            continue
+        if pragma.rules & rules_by_line.get(line, set()):
+            continue
+        listed = ", ".join(sorted(pragma.rules))
+        stale.append(
+            Violation(
+                path=path,
+                line=line,
+                col=pragma.col,
+                rule="TWL010",
+                message=(
+                    f"pragma allow({listed}) suppresses no finding on this "
+                    "line; delete the stale pragma"
+                ),
+            )
+        )
+    return stale
 
 
 def lint_source(
@@ -659,7 +827,10 @@ def lint_source(
     """Lint one module's source text; returns unsuppressed violations.
 
     ``module`` overrides the dotted-name inference from ``path`` (used
-    by the rule exemptions and the TWL004 module scoping).
+    by the rule exemptions and the TWL004 module scoping).  This is the
+    *single-file* pass: the cross-module rules TWL008/TWL009 need the
+    project index (:func:`lint_paths` / :func:`run_lint`), so pragmas
+    naming them are exempt from the TWL010 staleness audit here.
     """
     if module is None:
         module = module_name_for(path) if path != "<string>" else ""
@@ -677,6 +848,9 @@ def lint_source(
         ]
     violations = _FileLinter(path, module).run(tree)
     pragmas = _collect_pragmas(source)
+    violations = violations + _stale_pragma_violations(
+        path, pragmas, violations, restrict=_SINGLE_FILE_RULES
+    )
     kept = [v for v in violations if not _suppressed(v, pragmas)]
     return sorted(kept, key=lambda v: (v.line, v.col, v.rule))
 
@@ -702,12 +876,75 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
     return sorted(found)
 
 
+def _project_findings(paths: Sequence[str]) -> Tuple[List[str], List[Finding]]:
+    """Two-phase project pass: per-file rules, index, state rules, TWL010.
+
+    Each file is parsed once; the shared trees feed both the single-file
+    rule pass and the project index the cross-module rules consume.
+    Suppression is resolved centrally at the end so TWL010 can see the
+    complete pre-suppression finding set.
+    """
+    from .project_index import IndexSource, build_index
+    from .state_rules import check_state_rules
+
+    files = iter_python_files(paths)
+    raw: List[Violation] = []
+    pragma_maps: Dict[str, Dict[int, Pragma]] = {}
+    sources: List[IndexSource] = []
+    for path in files:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        module = module_name_for(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            raw.append(
+                Violation(
+                    path=path,
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    rule="TWL000",
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        raw.extend(_FileLinter(path, module).run(tree))
+        pragma_maps[path] = _collect_pragmas(source)
+        sources.append((path, module, tree))
+    index = build_index(sources)
+    raw.extend(check_state_rules(index))
+    violations_by_path: Dict[str, List[Violation]] = {}
+    for violation in raw:
+        violations_by_path.setdefault(violation.path, []).append(violation)
+    for path in sorted(pragma_maps):
+        raw.extend(
+            _stale_pragma_violations(
+                path, pragma_maps[path], violations_by_path.get(path, [])
+            )
+        )
+    findings: List[Finding] = []
+    for violation in sorted(raw, key=lambda v: (v.path, v.line, v.col, v.rule)):
+        pragma = pragma_maps.get(violation.path, {}).get(violation.line)
+        matched = pragma is not None and violation.rule in pragma.rules
+        findings.append(
+            Finding(
+                violation=violation,
+                suppressed=matched and pragma is not None and pragma.has_reason,
+                pragma=pragma if matched else None,
+            )
+        )
+    return files, findings
+
+
 def lint_paths(paths: Sequence[str]) -> List[Violation]:
-    """Lint every Python file under ``paths``."""
-    violations: List[Violation] = []
-    for path in iter_python_files(paths):
-        violations.extend(lint_file(path))
-    return violations
+    """Project-lint every Python file under ``paths``.
+
+    Runs the full two-phase analyzer — single-file rules, the
+    whole-tree index, the cross-module state rules TWL008/TWL009, and
+    the TWL010 pragma audit — and returns the unsuppressed violations.
+    """
+    _, findings = _project_findings(paths)
+    return [f.violation for f in findings if not f.suppressed]
 
 
 # ----------------------------------------------------------------------
@@ -779,14 +1016,25 @@ def default_lint_root() -> str:
     return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+def run_lint_report(
+    paths: Optional[Sequence[str]] = None, classify: bool = True
+) -> LintReport:
+    """Full lint pass with suppression detail: AST + state rules + TWL003."""
+    files, findings = _project_findings(
+        list(paths) if paths else [default_lint_root()]
+    )
+    if classify:
+        findings.extend(
+            Finding(violation=v, suppressed=False) for v in check_classifications()
+        )
+    return LintReport(findings=tuple(findings), files=tuple(files))
+
+
 def run_lint(
     paths: Optional[Sequence[str]] = None, classify: bool = True
 ) -> List[Violation]:
-    """Full lint pass: AST rules over ``paths`` plus TWL003."""
-    violations = lint_paths(list(paths) if paths else [default_lint_root()])
-    if classify:
-        violations.extend(check_classifications())
-    return violations
+    """Full lint pass: AST + state rules over ``paths`` plus TWL003."""
+    return run_lint_report(paths, classify=classify).violations
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -794,8 +1042,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="twl-repro lint",
         description=(
-            "Static determinism/purity checks for the TWL reproduction "
-            "(rules TWL001-TWL007; see docs/invariants.md)."
+            "Static determinism/purity/state checks for the TWL "
+            "reproduction (rules TWL001-TWL010; see docs/invariants.md)."
         ),
     )
     parser.add_argument(
@@ -808,13 +1056,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="skip the TWL003 field-classification check",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help=(
+            "output format: 'text' prints path:line:col diagnostics, "
+            "'json' emits the stable finding schema (suppressed findings "
+            "and their pragmas included) for CI annotation tooling"
+        ),
+    )
     args = parser.parse_args(argv)
-    violations = run_lint(args.paths or None, classify=not args.no_classify)
-    for violation in sorted(
-        violations, key=lambda v: (v.path, v.line, v.col, v.rule)
-    ):
-        print(violation.format())
-    files = len(iter_python_files(args.paths or [default_lint_root()]))
+    report = run_lint_report(args.paths or None, classify=not args.no_classify)
+    violations = report.violations
+    if args.output_format == "json":
+        print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        for violation in sorted(
+            violations, key=lambda v: (v.path, v.line, v.col, v.rule)
+        ):
+            print(violation.format())
+    files = len(report.files)
     if violations:
         print(
             f"twl-repro lint: {len(violations)} violation(s) in {files} file(s)",

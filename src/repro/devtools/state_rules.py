@@ -1,0 +1,338 @@
+"""Cross-module state & effect rules (TWL008/TWL009) over the project index.
+
+These rules machine-check the two invariants PR 8's snapshot work and
+PR 6/7's batched write paths established by hand:
+
+``TWL008`` — snapshot completeness.  For every class implementing the
+    snapshot protocol (a :data:`~repro.devtools.project_index.SNAPSHOT_METHOD_NAMES`
+    method *and* a :data:`~repro.devtools.project_index.RESTORE_METHOD_NAMES`
+    method anywhere in its project MRO), every *mutable* instance
+    attribute — one written or mutated in place outside
+    ``__init__``/``__post_init__`` and the protocol methods themselves,
+    including attributes inherited from bases in other modules — must be
+    referenced by both the snapshot side and the restore side.  Owned
+    components (attributes bound in ``__init__`` to a constructor call
+    of another indexed class that itself implements the protocol) must
+    likewise travel in both directions.  Additionally, a stateful class
+    in the audited state packages that lacks the protocol entirely is
+    flagged at its definition.
+
+``TWL009`` — batch/scalar effect parity.  A ``write_batch`` override
+    must mutate exactly the state surface its scalar ``write`` path
+    mutates (transitively, through every ``self`` helper either one
+    calls).  An asymmetric effect is the exact bug class the
+    bit-identity suite can only catch per-input; here it is caught
+    per-*code-path*.
+
+Violations anchor where a pragma can sit next to the offending code:
+TWL008 at the attribute's first non-init mutation (or the owning
+``__init__`` assignment, or the class definition for a missing
+protocol), TWL009 at the ``write_batch`` definition line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .lint import Violation
+from .project_index import (
+    INIT_METHOD_NAMES,
+    RESTORE_METHOD_NAMES,
+    SNAPSHOT_METHOD_NAMES,
+    ClassInfo,
+    MethodInfo,
+    ProjectIndex,
+)
+
+#: Module prefixes audited for *missing* snapshot protocol (TWL008):
+#: the packages whose classes hold engine-reachable run state.  The
+#: engine's observers (:mod:`repro.engine.observers`) are intentionally
+#: excluded — they are reporting instrumentation, not resumable state.
+AUDITED_STATE_PREFIXES: Tuple[str, ...] = (
+    "repro.attacks",
+    "repro.bloom",
+    "repro.core",
+    "repro.pcm",
+    "repro.rng",
+    "repro.sim.drivers",
+    "repro.tables",
+    "repro.wearlevel",
+)
+
+#: Method names excluded when inferring a class's mutable attribute set:
+#: construction and the snapshot protocol itself (restore rebinds every
+#: captured attribute by design).
+_NON_MUTATION_METHODS = (
+    INIT_METHOD_NAMES | SNAPSHOT_METHOD_NAMES | RESTORE_METHOD_NAMES
+)
+
+
+def _mro_methods(
+    index: ProjectIndex, qualname: str
+) -> Dict[str, Tuple[ClassInfo, MethodInfo]]:
+    """First definition of each method name along the project MRO."""
+    out: Dict[str, Tuple[ClassInfo, MethodInfo]] = {}
+    for info in index.mro(qualname):
+        for name, method in info.methods.items():
+            out.setdefault(name, (info, method))
+    return out
+
+
+def _implements_protocol(
+    methods: Dict[str, Tuple[ClassInfo, MethodInfo]]
+) -> bool:
+    names = {n for n, (_, m) in methods.items() if not m.is_property}
+    return bool(names & SNAPSHOT_METHOD_NAMES) and bool(
+        names & RESTORE_METHOD_NAMES
+    )
+
+
+def _mutable_attrs(
+    index: ProjectIndex,
+    qualname: str,
+    methods: Dict[str, Tuple[ClassInfo, MethodInfo]],
+) -> Dict[str, Tuple[ClassInfo, int]]:
+    """Attributes written/mutated outside construction and the protocol.
+
+    Maps each attribute to its first mutation site ``(owner, line)`` —
+    the location a suppressing pragma belongs at.
+    """
+    method_names = set(methods)
+    properties = index.mro_properties(qualname)
+    out: Dict[str, Tuple[ClassInfo, int]] = {}
+    ordered = sorted(
+        (
+            (owner, method)
+            for name, (owner, method) in methods.items()
+            if name not in _NON_MUTATION_METHODS
+        ),
+        key=lambda pair: (pair[0].module, pair[1].lineno),
+    )
+    for owner, method in ordered:
+        for attr, lineno in sorted(
+            list(method.writes.items()) + list(method.mutations.items()),
+            key=lambda item: item[1],
+        ):
+            if attr in method_names or attr in properties:
+                continue
+            if attr.startswith("__"):
+                continue
+            if attr not in out:
+                out[attr] = (owner, lineno)
+    return out
+
+
+def _protocol_effects(
+    index: ProjectIndex,
+    qualname: str,
+    methods: Dict[str, Tuple[ClassInfo, MethodInfo]],
+    family: FrozenSet[str],
+) -> Set[str]:
+    """Attributes a protocol family touches, expanded transitively.
+
+    Follows ``self.helper()`` calls resolved through the MRO and reads
+    of properties (a snapshot that captures ``self.prop`` captures the
+    attributes the getter reads).
+    """
+    properties = index.mro_properties(qualname)
+    touched: Set[str] = set()
+    visited: Set[str] = set()
+    stack = [name for name in methods if name in family]
+    while stack:
+        name = stack.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        entry = methods.get(name)
+        if entry is None:
+            continue
+        _, method = entry
+        touched |= method.touched_attrs()
+        stack.extend(method.self_calls)
+        stack.extend(read for read in method.reads if read in properties)
+    return touched
+
+
+def _method_effects(
+    index: ProjectIndex,
+    qualname: str,
+    methods: Dict[str, Tuple[ClassInfo, MethodInfo]],
+    start: str,
+) -> Set[str]:
+    """Write-effect attribute set of a method, expanded transitively.
+
+    A ``self.f(...)`` call that resolves to no method along the MRO is a
+    bound callable stored in an instance attribute (``self._write_page =
+    array.write``); the attribute itself becomes the effect.
+    """
+    effects: Set[str] = set()
+    visited: Set[str] = set()
+    stack = [start]
+    while stack:
+        name = stack.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        entry = methods.get(name)
+        if entry is None:
+            effects.add(name)
+            continue
+        _, method = entry
+        effects |= method.effect_attrs()
+        stack.extend(method.self_calls)
+    return effects
+
+
+def _first_init_site(
+    index: ProjectIndex, qualname: str, attr: str
+) -> Optional[Tuple[ClassInfo, int]]:
+    for info in index.mro(qualname):
+        if attr in info.init_attrs:
+            return info, info.init_attrs[attr]
+    return None
+
+
+#: Accumulator keyed by the finding's identity — ``(path, line, rule,
+#: attribute)`` — so the same defect reached through several subclasses
+#: reports once, while distinct attributes anchored at one line (TWL009)
+#: stay distinct findings.
+_Findings = Dict[Tuple[str, int, str, str], Violation]
+
+
+def _check_snapshot_completeness(
+    index: ProjectIndex, qualname: str, findings: _Findings
+) -> None:
+    info = index.classes[qualname]
+    methods = _mro_methods(index, qualname)
+    mutable = _mutable_attrs(index, qualname, methods)
+    if not _implements_protocol(methods):
+        if mutable and info.module.startswith(AUDITED_STATE_PREFIXES):
+            attrs = ", ".join(sorted(mutable))
+            path = index.path_of(info)
+            findings.setdefault(
+                (path, info.lineno, "TWL008", "<class>"),
+                Violation(
+                    path=path,
+                    line=info.lineno,
+                    col=0,
+                    rule="TWL008",
+                    message=(
+                        f"stateful class {info.name} (mutable: {attrs}) "
+                        "implements no snapshot/restore protocol; mid-run "
+                        "persistence silently loses its state"
+                    ),
+                ),
+            )
+        return
+    captured = _protocol_effects(index, qualname, methods, SNAPSHOT_METHOD_NAMES)
+    restored = _protocol_effects(index, qualname, methods, RESTORE_METHOD_NAMES)
+    flagged: Set[str] = set()
+    for attr in sorted(mutable):
+        missing = []
+        if attr not in captured:
+            missing.append("snapshot")
+        if attr not in restored:
+            missing.append("restore")
+        if not missing:
+            continue
+        owner, lineno = mutable[attr]
+        flagged.add(attr)
+        path = index.path_of(owner)
+        findings.setdefault(
+            (path, lineno, "TWL008", attr),
+            Violation(
+                path=path,
+                line=lineno,
+                col=0,
+                rule="TWL008",
+                message=(
+                    f"mutable attribute '{attr}' of {owner.name} is missing "
+                    f"from the {' and '.join(missing)} side of the snapshot "
+                    "protocol; a resumed run diverges"
+                ),
+            ),
+        )
+    # Owned components: state constructed in __init__ whose class itself
+    # snapshots must travel in both directions even if this class never
+    # rebinds the attribute.
+    for mro_info in index.mro(qualname):
+        for attr, chain in sorted(mro_info.ctor_chains.items()):
+            if attr in flagged or (attr in captured and attr in restored):
+                continue
+            component = index.resolve_name(mro_info.module, chain)
+            if component is None:
+                continue
+            comp_methods = _mro_methods(index, component)
+            if not _implements_protocol(comp_methods):
+                continue
+            site = _first_init_site(index, qualname, attr)
+            owner, lineno = site if site else (mro_info, mro_info.lineno)
+            flagged.add(attr)
+            path = index.path_of(owner)
+            findings.setdefault(
+                (path, lineno, "TWL008", attr),
+                Violation(
+                    path=path,
+                    line=lineno,
+                    col=0,
+                    rule="TWL008",
+                    message=(
+                        f"owned component '{attr}' of {owner.name} (a "
+                        f"{index.classes[component].name}, which snapshots) "
+                        "does not travel through the snapshot/restore "
+                        "protocol"
+                    ),
+                ),
+            )
+
+
+def _check_batch_parity(
+    index: ProjectIndex, qualname: str, findings: _Findings
+) -> None:
+    info = index.classes[qualname]
+    batch = info.methods.get("write_batch")
+    if batch is None or batch.is_property:
+        return
+    methods = _mro_methods(index, qualname)
+    if "write" not in methods:
+        return
+    batch_effects = _method_effects(index, qualname, methods, "write_batch")
+    scalar_effects = _method_effects(index, qualname, methods, "write")
+    path = index.path_of(info)
+    for attr in sorted(batch_effects ^ scalar_effects):
+        side, other = (
+            ("write_batch", "the scalar write path")
+            if attr in batch_effects
+            else ("the scalar write path", "write_batch")
+        )
+        findings.setdefault(
+            (path, batch.lineno, "TWL009", attr),
+            Violation(
+                path=path,
+                line=batch.lineno,
+                col=0,
+                rule="TWL009",
+                message=(
+                    f"{side} of {info.name} touches '{attr}' but {other} "
+                    "does not; batched and serial runs can diverge"
+                ),
+            ),
+        )
+
+
+def check_state_rules(index: ProjectIndex) -> List[Violation]:
+    """TWL008/TWL009 violations over an indexed project tree.
+
+    Findings are deduplicated by ``(path, line, rule, attribute)``, so a
+    base class's uncaptured attribute anchors at one mutation site even
+    when several subclasses inherit the defect — one reasoned pragma
+    (or one fix) settles it — while distinct attributes flagged at the
+    same line stay distinct findings.
+    """
+    findings: _Findings = {}
+    for qualname in sorted(index.classes):
+        _check_snapshot_completeness(index, qualname, findings)
+        _check_batch_parity(index, qualname, findings)
+    return sorted(
+        findings.values(), key=lambda v: (v.path, v.line, v.col, v.rule, v.message)
+    )

@@ -156,7 +156,7 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     def add_observer(self, observer: EngineObserver) -> None:
         """Attach ``observer`` to subsequent steps of this engine."""
-        self._observers = self._observers + (observer,)
+        self._observers = self._observers + (observer,)  # twl: allow(TWL008) reason=observers are per-process instrumentation; the harness re-attaches them on resume
 
     def _notify(self, hook: str, *args: object) -> None:
         """Dispatch one observer callback with detach-on-failure.
@@ -284,7 +284,7 @@ class SimulationEngine:
                 if not due and plan.seconds is not None:
                     now = plan.clock()
                     if now - self._last_snapshot_clock >= plan.seconds:
-                        self._last_snapshot_clock = now
+                        self._last_snapshot_clock = now  # twl: allow(TWL008) reason=wall-clock cadence register; restarts from the resume-time clock by design
                         due = True
                 if due:
                     self.emit_snapshot()
@@ -349,7 +349,7 @@ class SimulationEngine:
         if plan is None:
             raise SimulationError("engine has no snapshot plan")
         write_snapshot(plan.path, self.snapshot_state(), meta=plan.meta)
-        self.snapshots_written += 1
+        self.snapshots_written += 1  # twl: allow(TWL008) reason=per-process emission counter, not resumable simulation state
         return plan.path
 
     # ------------------------------------------------------------------

@@ -46,7 +46,7 @@ class LineWearConfig:
             raise ConfigError("line dirty probability must be in (0, 1]")
 
 
-class LineWearModel:
+class LineWearModel:  # twl: allow(TWL008) reason=transient local of effective_page_endurance; never outlives one call, nothing to resume
     """Line-granularity wear for a single page."""
 
     def __init__(

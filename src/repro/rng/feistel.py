@@ -243,7 +243,7 @@ class FeistelRNG:
         """Next pseudorandom word in ``[0, 2**bits)``."""
         if self.bits <= self._TABLE_BITS_MAX:
             if self._words is None:
-                self._words = self._network.encrypt_array(
+                self._words = self._network.encrypt_array(  # twl: allow(TWL008) reason=lazy word table derived from (_seed, _epoch), which the snapshot captures
                     np.arange(self._network.period, dtype=np.int64)
                 )
             value = int(self._words[self._counter])
@@ -253,7 +253,7 @@ class FeistelRNG:
         if self._counter == self._network.period:
             self._counter = 0
             self._epoch += 1
-            self._network = FeistelNetwork(
+            self._network = FeistelNetwork(  # twl: allow(TWL008) reason=epoch-keyed permutation rebuilt from (_seed, _epoch), which the snapshot captures
                 bits=self.bits,
                 seed=self._seed + 0x10001 * self._epoch,
                 rounds=self._rounds,

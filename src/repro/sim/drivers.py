@@ -249,7 +249,7 @@ class StreamDriver(WorkloadDriver):
             take = min(max_demand - served, self._buffer.size - self._offset)
             chunk = self._buffer[self._offset : self._offset + take]
             consumed = 0
-            for logical in chunk.tolist():  # twl: allow(TWL006) reason=legacy per-write data path
+            for logical in chunk.tolist():
                 write(logical)
                 consumed += 1
                 if array.failed:

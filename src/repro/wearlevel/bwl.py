@@ -132,9 +132,9 @@ class BloomWearLeveling(WearLeveler):
         if logical not in self._hot_set:
             estimate = self.hot_filter.estimate(logical)
             if estimate >= self.hot_threshold:
-                self._hot_set.add(logical)
+                self._hot_set.add(logical)  # twl: allow(TWL008) reason=set mirror of _hot_list; _restore_state rebuilds it from the snapshotted list
                 self._hot_list.append(logical)
-                self._cold_set.discard(logical)
+                self._cold_set.discard(logical)  # twl: allow(TWL008) reason=set mirror of _cold_queue; _restore_state rebuilds it from the snapshotted queue
             elif estimate <= self.cold_threshold and logical not in self._cold_set:
                 # An observed-but-cold address: a candidate for the
                 # least-remaining-life frames at the next swap point.

@@ -19,18 +19,13 @@ class NoWearLeveling(WearLeveler):
 
     name = "nowl"
 
-    def __init__(self, array: PCMArray):
-        super().__init__(array)
-        # Bind hot-loop attributes locally for speed.
-        self._write_page = array.write
-
     def translate(self, logical: int) -> int:
         self.check_logical(logical)
         return logical
 
     def write(self, logical: int) -> int:
         self.check_logical(logical)
-        self._write_page(logical)
+        self.array.write(logical)
         self.demand_writes += 1
         return 1
 

@@ -1,14 +1,17 @@
 """Tests for the determinism lint pass and the runtime sanitizer.
 
-Covers ``repro.devtools.lint`` (rules TWL001–TWL007, pragma
-suppression, the full-tree-clean invariant) and
-``repro.devtools.sanitize`` (global-RNG booby traps armed inside
-engine stepping and cell runs, disarmed elsewhere).
+Covers ``repro.devtools.lint`` (rules TWL001–TWL010, pragma
+suppression and staleness auditing, the JSON report schema, the
+full-tree-clean invariant) and ``repro.devtools.sanitize`` (global-RNG
+booby traps armed inside engine stepping and cell runs, disarmed
+elsewhere).  The index pass and the cross-module state & effect rules
+have their own dedicated suite in ``tests/test_project_index.py``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import random
 import textwrap
 
@@ -25,9 +28,11 @@ from repro.devtools.lint import (
     check_field_classification,
     default_lint_root,
     iter_python_files,
+    lint_paths,
     lint_source,
     module_name_for,
     run_lint,
+    run_lint_report,
 )
 from repro.engine import BatchSnapshot, EngineObserver, SimulationEngine
 from repro.errors import DeterminismViolation
@@ -344,7 +349,144 @@ class TestInfrastructure:
             "TWL005",
             "TWL006",
             "TWL007",
+            "TWL008",
+            "TWL009",
+            "TWL010",
         }
+
+
+class TestRuleTWL010StalePragmas:
+    def test_stale_pragma_flagged(self):
+        out = _lint("x = 1  # twl: allow(TWL001) reason=nothing here\n")
+        assert _rules(out) == {"TWL010"}
+        assert "allow(TWL001)" in out[0].message
+
+    def test_used_pragma_not_flagged(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # twl: allow(TWL001) reason=test fixture\n"
+        )
+        assert _lint(source) == []
+
+    def test_reasonless_pragma_counts_as_used(self):
+        # A reasonless pragma doesn't suppress (the finding still
+        # reports), but it isn't *stale* either — the fix is to add a
+        # reason, not to delete it.
+        source = "import random\nx = random.random()  # twl: allow(TWL001)\n"
+        assert _rules(_lint(source)) == {"TWL001"}
+
+    def test_single_file_pass_skips_project_rule_pragmas(self):
+        # TWL008/TWL009 only fire in the project pass; a single-file
+        # pass can't tell whether their pragmas are earning their keep,
+        # so it must not call them stale.
+        out = _lint("x = 1  # twl: allow(TWL008) reason=set mirror\n")
+        assert out == []
+
+    def test_twl010_itself_suppressible_with_reason(self):
+        source = "x = 1  # twl: allow(TWL001, TWL010) reason=kept on purpose\n"
+        assert _lint(source) == []
+
+    def test_pragma_text_inside_string_literal_ignored(self):
+        source = 'text = "# twl: allow(TWL001) reason=doc example"\n'
+        assert _lint(source) == []
+
+    def test_pragma_mentioned_mid_comment_ignored(self):
+        source = "x = 1  # docs: add a `# twl: allow(TWL001)` pragma here\n"
+        assert _lint(source) == []
+
+
+BASE_SCHEME = textwrap.dedent(
+    """
+    class Scheme:
+        def __init__(self):
+            self.moves = 0
+
+        def snapshot_state(self):
+            return {"moves": self.moves}
+
+        def restore_state(self, state):
+            self.moves = state["moves"]
+    """
+)
+
+CHILD_SCHEME = textwrap.dedent(
+    """
+    from base import Scheme
+
+
+    class Rotating(Scheme):
+        def write(self, logical):
+            self.cursor = logical
+    """
+)
+
+
+class TestProjectPass:
+    """The two-phase pipeline end to end, over throwaway trees."""
+
+    def _tree(self, tmp_path, child_source=CHILD_SCHEME):
+        (tmp_path / "base.py").write_text(BASE_SCHEME)
+        (tmp_path / "child.py").write_text(child_source)
+        return str(tmp_path)
+
+    def test_cross_file_twl008_finding(self, tmp_path):
+        out = lint_paths([self._tree(tmp_path)])
+        assert _rules(out) == {"TWL008"}
+        (violation,) = out
+        assert violation.path.endswith("child.py")
+        assert "'cursor'" in violation.message
+
+    def test_reasoned_pragma_suppresses_project_rule(self, tmp_path):
+        suppressed = CHILD_SCHEME.replace(
+            "self.cursor = logical",
+            "self.cursor = logical  "
+            "# twl: allow(TWL008) reason=derived, rebuilt on restore",
+        )
+        assert lint_paths([self._tree(tmp_path, suppressed)]) == []
+
+    def test_project_pass_audits_project_rule_pragmas(self, tmp_path):
+        stale = CHILD_SCHEME.replace(
+            "self.cursor = logical",
+            "pass  # twl: allow(TWL008) reason=obsolete",
+        )
+        out = lint_paths([self._tree(tmp_path, stale)])
+        assert _rules(out) == {"TWL010"}
+
+    def test_json_report_schema(self, tmp_path):
+        suppressed = CHILD_SCHEME.replace(
+            "self.cursor = logical",
+            "self.cursor = logical  "
+            "# twl: allow(TWL008) reason=derived, rebuilt on restore",
+        )
+        report = run_lint_report([self._tree(tmp_path, suppressed)], classify=False)
+        payload = json.loads(json.dumps(report.to_json_dict(), sort_keys=True))
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 2
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "TWL008"
+        assert finding["suppressed"] is True
+        assert finding["pragma"] == {
+            "reason": "derived, rebuilt on restore",
+            "rules": ["TWL008"],
+        }
+        assert set(finding) == {
+            "rule",
+            "path",
+            "line",
+            "col",
+            "message",
+            "suppressed",
+            "pragma",
+        }
+
+    def test_json_cli_output_parses(self, tmp_path, capsys):
+        from repro.devtools.lint import main as lint_main
+
+        code = lint_main([self._tree(tmp_path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        unsuppressed = [f for f in payload["findings"] if not f["suppressed"]]
+        assert [f["rule"] for f in unsuppressed] == ["TWL008"]
 
 
 class TestTreeClean:

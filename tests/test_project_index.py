@@ -1,0 +1,444 @@
+"""Tests for the project-wide index pass and the state & effect rules.
+
+Covers ``repro.devtools.project_index`` (symbol table, cross-module
+base-class resolution, per-method effect sets, property/``__slots__``
+awareness) and ``repro.devtools.state_rules`` (TWL008 snapshot
+completeness, TWL009 batch/scalar effect parity) over planted-defect
+fixtures — including the removed-snapshot-field regression the rules
+exist to catch.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.project_index import build_index
+from repro.devtools.state_rules import check_state_rules
+
+
+def _index(**modules: str):
+    """Build an index from ``module_name=source`` keyword fixtures.
+
+    Module names use ``__`` for dots so they stay valid keywords
+    (``repro__wearlevel__fake`` -> ``repro.wearlevel.fake``).
+    """
+    sources = []
+    for key, source in modules.items():
+        name = key.replace("__", ".")
+        sources.append((f"<{name}>", name, textwrap.dedent(source)))
+    return build_index(sources)
+
+
+def _rules(violations) -> set:
+    return {v.rule for v in violations}
+
+
+COMPLETE_COUNTER = """
+    class Counter:
+        def __init__(self):
+            self.total = 0
+            self.errors = 0
+
+        def tick(self, failed):
+            self.total += 1
+            if failed:
+                self.errors += 1
+
+        def snapshot_state(self):
+            return {"total": self.total, "errors": self.errors}
+
+        def restore_state(self, state):
+            self.total = state["total"]
+            self.errors = state["errors"]
+"""
+
+
+class TestIndexPass:
+    def test_methods_and_effect_sets(self):
+        index = _index(counters=COMPLETE_COUNTER)
+        info = index.classes["counters.Counter"]
+        tick = info.methods["tick"]
+        assert set(tick.writes) == {"total", "errors"}
+        assert info.methods["snapshot_state"].reads == {"total", "errors"}
+        assert set(info.methods["restore_state"].writes) == {"total", "errors"}
+
+    def test_init_attrs_recorded_separately(self):
+        index = _index(counters=COMPLETE_COUNTER)
+        info = index.classes["counters.Counter"]
+        assert set(info.init_attrs) == {"total", "errors"}
+
+    def test_attr_assigned_outside_init_is_an_effect_not_an_init_attr(self):
+        index = _index(
+            lazy="""
+            class Lazy:
+                def __init__(self):
+                    self.base = 0
+
+                def warm(self):
+                    self.cache = [self.base]
+            """
+        )
+        info = index.classes["lazy.Lazy"]
+        assert "cache" not in info.init_attrs
+        assert "cache" in info.methods["warm"].writes
+
+    def test_alias_mutation_attributed_to_attribute(self):
+        index = _index(
+            queues="""
+            class Spool:
+                def __init__(self):
+                    self._queue = []
+
+                def push(self, item):
+                    queue = self._queue
+                    queue.append(item)
+            """
+        )
+        push = index.classes["queues.Spool"].methods["push"]
+        assert "_queue" in push.mutations
+
+    def test_cross_module_base_resolution(self):
+        index = _index(
+            schemes__base="""
+            class Scheme:
+                def snapshot_state(self):
+                    return {}
+            """,
+            schemes__rotating="""
+            from schemes.base import Scheme
+
+            class Rotating(Scheme):
+                def write(self, logical):
+                    return logical
+            """,
+        )
+        mro = index.mro("schemes.rotating.Rotating")
+        assert [info.qualname for info in mro] == [
+            "schemes.rotating.Rotating",
+            "schemes.base.Scheme",
+        ]
+
+    def test_slots_recorded(self):
+        index = _index(
+            packed="""
+            class Packed:
+                __slots__ = ("a", "b")
+            """
+        )
+        assert index.classes["packed.Packed"].slots == ("a", "b")
+
+    def test_property_detection(self):
+        index = _index(
+            gauges="""
+            class Gauge:
+                def __init__(self):
+                    self._level = 0
+
+                @property
+                def level(self):
+                    return self._level
+            """
+        )
+        info = index.classes["gauges.Gauge"]
+        assert info.property_names() == {"level"}
+        assert index.mro_properties("gauges.Gauge") == {"level"}
+
+    def test_dataclass_fields_count_as_init_attrs(self):
+        index = _index(
+            records="""
+            from dataclasses import dataclass
+
+            @dataclass
+            class Record:
+                count: int = 0
+            """
+        )
+        info = index.classes["records.Record"]
+        assert info.is_dataclass
+        assert "count" in info.init_attrs
+
+    def test_syntax_error_module_is_skipped(self):
+        index = _index(ok=COMPLETE_COUNTER, broken="def broken(:\n")
+        assert "counters.Counter" not in index.classes  # sanity: key naming
+        assert "ok.Counter" in index.classes
+        assert "broken" not in index.modules
+
+
+class TestTWL008SnapshotCompleteness:
+    def test_complete_protocol_is_clean(self):
+        index = _index(counters=COMPLETE_COUNTER)
+        assert check_state_rules(index) == []
+
+    def test_removed_snapshot_field_trips_twl008(self):
+        # The regression the rule exists for: delete one field from the
+        # snapshot dict and the analyzer must notice.
+        index = _index(
+            counters=COMPLETE_COUNTER.replace(
+                '"total": self.total, "errors": self.errors}',
+                '"total": self.total}',
+            )
+        )
+        out = check_state_rules(index)
+        assert _rules(out) == {"TWL008"}
+        (violation,) = out
+        assert "'errors'" in violation.message
+        assert "snapshot side" in violation.message
+
+    def test_removed_restore_field_trips_twl008(self):
+        index = _index(
+            counters=COMPLETE_COUNTER.replace(
+                'self.errors = state["errors"]', "pass"
+            )
+        )
+        out = check_state_rules(index)
+        assert _rules(out) == {"TWL008"}
+        assert "restore side" in out[0].message
+
+    def test_inherited_protocol_sees_subclass_attribute(self):
+        index = _index(
+            schemes__base="""
+            class Scheme:
+                def __init__(self):
+                    self.moves = 0
+
+                def snapshot_state(self):
+                    return {"moves": self.moves}
+
+                def restore_state(self, state):
+                    self.moves = state["moves"]
+            """,
+            schemes__rotating="""
+            from schemes.base import Scheme
+
+            class Rotating(Scheme):
+                def write(self, logical):
+                    self.moves += 1
+                    self.cursor = logical
+            """,
+        )
+        out = check_state_rules(index)
+        assert _rules(out) == {"TWL008"}
+        (violation,) = out
+        assert "'cursor'" in violation.message
+        assert violation.path == "<schemes.rotating>"
+
+    def test_snapshot_through_property_captures_backing_attr(self):
+        index = _index(
+            gauges="""
+            class Gauge:
+                def __init__(self):
+                    self._level = 0
+
+                def bump(self):
+                    self._level += 1
+
+                @property
+                def level(self):
+                    return self._level
+
+                def snapshot_state(self):
+                    return {"level": self.level}
+
+                def restore_state(self, state):
+                    self._level = state["level"]
+            """
+        )
+        assert check_state_rules(index) == []
+
+    def test_snapshot_through_helper_captures_transitively(self):
+        index = _index(
+            layered="""
+            class Layered:
+                def __init__(self):
+                    self.count = 0
+
+                def tick(self):
+                    self.count += 1
+
+                def _base_state(self):
+                    return {"count": self.count}
+
+                def snapshot_state(self):
+                    return self._base_state()
+
+                def restore_state(self, state):
+                    self.count = state["count"]
+            """
+        )
+        assert check_state_rules(index) == []
+
+    def test_stateful_class_without_protocol_flagged_in_audited_package(self):
+        index = _index(
+            repro__wearlevel__fake="""
+            class Tracker:
+                def __init__(self):
+                    self.hits = 0
+
+                def record(self):
+                    self.hits += 1
+            """
+        )
+        out = check_state_rules(index)
+        assert _rules(out) == {"TWL008"}
+        assert "no snapshot/restore protocol" in out[0].message
+
+    def test_missing_protocol_rule_scoped_to_audited_packages(self):
+        index = _index(
+            tools__example="""
+            class Tracker:
+                def __init__(self):
+                    self.hits = 0
+
+                def record(self):
+                    self.hits += 1
+            """
+        )
+        assert check_state_rules(index) == []
+
+    def test_owned_component_must_travel(self):
+        source = """
+            class Table:
+                def __init__(self, n):
+                    self.rows = [0] * n
+
+                def bump(self, i):
+                    self.rows[i] += 1
+
+                def snapshot_state(self):
+                    return {"rows": list(self.rows)}
+
+                def restore_state(self, state):
+                    self.rows = list(state["rows"])
+
+            class Owner:
+                def __init__(self, n):
+                    self.table = Table(n)
+                    self.spins = 0
+
+                def spin(self):
+                    self.spins += 1
+
+                def snapshot_state(self):
+                    return {"spins": self.spins}
+
+                def restore_state(self, state):
+                    self.spins = state["spins"]
+        """
+        out = check_state_rules(_index(tables=source))
+        assert _rules(out) == {"TWL008"}
+        assert "owned component 'table'" in out[0].message
+
+        travelling = source.replace(
+            '{"spins": self.spins}',
+            '{"spins": self.spins, "table": self.table.snapshot_state()}',
+        ).replace(
+            'self.spins = state["spins"]',
+            'self.spins = state["spins"]\n'
+            '        self.table.restore_state(state["table"])',
+        )
+        assert check_state_rules(_index(tables=travelling)) == []
+
+
+class TestTWL009BatchParity:
+    def test_symmetric_paths_are_clean(self):
+        index = _index(
+            parity="""
+            class Scheme:
+                def write(self, logical):
+                    self.count += 1
+                    return 1
+
+                def write_batch(self, addresses):
+                    self.count += len(addresses)
+                    return []
+            """
+        )
+        assert check_state_rules(index) == []
+
+    def test_batch_only_effect_flagged(self):
+        index = _index(
+            parity="""
+            class Scheme:
+                def write(self, logical):
+                    self.count += 1
+                    return 1
+
+                def write_batch(self, addresses):
+                    self.count += len(addresses)
+                    self.batches += 1
+                    return []
+            """
+        )
+        out = check_state_rules(index)
+        assert _rules(out) == {"TWL009"}
+        assert "'batches'" in out[0].message
+        assert "write_batch" in out[0].message
+
+    def test_scalar_only_effect_flagged(self):
+        index = _index(
+            parity="""
+            class Scheme:
+                def write(self, logical):
+                    self.count += 1
+                    self.serial_only += 1
+                    return 1
+
+                def write_batch(self, addresses):
+                    self.count += len(addresses)
+                    return []
+            """
+        )
+        out = check_state_rules(index)
+        assert _rules(out) == {"TWL009"}
+        assert "'serial_only'" in out[0].message
+
+    def test_effects_compared_transitively_through_helpers(self):
+        index = _index(
+            parity="""
+            class Scheme:
+                def _bump(self, n):
+                    self.count += n
+
+                def write(self, logical):
+                    self._bump(1)
+                    return 1
+
+                def write_batch(self, addresses):
+                    self.count += len(addresses)
+                    return []
+            """
+        )
+        assert check_state_rules(index) == []
+
+    def test_scalar_write_resolved_through_base_class(self):
+        index = _index(
+            schemes__base="""
+            class Base:
+                def write(self, logical):
+                    self.count += 1
+                    return 1
+            """,
+            schemes__fast="""
+            from schemes.base import Base
+
+            class Fast(Base):
+                def write_batch(self, addresses):
+                    self.count += len(addresses)
+                    self.batches += 1
+                    return []
+            """,
+        )
+        out = check_state_rules(index)
+        assert _rules(out) == {"TWL009"}
+        assert "'batches'" in out[0].message
+
+    def test_class_without_write_batch_ignored(self):
+        index = _index(
+            parity="""
+            class Scheme:
+                def write(self, logical):
+                    self.count += 1
+                    return 1
+            """
+        )
+        assert check_state_rules(index) == []
