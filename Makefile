@@ -1,6 +1,6 @@
 # Convenience targets for the TWL reproduction.
 
-.PHONY: install test lint typecheck bench bench-quick bench-trajectory quick-parallel quick-resilient quick-sanitized quick-softerrors quick-stream quick-chaos examples report clean
+.PHONY: install test lint typecheck bench bench-quick bench-trajectory quick-parallel quick-resilient quick-sanitized quick-softerrors quick-stream quick-chaos quick-serve examples report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -99,6 +99,16 @@ quick-chaos:
 	PYTHONPATH=src python -m repro.cli stream --quick --jobs 2 \
 		--cache-dir "$$CACHE" --snapshot-every 20000 \
 		--resume "$$STATE/manifest.jsonl"
+
+# Smoke the campaign service end-to-end: a real `twl-repro serve`
+# process on a UNIX socket, the seeded chaos load generator (duplicate
+# resubmissions, malformed/oversized frames, disconnects, slow-loris),
+# a SIGKILL of the server mid-campaign, and a restart on the same
+# state dir that must resume every session — with all surviving
+# responses bit-identical to serial execution (see docs/serving.md;
+# the in-process mechanism tests are tests/test_serve.py).
+quick-serve:
+	PYTHONPATH=src python benchmarks/serve_chaos_check.py --quick
 
 examples:
 	python examples/quickstart.py

@@ -212,10 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "report", "lint"],
+        choices=sorted(_EXPERIMENTS) + ["all", "report", "lint", "serve", "loadgen"],
         help=(
             "which table/figure to regenerate ('report' builds Markdown; "
-            "'lint' runs the static determinism checks instead)"
+            "'lint' runs the static determinism checks; 'serve' runs the "
+            "campaign server and 'loadgen' its chaos client — see "
+            "docs/serving.md)"
         ),
     )
     parser.add_argument(
@@ -345,6 +347,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .devtools.lint import main as lint_main
 
         return lint_main(raw[1:])
+    if raw[:1] == ["serve"]:
+        # Same verb-forwarding pattern: the server owns its own flags.
+        from .serve.cli import serve_main
+
+        return serve_main(raw[1:])
+    if raw[:1] == ["loadgen"]:
+        from .serve.cli import loadgen_main
+
+        return loadgen_main(raw[1:])
     args = build_parser().parse_args(raw)
     if args.sanitize:
         # Set the env var too so pool workers under spawn arm themselves.

@@ -997,17 +997,33 @@ def check_classifications() -> List[Violation]:
     from ..exec import cells as cells_module
     from ..exec import hashing as hashing_module
     from ..experiments import setups as setups_module
+    from ..serve import server as serve_module
 
-    return check_field_classification(
-        cells_module.ExperimentCell,
-        hashing_module.CELL_IDENTITY_FIELDS,
-        hashing_module.CELL_EXECUTION_FIELDS,
-        hashing_module.__file__,
-    ) + check_field_classification(
-        setups_module.ExperimentSetup,
-        setups_module.SETUP_IDENTITY_FIELDS,
-        setups_module.SETUP_EXECUTION_FIELDS,
-        setups_module.__file__,
+    return (
+        check_field_classification(
+            cells_module.ExperimentCell,
+            hashing_module.CELL_IDENTITY_FIELDS,
+            hashing_module.CELL_EXECUTION_FIELDS,
+            hashing_module.__file__,
+        )
+        + check_field_classification(
+            setups_module.ExperimentSetup,
+            setups_module.SETUP_IDENTITY_FIELDS,
+            setups_module.SETUP_EXECUTION_FIELDS,
+            setups_module.__file__,
+        )
+        + check_field_classification(
+            serve_module.ServerConfig,
+            serve_module.SERVER_IDENTITY_FIELDS,
+            serve_module.SERVER_EXECUTION_FIELDS,
+            serve_module.__file__,
+        )
+        + check_field_classification(
+            serve_module.SubmitRequest,
+            serve_module.REQUEST_IDENTITY_FIELDS,
+            serve_module.REQUEST_EXECUTION_FIELDS,
+            serve_module.__file__,
+        )
     )
 
 

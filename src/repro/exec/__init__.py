@@ -11,6 +11,8 @@ declarative grids of independent cells:
   under ``~/.cache/twl-repro/``;
 * :mod:`repro.exec.executor` — serial or process-pool execution with
   progress lines and per-cell timing;
+* :mod:`repro.exec.deadline` — :class:`CellDeadline`, the portable
+  any-thread per-cell wall-clock budget behind ``FailurePolicy.timeout``;
 * :mod:`repro.exec.policy` — :class:`FailurePolicy` (retries with
   deterministic backoff, per-cell timeout, fail-fast vs keep-going);
 * :mod:`repro.exec.checkpoint` — :class:`CheckpointJournal`,
@@ -53,6 +55,7 @@ from .policy import (
 from .faults import FAULTS_ENV, FaultInjectionError, FaultPlan, active_plan
 from .cache import CellCache, decode_result, default_cache_dir, encode_result
 from .checkpoint import CheckpointJournal
+from .deadline import CellDeadline, DeadlineReached
 from .executor import CellOutcome, execute_cells, run_cells, run_setup_cells
 
 __all__ = [
@@ -66,6 +69,8 @@ __all__ = [
     "FaultPlan",
     "active_plan",
     "CheckpointJournal",
+    "CellDeadline",
+    "DeadlineReached",
     "decode_result",
     "encode_result",
     "KIND_ATTACK",

@@ -25,8 +25,10 @@ after changing scheme behaviour, bump the version or pass
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigError
@@ -39,6 +41,20 @@ from .hashing import CACHE_FORMAT_VERSION, cell_fingerprint
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "TWL_REPRO_CACHE_DIR"
+
+#: Process-wide counter making concurrent same-process temp names
+#: unique.  The pid alone is not enough: the campaign server writes
+#: cache entries from many threads of one process, and two threads
+#: putting the same fingerprint with a pid-only temp name would
+#: interleave writes into one file and rename garbage into place.
+_temp_counter = itertools.count()
+_temp_lock = threading.Lock()
+
+
+def _next_temp_suffix() -> str:
+    with _temp_lock:
+        serial = next(_temp_counter)
+    return f"{os.getpid()}.{threading.get_ident()}.{serial}.tmp"
 
 
 def default_cache_dir() -> str:
@@ -186,7 +202,7 @@ class CellCache:
             "payload": payload,
         }
         path = self.path_for(fingerprint)
-        temp_path = f"{path}.{os.getpid()}.tmp"
+        temp_path = f"{path}.{_next_temp_suffix()}"
         try:
             with open(temp_path, "w") as handle:
                 json.dump(record, handle, sort_keys=True)

@@ -26,13 +26,37 @@ to the cache (``<cache_dir>/checkpoint.jsonl``, what the CLI's
 ``--resume`` defaults to writing) — but depends on the cache in no
 way: ``--no-cache --resume manifest.jsonl`` still skips finished
 cells, because the payload rides in the journal line itself.
+
+Concurrency model (the campaign server runs many sessions at once):
+
+* Every ``_append`` and the whole read→rewrite→rename of ``compact()``
+  run under an **advisory ``flock``** on a ``<path>.lock`` sidecar, so
+  two writers sharing one journal can never interleave bytes within a
+  record, and a concurrent ``compact()`` can never drop a record that
+  an appender fsync'd between compact's read and its rename.  The lock
+  is per-open-file-description, so it excludes both threads and
+  processes.
+* A journal opened with ``exclusive=True`` additionally takes an
+  ``O_EXCL`` **owner lock** (``<path>.owner``, holding the owner's
+  pid): a second exclusive open fails fast with
+  :class:`~repro.errors.ConfigError` instead of silently sharing the
+  session.  A lock whose recorded pid is dead is stale (the owner
+  crashed without :meth:`close`) and is broken automatically.  The
+  session store in :mod:`repro.serve` opens every per-session journal
+  this way.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..errors import ConfigError
 from .cache import decode_result, encode_result
@@ -53,6 +77,21 @@ STATUS_FAILED = "failed"
 DEFAULT_COMPACT_BYTES = 1 << 20
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return False
+    return True
+
+
 class CheckpointJournal:
     """Append-only JSONL manifest of completed/failed campaign cells.
 
@@ -64,11 +103,15 @@ class CheckpointJournal:
     """
 
     def __init__(
-        self, path: str, compact_bytes: Optional[int] = DEFAULT_COMPACT_BYTES
+        self,
+        path: str,
+        compact_bytes: Optional[int] = DEFAULT_COMPACT_BYTES,
+        exclusive: bool = False,
     ) -> None:
         self.path = path
         self._done: Dict[str, CellResult] = {}
         self._failed: Dict[str, str] = {}
+        self._owns_exclusive = False
         parent = os.path.dirname(os.path.abspath(path))
         try:
             os.makedirs(parent, exist_ok=True)
@@ -80,6 +123,8 @@ class CheckpointJournal:
             raise ConfigError(
                 f"checkpoint journal path {path!r} is a directory"
             )
+        if exclusive:
+            self._acquire_owner_lock()
         self._load()
         self.resumed = len(self._done)
         if compact_bytes is not None:
@@ -89,6 +134,91 @@ class CheckpointJournal:
                 size = 0
             if size >= compact_bytes:
                 self.compact()
+
+    @property
+    def _lock_path(self) -> str:
+        return f"{self.path}.lock"
+
+    @property
+    def _owner_path(self) -> str:
+        return f"{self.path}.owner"
+
+    @contextlib.contextmanager
+    def _write_lock(self) -> Iterator[None]:
+        """Advisory exclusive lock serializing append/compact writers.
+
+        Taken on a ``.lock`` sidecar (never the journal itself:
+        ``compact`` renames over the journal, which would orphan a lock
+        held on the replaced inode).  No-op where ``fcntl`` is missing
+        — single-writer use, the historical contract, stays safe there.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        handle = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            # Closing releases the flock atomically with the fd.
+            os.close(handle)
+
+    def _acquire_owner_lock(self) -> None:
+        """Take the ``O_EXCL`` per-session owner lock, breaking stale ones.
+
+        The owner file holds the owning pid; a pid that no longer exists
+        marks a crashed owner, whose lock is removed and re-contended
+        (the remove+retry is itself racy only against *other* breakers,
+        and ``O_EXCL`` re-arbitrates that race safely).
+        """
+        for _ in range(2):
+            try:
+                handle = os.open(
+                    self._owner_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                owner_pid = self._read_owner_pid()
+                if owner_pid is not None and _pid_alive(owner_pid):
+                    raise ConfigError(
+                        f"checkpoint journal {self.path!r} is exclusively "
+                        f"owned by live session pid {owner_pid}"
+                    ) from None
+                # Stale (crashed owner, or unreadable garbage): break it
+                # and let O_EXCL arbitrate the retry.
+                with contextlib.suppress(OSError):
+                    os.unlink(self._owner_path)
+                continue
+            os.write(handle, f"{os.getpid()}\n".encode())
+            os.close(handle)
+            self._owns_exclusive = True
+            return
+        raise ConfigError(
+            f"checkpoint journal {self.path!r}: could not acquire "
+            "exclusive owner lock (contended)"
+        )
+
+    def _read_owner_pid(self) -> Optional[int]:
+        try:
+            with open(self._owner_path) as handle:
+                return int(handle.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    def close(self) -> None:
+        """Release the exclusive owner lock, if held.  Idempotent."""
+        if self._owns_exclusive:
+            self._owns_exclusive = False
+            # Only remove the file if it is still ours: a breaker that
+            # (wrongly) judged us dead must not have its lock stolen.
+            if self._read_owner_pid() == os.getpid():
+                with contextlib.suppress(OSError):
+                    os.unlink(self._owner_path)
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _load(self) -> None:
         try:
@@ -139,7 +269,17 @@ class CheckpointJournal:
         lines (truncated, wrong format) are dropped too; they carry no
         resumable state.  A no-op (0 returned, file untouched) when
         nothing would be dropped.
+
+        Runs entirely under the journal's advisory write lock: a
+        concurrent appender either lands before compact's read (and its
+        record survives into the rewrite) or after the rename (and
+        appends to the compacted file) — an acknowledged record can
+        never fall into the read→rename window and be lost.
         """
+        with self._write_lock():
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
         try:
             with open(self.path) as handle:
                 lines = handle.readlines()
@@ -193,18 +333,23 @@ class CheckpointJournal:
 
     def _append(self, record: Dict) -> None:
         line = json.dumps(record, sort_keys=True) + "\n"
-        with open(self.path, "ab") as handle:
-            if handle.tell() > 0:
-                # A crash can leave a truncated, newline-less final
-                # line; terminate it first so the new record starts on
-                # its own line instead of merging into the garbage.
-                with open(self.path, "rb") as reader:
-                    reader.seek(-1, os.SEEK_END)
-                    if reader.read(1) != b"\n":
-                        handle.write(b"\n")
-            handle.write(line.encode())
-            handle.flush()
-            os.fsync(handle.fileno())
+        # Open *inside* the lock: a concurrent compact() renames a new
+        # inode over the path, and an fd opened before the lock could be
+        # appending to the replaced (deleted) file.
+        with self._write_lock():
+            with open(self.path, "ab") as handle:
+                if handle.tell() > 0:
+                    # A crash can leave a truncated, newline-less final
+                    # line; terminate it first so the new record starts
+                    # on its own line instead of merging into the
+                    # garbage.
+                    with open(self.path, "rb") as reader:
+                        reader.seek(-1, os.SEEK_END)
+                        if reader.read(1) != b"\n":
+                            handle.write(b"\n")
+                handle.write(line.encode())
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def __len__(self) -> int:
         return len(self._done)

@@ -37,8 +37,12 @@ A worker killed outright (OOM, SIGKILL) surfaces as
 ``BrokenProcessPoolError``; the executor rebuilds the pool and
 re-submits the in-flight cells, degrading to serial execution once the
 pool has broken more than ``max_pool_rebuilds`` times.  The per-cell
-timeout is enforced *inside* the worker via ``SIGALRM`` so no pool
-teardown is needed to reclaim a hung cell.
+timeout is enforced *inside* the worker via a
+:class:`~repro.exec.deadline.CellDeadline` watchdog so no pool teardown
+is needed to reclaim a hung cell — and, unlike the earlier
+``SIGALRM``-based budget, it enforces on any thread, which is how the
+campaign server (:mod:`repro.serve`) and serially-degraded pools drive
+cells.
 
 The cache (:class:`~repro.exec.cache.CellCache`) is consulted in the
 parent before any work is scheduled and written back from the parent as
@@ -47,10 +51,8 @@ results arrive, so workers never touch cache files.
 
 from __future__ import annotations
 
-import signal
 import sys
 import time
-import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
@@ -67,6 +69,7 @@ from ..errors import (
 from .cache import CellCache
 from .cells import CellResult, ExperimentCell, cell_snapshot_path, run_cell
 from .checkpoint import CheckpointJournal
+from .deadline import CellDeadline, DeadlineReached
 from .faults import maybe_inject
 from .hashing import cell_fingerprint
 from .policy import DEFAULT_FAILURE_POLICY, CellFailure, FailurePolicy
@@ -121,71 +124,48 @@ def _progress_line(
     return f"[{index}/{total}] {cell.describe()} … {seconds:.1f}s{suffix}"
 
 
-class _TimeoutAlarm(Exception):
-    """Internal: the per-cell SIGALRM budget expired mid-cell."""
-
-
 def _execute_one(
     cell: ExperimentCell, timeout: Optional[float] = None
 ) -> CellResult:
     """Worker entry point (module-level so it pickles under spawn).
 
-    When ``timeout`` is set, a ``SIGALRM`` interval timer guards the
-    cell: expiry raises :class:`~repro.errors.CellTimeoutError` naming
-    the cell.  The alarm is enforced worker-side so a hung cell never
-    requires tearing down the pool, and it works identically on the
-    serial path (the parent's main thread).  Where the alarm cannot be
-    armed — platforms without ``SIGALRM``, or a call from a non-main
-    thread (signal handlers are main-thread-only) — the timeout
-    degrades to unenforced with a one-line warning rather than
-    aborting the cell.
+    When ``timeout`` is set, a :class:`~repro.exec.deadline.CellDeadline`
+    watchdog guards the cell: expiry raises
+    :class:`~repro.errors.CellTimeoutError` naming the cell.  The budget
+    is enforced worker-side so a hung cell never requires tearing down
+    the pool, and — unlike the ``SIGALRM`` interval timer it replaces —
+    it works on *any* thread: pool workers, the serial path, asyncio
+    executor threads under :mod:`repro.serve`.  Only interpreters
+    without the CPython async-exception hook degrade to unenforced
+    (with a one-line warning from :meth:`CellDeadline.arm`).
     """
-    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
-    if use_alarm:
-
-        def _on_alarm(signum: int, frame: object) -> None:
-            raise _TimeoutAlarm()
-
-        try:
-            previous = signal.signal(signal.SIGALRM, _on_alarm)
-        except ValueError:
-            # signal.signal refuses outside the main thread.
-            use_alarm = False
-            warnings.warn(
-                f"cell timeout ({timeout:.6g}s) not enforceable here "
-                "(SIGALRM handlers require the main thread); running "
-                f"cell {cell.describe()} without a timeout",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        else:
-            signal.setitimer(signal.ITIMER_REAL, timeout)
+    if timeout is None:
+        with error_context(f"cell {cell.describe()}", CellExecutionError):
+            # Pool workers are reused across cells: a kill armed for a
+            # previous cell (but never reached) must not leak.
+            engine_interrupt.clear()
+            maybe_inject(cell)
+            return run_cell(cell)
     try:
-        try:
+        with CellDeadline(timeout):
             with error_context(f"cell {cell.describe()}", CellExecutionError):
-                # Pool workers are reused across cells: a kill armed for
-                # a previous cell (but never reached) must not leak.
                 engine_interrupt.clear()
                 maybe_inject(cell)
                 return run_cell(cell)
-        except _TimeoutAlarm:
-            # A timed-out cell abandons its run: any snapshot it emitted
-            # (plus stray atomic-write temp files) is dead state that
-            # would otherwise leak into the cache directory — and worse,
-            # seed a *resume* of a run we just declared over-budget.
-            snapshot = cell_snapshot_path(cell)
-            if snapshot is not None:
-                try:
-                    discard_snapshot(snapshot)
-                except OSError:
-                    pass
-            raise CellTimeoutError(
-                f"cell {cell.describe()} timed out after {timeout:.6g}s wall-clock"
-            ) from None
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
+    except DeadlineReached:
+        # A timed-out cell abandons its run: any snapshot it emitted
+        # (plus stray atomic-write temp files) is dead state that
+        # would otherwise leak into the cache directory — and worse,
+        # seed a *resume* of a run we just declared over-budget.
+        snapshot = cell_snapshot_path(cell)
+        if snapshot is not None:
+            try:
+                discard_snapshot(snapshot)
+            except OSError:
+                pass
+        raise CellTimeoutError(
+            f"cell {cell.describe()} timed out after {timeout:.6g}s wall-clock"
+        ) from None
 
 
 def execute_cells(

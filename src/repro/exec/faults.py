@@ -218,8 +218,16 @@ def maybe_inject(cell: "ExperimentCell") -> None:
             f"injected transient fault for {cell.describe()}"
         )
     if plan.mode == MODE_HANG:
-        time.sleep(plan.hang_seconds)
-        return
+        # Sleep in slices: a single long time.sleep is one C call, and
+        # the portable cell deadline (repro.exec.deadline) delivers its
+        # expiry at a bytecode boundary — slicing keeps a hung cell
+        # interruptible within ~one slice of the budget expiring.
+        deadline = time.monotonic() + plan.hang_seconds
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.05))
     # MODE_KILL — die the way an OOM-killed worker dies: no cleanup,
     # no exception, just gone.  The parent sees BrokenProcessPoolError.
     # With kill_at_demand, death is deferred into the engine step loop

@@ -1,0 +1,401 @@
+"""Load generator and chaos harness for the campaign server.
+
+``twl-repro loadgen`` drives a running server with many concurrent
+client tasks, each performing a seeded mix of actions — honest
+submissions, duplicate resubmissions (exercising in-flight coalescing
+and the shared cache), malformed frames, oversized frames, mid-request
+disconnects and slow-loris writers.  The mix is drawn from the repo's
+deterministic RNG streams (rule TWL001): the same seed always produces
+the same traffic, byte for byte, which is what makes a chaos run a
+*regression test* instead of a dice roll.
+
+The harness double-checks the server's headline contract at the end:
+
+* the server must still be alive (a final ``ping`` must answer);
+* every completed response must be **bit-identical to serial
+  execution** of the same cell (:func:`verify_bit_identity` replays the
+  completed set through :func:`repro.exec.run_cells` and compares
+  encoded payloads).
+
+Faults *inside* the server (worker SIGKILLs, server SIGKILL+restart)
+are orchestrated by ``benchmarks/serve_chaos_check.py`` via
+``REPRO_FAULTS`` on the server process; the loadgen only generates
+client-side chaos, so the two compose independently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..config import ScaledArrayConfig
+from ..exec import attack_cell, cell_fingerprint, run_cells
+from ..exec.cache import encode_result
+from ..exec.cells import ExperimentCell
+from ..rng.streams import make_generator
+from .protocol import MAX_FRAME_BYTES, encode_cell
+
+__all__ = [
+    "Address",
+    "LoadReport",
+    "default_grid",
+    "open_connection",
+    "ping",
+    "submit_cell",
+    "run_loadgen",
+    "verify_bit_identity",
+]
+
+#: ``("tcp", host, port)`` or ``("unix", path)``.
+Address = Union[Tuple[str, str, int], Tuple[str, str]]
+
+#: Chaos action weights (submit carries the rest of the mass).
+_CHAOS_WEIGHTS = (
+    ("duplicate", 0.25),
+    ("malformed", 0.08),
+    ("oversized", 0.04),
+    ("disconnect", 0.08),
+    ("slowloris", 0.05),
+)
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one loadgen campaign."""
+
+    #: Completed responses: fingerprint → ``{"kind", "payload"}``.
+    completed: Dict[str, Dict[str, Any]]
+    #: Action/outcome counters (``submit``, ``overloaded`` …).
+    counts: Dict[str, int]
+    #: Whether the server answered the final ping.
+    server_alive: bool
+    #: Fingerprints whose responses disagreed with each other (a
+    #: violated coalescing/cache contract — must stay empty).
+    conflicts: List[str]
+
+    def summary(self) -> str:
+        parts = [f"{key}={self.counts[key]}" for key in sorted(self.counts)]
+        return (
+            f"loadgen: {len(self.completed)} unique result(s), "
+            f"alive={self.server_alive}, conflicts={len(self.conflicts)}, "
+            + " ".join(parts)
+        )
+
+
+def default_grid(n_seeds: int = 2) -> List[ExperimentCell]:
+    """The small deterministic cell grid the harness submits."""
+    scaled = ScaledArrayConfig(n_pages=64, endurance_mean=768.0)
+    return [
+        attack_cell(scheme, attack, scaled=scaled, seed=seed)
+        for scheme in ("nowl", "sr")
+        for attack in ("repeat", "scan")
+        for seed in range(11, 11 + n_seeds)
+    ]
+
+
+async def open_connection(
+    address: Address,
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    limit = MAX_FRAME_BYTES + 1024
+    if address[0] == "unix":
+        return await asyncio.open_unix_connection(address[1], limit=limit)
+    return await asyncio.open_connection(address[1], address[2], limit=limit)
+
+
+async def _request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    frame: Dict[str, Any],
+    timeout: float,
+) -> Dict[str, Any]:
+    data = json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n"
+    writer.write(data.encode())
+    await writer.drain()
+    line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+    if not line:
+        raise ConnectionError("server closed the connection")
+    record = json.loads(line.decode())
+    assert isinstance(record, dict)
+    return record
+
+
+async def submit_cell(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    cell: ExperimentCell,
+    request_id: str,
+    session: str = "loadgen",
+    deadline: Optional[float] = None,
+    timeout: float = 120.0,
+) -> Dict[str, Any]:
+    """One submit round-trip (shared with tests and the chaos gate)."""
+    frame: Dict[str, Any] = {
+        "op": "submit",
+        "id": request_id,
+        "session": session,
+        "cell": encode_cell(cell),
+    }
+    if deadline is not None:
+        frame["deadline"] = deadline
+    return await _request(reader, writer, frame, timeout)
+
+
+async def ping(address: Address, timeout: float = 10.0) -> bool:
+    """Whether the server answers a ping within ``timeout``."""
+    try:
+        reader, writer = await asyncio.wait_for(
+            open_connection(address), timeout=timeout
+        )
+    except (OSError, asyncio.TimeoutError):
+        return False
+    try:
+        record = await _request(
+            reader, writer, {"op": "ping", "id": "ping"}, timeout
+        )
+        return bool(record.get("ok"))
+    except (OSError, ValueError, asyncio.TimeoutError, ConnectionError):
+        return False
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+
+def _pick_action(rng: Any, chaos: bool) -> str:
+    if not chaos:
+        return "duplicate" if rng.random() < 0.3 else "submit"
+    unit = rng.random()
+    mass = 0.0
+    for action, weight in _CHAOS_WEIGHTS:
+        mass += weight
+        if unit < mass:
+            return action
+    return "submit"
+
+
+class _Recorder:
+    """Shared, conflict-detecting sink for completed responses."""
+
+    def __init__(self) -> None:
+        self.completed: Dict[str, Dict[str, Any]] = {}
+        self.conflicts: List[str] = []
+
+    def record(self, response: Dict[str, Any]) -> None:
+        fingerprint = response.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            return
+        payload = {"kind": response.get("kind"), "payload": response.get("payload")}
+        known = self.completed.get(fingerprint)
+        if known is None:
+            self.completed[fingerprint] = payload
+        elif known != payload and fingerprint not in self.conflicts:
+            self.conflicts.append(fingerprint)
+
+
+async def _client(
+    index: int,
+    address: Address,
+    cells: Sequence[ExperimentCell],
+    actions: int,
+    seed: int,
+    chaos: bool,
+    session: str,
+    deadline: Optional[float],
+    timeout: float,
+    recorder: _Recorder,
+    counts: Dict[str, int],
+) -> None:
+    rng = make_generator(seed, "loadgen", "client", index)
+    reader: Optional[asyncio.StreamReader] = None
+    writer: Optional[asyncio.StreamWriter] = None
+    last_cell = cells[int(rng.integers(len(cells)))]
+
+    def bump(key: str) -> None:
+        counts[key] = counts.get(key, 0) + 1
+
+    async def connect() -> None:
+        nonlocal reader, writer
+        reader, writer = await open_connection(address)
+
+    async def drop() -> None:
+        nonlocal reader, writer
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+        reader = writer = None
+
+    for action_index in range(actions):
+        action = _pick_action(rng, chaos)
+        try:
+            if reader is None:
+                await connect()
+            assert reader is not None and writer is not None
+            if action in ("submit", "duplicate"):
+                cell = (
+                    last_cell
+                    if action == "duplicate"
+                    else cells[int(rng.integers(len(cells)))]
+                )
+                last_cell = cell
+                response = await submit_cell(
+                    reader,
+                    writer,
+                    cell,
+                    request_id=f"c{index}-a{action_index}",
+                    session=session,
+                    deadline=deadline,
+                    timeout=timeout,
+                )
+                if response.get("ok"):
+                    bump(f"done_{response.get('source', 'unknown')}")
+                    recorder.record(response)
+                else:
+                    bump((response.get("error") or {}).get("code", "unknown"))
+                bump(action)
+            elif action == "malformed":
+                record = await _request_raw(
+                    reader, writer, b'{"op": "nonsense"\n', timeout
+                )
+                bump("malformed")
+                if record is not None and not record.get("ok", True):
+                    bump("malformed_rejected")
+            elif action == "oversized":
+                writer.write(b"x" * (MAX_FRAME_BYTES + 4096) + b"\n")
+                try:
+                    await writer.drain()
+                    await asyncio.wait_for(reader.readline(), timeout=timeout)
+                except (OSError, ConnectionError, asyncio.TimeoutError):
+                    pass
+                bump("oversized")
+                await drop()  # the server closes past-limit streams
+            elif action == "disconnect":
+                frame = {
+                    "op": "submit",
+                    "id": f"c{index}-a{action_index}-drop",
+                    "session": session,
+                    "cell": encode_cell(last_cell),
+                }
+                writer.write(
+                    (json.dumps(frame, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+                await drop()  # vanish mid-request
+                bump("disconnect")
+            elif action == "slowloris":
+                frame = json.dumps(
+                    {"op": "ping", "id": f"c{index}-a{action_index}"}
+                ).encode()
+                half = len(frame) // 2
+                writer.write(frame[:half])
+                await writer.drain()
+                await asyncio.sleep(0.2)
+                writer.write(frame[half:] + b"\n")
+                await writer.drain()
+                await asyncio.wait_for(reader.readline(), timeout=timeout)
+                bump("slowloris")
+        except (OSError, ConnectionError, ValueError, asyncio.TimeoutError):
+            # Connection-level casualties are expected under chaos; the
+            # contract under test is the *server's* health, not ours.
+            bump("client_error")
+            await drop()
+    await drop()
+
+
+async def _request_raw(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    payload: bytes,
+    timeout: float,
+) -> Optional[Dict[str, Any]]:
+    writer.write(payload)
+    await writer.drain()
+    line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+    if not line:
+        raise ConnectionError("server closed the connection")
+    try:
+        record = json.loads(line.decode())
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+async def run_loadgen(
+    address: Address,
+    cells: Optional[Sequence[ExperimentCell]] = None,
+    clients: int = 16,
+    actions: int = 10,
+    seed: int = 2017,
+    chaos: bool = True,
+    session: str = "loadgen",
+    deadline: Optional[float] = None,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Drive the server at ``address`` with ``clients`` seeded clients."""
+    grid = list(cells) if cells is not None else default_grid()
+    recorder = _Recorder()
+    counts: Dict[str, int] = {}
+    await asyncio.gather(
+        *(
+            _client(
+                index,
+                address,
+                grid,
+                actions,
+                seed,
+                chaos,
+                session,
+                deadline,
+                timeout,
+                recorder,
+                counts,
+            )
+            for index in range(clients)
+        )
+    )
+    alive = await ping(address)
+    return LoadReport(
+        completed=recorder.completed,
+        counts=counts,
+        server_alive=alive,
+        conflicts=recorder.conflicts,
+    )
+
+
+def verify_bit_identity(
+    completed: Dict[str, Dict[str, Any]],
+    cells: Sequence[ExperimentCell],
+) -> List[str]:
+    """Fingerprints whose served payload differs from serial execution.
+
+    Replays every cell of ``cells`` that appears in ``completed``
+    through :func:`repro.exec.run_cells` (serial, no cache) and
+    compares the canonical encoded payloads byte-for-byte.  An empty
+    return is the chaos acceptance criterion: every surviving response
+    was bit-identical to serial.
+    """
+    by_fingerprint = {cell_fingerprint(cell): cell for cell in cells}
+    targets = [
+        (fingerprint, by_fingerprint[fingerprint])
+        for fingerprint in sorted(completed)
+        if fingerprint in by_fingerprint
+    ]
+    mismatches = [
+        fingerprint for fingerprint in sorted(completed)
+        if fingerprint not in by_fingerprint
+    ]
+    results = run_cells([cell for _, cell in targets], jobs=1)
+    for (fingerprint, _), result in zip(targets, results):
+        kind, payload = encode_result(result)
+        # One JSON round-trip normalizes container types (tuple→list)
+        # exactly the way the wire did for the served copy.
+        expected = json.loads(json.dumps({"kind": kind, "payload": payload}))
+        if completed[fingerprint] != expected:
+            mismatches.append(fingerprint)
+    return mismatches

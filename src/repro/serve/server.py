@@ -1,0 +1,729 @@
+"""The asyncio campaign server: robust execution behind a socket.
+
+:class:`CampaignServer` accepts NDJSON frames (see
+:mod:`repro.serve.protocol`) from many concurrent clients and runs the
+submitted experiment cells on a :class:`ProcessPoolExecutor`, composing
+every robustness mechanism the executor stack already has:
+
+* **Bounded admission.**  At most ``queue_limit`` cells are admitted at
+  once; the next submission is rejected with a structured
+  ``overloaded`` frame (the NDJSON analogue of HTTP 503) instead of
+  buffering without bound.  Rejection is cheap and explicit — the
+  client owns the retry decision.
+* **Per-request deadlines.**  A submit frame's ``deadline`` rides into
+  the worker as the :func:`~repro.exec.executor._execute_one` timeout
+  (the portable :class:`~repro.exec.deadline.CellDeadline`), with a
+  parent-side ``asyncio.wait_for`` backstop slightly beyond it for the
+  case of a worker too wedged to enforce its own budget.
+* **Worker-loss retry, pool rebuild, graceful degradation.**  A
+  ``BrokenProcessPool`` triggers a deterministic-backoff retry
+  (:meth:`FailurePolicy.retry_delay`, keyed by cell fingerprint) on a
+  rebuilt pool; past ``max_pool_rebuilds`` the pool is rebuilt at half
+  the concurrency (repeatedly, floor 1) and every subsequent response
+  carries ``degraded: true``.  A periodic health probe detects silently
+  dead pools between requests.
+* **Duplicate coalescing.**  Submissions of an already-in-flight
+  fingerprint await the same execution (``source: "coalesced"``) — the
+  content-addressed-cache contract applied to in-flight work.
+* **Per-session persistence.**  Completed cells are journaled per
+  session (:class:`~repro.serve.session.SessionStore`); a SIGKILLed
+  server restarted on the same state directory serves them back
+  bit-identically (``source: "journal"``).
+* **Disconnect reclamation.**  A client that vanishes has its pending
+  request tasks cancelled; executions nobody else is waiting on are
+  cancelled too (reclaiming unstarted pool slots — a cell already on a
+  worker runs to completion and lands in cache/journal, so the work is
+  banked, not wasted).
+* **Drain-then-exit.**  SIGTERM/SIGINT (CLI) or :meth:`begin_drain`
+  flips the server into draining: new submissions get ``shutdown``
+  rejections while admitted cells finish (bounded by ``drain_grace``),
+  then sockets close and journals release their owner locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import time
+from concurrent.futures import Future as PoolFuture
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set
+
+from ..errors import CellTimeoutError, ConfigError, ReproError
+from ..exec.cache import CellCache
+from ..exec.cells import CellResult, ExperimentCell
+from ..exec.executor import _execute_one
+from ..exec.hashing import cell_fingerprint
+from ..exec.policy import FailurePolicy
+from .protocol import (
+    ERROR_DEADLINE,
+    ERROR_FAILED,
+    ERROR_MALFORMED,
+    ERROR_OVERLOADED,
+    ERROR_OVERSIZED,
+    ERROR_SHUTDOWN,
+    MAX_FRAME_BYTES,
+    OP_PING,
+    OP_STATS,
+    OP_SUBMIT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_cell,
+    decode_frame,
+    encode_frame,
+    error_response,
+)
+from .session import DEFAULT_SESSION, SessionStore, valid_session_name
+
+__all__ = [
+    "ServerConfig",
+    "CampaignServer",
+    "SubmitRequest",
+    "SERVER_IDENTITY_FIELDS",
+    "SERVER_EXECUTION_FIELDS",
+    "REQUEST_IDENTITY_FIELDS",
+    "REQUEST_EXECUTION_FIELDS",
+    "encode_result_payload",
+]
+
+#: Parent-side slack beyond the worker-side deadline before the server
+#: stops waiting for a (presumably wedged) worker and answers the
+#: client itself.
+DEADLINE_GRACE = 2.0
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything one server instance is — address, state, limits."""
+
+    #: Durable state root: per-session journals under ``sessions/``,
+    #: the shared content-addressed cache under ``cache/``.  Restarting
+    #: a server on the same root *is* resuming every session in it.
+    state_dir: str
+    #: TCP bind address (ignored when ``unix_path`` is set).
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (see :attr:`CampaignServer.address`).
+    port: int = 0
+    #: UNIX-domain socket path; when set it wins over TCP.
+    unix_path: Optional[str] = None
+    #: Worker-pool size.
+    workers: int = 2
+    #: Maximum concurrently admitted submissions; admission past this
+    #: is rejected with a structured ``overloaded`` frame.
+    queue_limit: int = 16
+    #: Deadline applied to submissions that name none (None = no limit).
+    default_deadline: Optional[float] = None
+    #: Worker-loss retries per request (deterministic backoff).
+    max_retries: int = 2
+    #: Pool rebuilds at full concurrency before degrading to half.
+    max_pool_rebuilds: int = 2
+    #: Seconds between pool health probes (0 disables the probe loop).
+    health_interval: float = 5.0
+    #: Close connections idle this long with nothing in flight.
+    idle_timeout: float = 60.0
+    #: Maximum wait for admitted cells during drain-then-exit.
+    drain_grace: float = 30.0
+    #: Whether to maintain the shared content-addressed result cache.
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_limit < 1:
+            raise ConfigError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ConfigError("default_deadline must be positive when set")
+        if not self.state_dir:
+            raise ConfigError("state_dir is required")
+
+
+#: TWL003 classification (enforced by ``repro.devtools.lint``): the
+#: identity of a server is where it listens and which durable state it
+#: owns; everything else tunes how it executes.
+SERVER_IDENTITY_FIELDS: FrozenSet[str] = frozenset(
+    {"state_dir", "host", "port", "unix_path"}
+)
+SERVER_EXECUTION_FIELDS: FrozenSet[str] = frozenset(
+    {
+        "workers",
+        "queue_limit",
+        "default_deadline",
+        "max_retries",
+        "max_pool_rebuilds",
+        "health_interval",
+        "idle_timeout",
+        "drain_grace",
+        "cache",
+    }
+)
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One decoded submit frame."""
+
+    #: The work itself — the only determinant of the result (cache
+    #: fingerprint identity).
+    cell: ExperimentCell
+    #: Durable scope the result is journaled under.
+    session: str = DEFAULT_SESSION
+    #: Client-side correlation id, echoed verbatim.
+    request_id: str = ""
+    #: Wall-clock budget (seconds); None inherits the server default.
+    deadline: Optional[float] = None
+
+
+#: TWL003: the cell and its session name *what* is computed and where
+#: it persists; the id and deadline only shape this one exchange.
+REQUEST_IDENTITY_FIELDS: FrozenSet[str] = frozenset({"cell", "session"})
+REQUEST_EXECUTION_FIELDS: FrozenSet[str] = frozenset({"request_id", "deadline"})
+
+
+def _probe() -> int:
+    """Pool health probe body (module-level so it pickles)."""
+    return os.getpid()
+
+
+def encode_result_payload(result: CellResult) -> Dict[str, Any]:
+    """``{"kind": ..., "payload": ...}`` via the shared result codec."""
+    from ..exec.cache import encode_result
+
+    kind, payload = encode_result(result)
+    return {"kind": kind, "payload": payload}
+
+
+@dataclass
+class _Inflight:
+    """One in-flight execution with its coalesced-waiter refcount."""
+
+    future: "asyncio.Future[CellResult]"
+    waiters: int = 0
+
+
+class CampaignServer:
+    """Asyncio front-end over the fault-tolerant cell executor."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self._sessions = SessionStore(os.path.join(config.state_dir, "sessions"))
+        self._cache: Optional[CellCache] = (
+            CellCache(os.path.join(config.state_dir, "cache"))
+            if config.cache
+            else None
+        )
+        # Used only for its deterministic retry_delay schedule.
+        self._retry_policy = FailurePolicy(
+            max_retries=config.max_retries, backoff_base=0.05
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = config.workers
+        self._rebuilds = 0
+        self.degraded = False
+        self._active = 0
+        self._inflight: Dict[str, _Inflight] = {}
+        self._draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._pool_lock: Optional[asyncio.Lock] = None
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "rejected_overloaded": 0,
+            "rejected_malformed": 0,
+            "rejected_oversized": 0,
+            "rejected_shutdown": 0,
+            "failed": 0,
+            "deadline_expired": 0,
+            "coalesced": 0,
+            "cache_hits": 0,
+            "journal_hits": 0,
+            "pool_rebuilds": 0,
+            "disconnects": 0,
+        }
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        """A spawn-context worker pool.
+
+        Spawn, never fork: the server process runs an event loop plus
+        watchdog threads (fork is undefined behavior there), and forked
+        workers would inherit every client connection fd — so a
+        SIGKILLed server's orphaned workers would hold client sockets
+        open and the listener bound, turning instant EOFs into client
+        timeouts and blocking the restart.
+        """
+        return ProcessPoolExecutor(
+            max_workers=self._pool_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        """Bind the socket and start the pool + health loop."""
+        self._pool_lock = asyncio.Lock()
+        self._pool = self._make_pool()
+        limit = MAX_FRAME_BYTES + 1024
+        if self.config.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.unix_path, limit=limit
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=limit,
+            )
+        if self.config.health_interval > 0:
+            self._health_task = asyncio.create_task(self._health_loop())
+
+    @property
+    def address(self) -> Any:
+        """Bound address: ``(host, port)`` for TCP, the path for UNIX."""
+        if self.config.unix_path is not None:
+            return self.config.unix_path
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → drain-then-exit (CLI entry point only)."""
+        import signal as _signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.create_task(self.shutdown())
+            )
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; in-flight cells keep running."""
+        self._draining = True
+
+    async def shutdown(self) -> None:
+        """Drain-then-exit: finish admitted cells, then close everything.
+
+        Waits up to ``drain_grace`` for the admitted count to reach
+        zero; cells still running after that are abandoned to their own
+        worker-side deadlines (their results, if any, still land in the
+        cache/journal via the completion callbacks that remain alive
+        until the loop stops).
+        """
+        self.begin_drain()
+        deadline = self._clock() + self.config.drain_grace
+        while self._active > 0 and self._clock() < deadline:
+            await asyncio.sleep(0.02)
+        if self._health_task is not None:
+            self._health_task.cancel()
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._sessions.close()
+
+    # ------------------------------------------------------------------
+    # pool management
+
+    async def _ensure_pool(self) -> ProcessPoolExecutor:
+        assert self._pool_lock is not None
+        async with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
+
+    async def _note_pool_broken(self, broken: ProcessPoolExecutor) -> None:
+        """Rebuild a crashed pool exactly once, degrading past budget.
+
+        Many requests observe the same ``BrokenProcessPool`` at once;
+        the identity check under the lock makes the first one rebuild
+        and the rest adopt the replacement.
+        """
+        assert self._pool_lock is not None
+        async with self._pool_lock:
+            if self._pool is not broken:
+                return  # someone else already rebuilt
+            broken.shutdown(wait=False, cancel_futures=True)
+            self._rebuilds += 1
+            self.stats["pool_rebuilds"] += 1
+            if self._rebuilds > self.config.max_pool_rebuilds:
+                self._pool_workers = max(1, self._pool_workers // 2)
+                self.degraded = True
+            self._pool = self._make_pool()
+
+    async def _health_loop(self) -> None:
+        """Detect silently dead pools between requests and rebuild."""
+        while not self._draining:
+            await asyncio.sleep(self.config.health_interval)
+            pool = self._pool
+            if pool is None:
+                continue
+            loop = asyncio.get_running_loop()
+            try:
+                await asyncio.wait_for(
+                    loop.run_in_executor(pool, _probe),
+                    timeout=max(self.config.health_interval, 1.0),
+                )
+            except (BrokenProcessPool, asyncio.TimeoutError, RuntimeError):
+                await self._note_pool_broken(pool)
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        record: Dict[str, Any],
+    ) -> None:
+        frame = encode_frame(record)
+        async with lock:
+            writer.write(frame)
+            await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=self.config.idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # Idle (or slow-loris) connection: close once nothing
+                    # is in flight for it; keep serving pending replies.
+                    if not tasks:
+                        break
+                    continue
+                except (ValueError, asyncio.LimitOverrunError):
+                    # readline() overran the stream limit: an oversized
+                    # frame.  The stream is beyond resync; answer
+                    # structurally and close.
+                    self.stats["rejected_oversized"] += 1
+                    await self._send(
+                        writer,
+                        write_lock,
+                        error_response(
+                            None,
+                            ERROR_OVERSIZED,
+                            f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                            degraded=self.degraded,
+                        ),
+                    )
+                    break
+                if not line:
+                    break  # clean EOF
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._handle_frame(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, BrokenPipeError):
+            self.stats["disconnects"] += 1
+        except asyncio.CancelledError:
+            # Server shutdown cancels connection handlers; close quietly
+            # (the task is ending either way — no need to re-raise).
+            pass
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
+                self.stats["disconnects"] += 1
+
+    async def _handle_frame(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            response = await self._respond_to(line)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - the handler must survive
+            # A handler bug must fail the request, never the server.
+            self.stats["failed"] += 1
+            response = error_response(
+                None, ERROR_FAILED, f"internal error: {error}", degraded=self.degraded
+            )
+        try:
+            await self._send(writer, write_lock, response)
+        except (ConnectionError, BrokenPipeError):
+            self.stats["disconnects"] += 1
+
+    # ------------------------------------------------------------------
+    # request execution
+
+    async def _respond_to(self, line: bytes) -> Dict[str, Any]:
+        try:
+            frame = decode_frame(line)
+        except ProtocolError as error:
+            self.stats["rejected_malformed"] += 1
+            return error_response(
+                None, ERROR_MALFORMED, str(error), degraded=self.degraded
+            )
+        request_id = frame["id"]
+        op = frame["op"]
+        if op == OP_PING:
+            return {
+                "format": PROTOCOL_VERSION,
+                "id": request_id,
+                "ok": True,
+                "status": "pong",
+                "degraded": self.degraded,
+            }
+        if op == OP_STATS:
+            return {
+                "format": PROTOCOL_VERSION,
+                "id": request_id,
+                "ok": True,
+                "status": "stats",
+                "degraded": self.degraded,
+                "stats": dict(self.stats),
+                "active": self._active,
+                "draining": self._draining,
+                "workers": self._pool_workers,
+                "sessions": self._sessions.open_count(),
+            }
+        return await self._respond_submit(frame, request_id)
+
+    def _parse_submit(self, frame: Dict[str, Any]) -> SubmitRequest:
+        session = frame.get("session", DEFAULT_SESSION)
+        if not valid_session_name(session):
+            raise ProtocolError(f"invalid session name {session!r}")
+        deadline = frame.get("deadline", None)
+        if deadline is not None:
+            if not isinstance(deadline, (int, float)) or deadline <= 0:
+                raise ProtocolError(f"deadline must be positive, got {deadline!r}")
+            deadline = float(deadline)
+        cell = decode_cell(frame.get("cell"))
+        return SubmitRequest(
+            cell=cell,
+            session=session,
+            request_id=frame["id"],
+            deadline=deadline if deadline is not None else self.config.default_deadline,
+        )
+
+    async def _respond_submit(
+        self, frame: Dict[str, Any], request_id: str
+    ) -> Dict[str, Any]:
+        if self._draining:
+            self.stats["rejected_shutdown"] += 1
+            return error_response(
+                request_id,
+                ERROR_SHUTDOWN,
+                "server is draining; resubmit elsewhere",
+                degraded=self.degraded,
+            )
+        try:
+            request = self._parse_submit(frame)
+        except (ProtocolError, ReproError) as error:
+            self.stats["rejected_malformed"] += 1
+            return error_response(
+                request_id, ERROR_MALFORMED, str(error), degraded=self.degraded
+            )
+        self.stats["submitted"] += 1
+        started = self._clock()
+        fingerprint = cell_fingerprint(request.cell)
+
+        def done(result: CellResult, source: str) -> Dict[str, Any]:
+            self.stats["completed"] += 1
+            record = encode_result_payload(result)
+            record.update(
+                {
+                    "format": PROTOCOL_VERSION,
+                    "id": request.request_id,
+                    "ok": True,
+                    "status": "done",
+                    "source": source,
+                    "fingerprint": fingerprint,
+                    "seconds": round(self._clock() - started, 6),
+                    "degraded": self.degraded,
+                }
+            )
+            return record
+
+        # 1. The session journal: a restarted server resumes here.
+        try:
+            journal = self._sessions.journal_for(request.session)
+        except ConfigError as error:
+            self.stats["failed"] += 1
+            return error_response(
+                request_id, ERROR_FAILED, str(error), degraded=self.degraded
+            )
+        resumed = journal.result_for(fingerprint)
+        if resumed is not None:
+            self.stats["journal_hits"] += 1
+            return done(resumed, "journal")
+        # 2. The shared content-addressed cache.
+        if self._cache is not None:
+            hit = self._cache.get(request.cell)
+            if hit is not None:
+                self.stats["cache_hits"] += 1
+                self._persist(journal, request.cell, fingerprint, hit, cache=False)
+                return done(hit, "cache")
+        # 3. Coalesce onto an in-flight duplicate.
+        entry = self._inflight.get(fingerprint)
+        if entry is not None:
+            self.stats["coalesced"] += 1
+            source = "coalesced"
+        else:
+            # 4. Bounded admission.
+            if self._active >= self.config.queue_limit:
+                self.stats["rejected_overloaded"] += 1
+                return error_response(
+                    request_id,
+                    ERROR_OVERLOADED,
+                    f"admission queue full ({self.config.queue_limit} in "
+                    "flight); retry with backoff",
+                    degraded=self.degraded,
+                )
+            # 5. Execute (later duplicates coalesce onto this future).
+            entry = self._admit(request.cell, fingerprint, request.deadline)
+            source = "run"
+        try:
+            result = await self._await_entry(entry, fingerprint)
+        except CellTimeoutError as error:
+            self.stats["deadline_expired"] += 1
+            return error_response(
+                request_id, ERROR_DEADLINE, str(error), degraded=self.degraded
+            )
+        except ReproError as error:
+            self.stats["failed"] += 1
+            return error_response(
+                request_id, ERROR_FAILED, str(error), degraded=self.degraded
+            )
+        self._persist(
+            journal, request.cell, fingerprint, result, cache=(source == "run")
+        )
+        return done(result, source)
+
+    def _admit(
+        self,
+        cell: ExperimentCell,
+        fingerprint: str,
+        deadline: Optional[float],
+    ) -> _Inflight:
+        """Admit one execution; bookkeeping is tied to future settlement.
+
+        ``_active`` and the in-flight map are released by a done
+        callback on the execution future itself — not by whichever
+        request task happens to finish first — so a cancelled submitter
+        can never leak (or double-release) an admission slot while a
+        coalesced waiter still runs.
+        """
+        self._active += 1
+        future = asyncio.ensure_future(self._execute(cell, fingerprint, deadline))
+        entry = _Inflight(future=future)
+        self._inflight[fingerprint] = entry
+
+        def settled(_: "asyncio.Future[CellResult]") -> None:
+            self._active -= 1
+            if self._inflight.get(fingerprint) is entry:
+                self._inflight.pop(fingerprint, None)
+
+        future.add_done_callback(settled)
+        return entry
+
+    async def _await_entry(self, entry: _Inflight, fingerprint: str) -> CellResult:
+        """Await an execution as one registered waiter.
+
+        The shield keeps one client's disconnect from cancelling an
+        execution other clients coalesced onto; the *last* waiter to be
+        cancelled takes the execution down with it (an unstarted pool
+        future is reclaimed immediately; a cell already on a worker
+        runs to completion there and lands in the cache, so the work is
+        banked, not wasted).
+        """
+        entry.waiters += 1
+        cancelled = False
+        try:
+            return await asyncio.shield(entry.future)
+        except asyncio.CancelledError:
+            cancelled = True
+            raise
+        finally:
+            entry.waiters -= 1
+            if cancelled and entry.waiters <= 0 and not entry.future.done():
+                entry.future.cancel()
+
+    def _persist(
+        self,
+        journal: Any,
+        cell: ExperimentCell,
+        fingerprint: str,
+        result: CellResult,
+        cache: bool,
+    ) -> None:
+        """Bank a result durably (journal always; cache for fresh runs)."""
+        journal.record_done(cell, fingerprint, result)
+        if cache and self._cache is not None:
+            self._cache.put(cell, result)
+
+    async def _execute(
+        self,
+        cell: ExperimentCell,
+        fingerprint: str,
+        deadline: Optional[float],
+    ) -> CellResult:
+        """Run one cell on the pool, retrying across worker loss."""
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        while True:
+            pool = await self._ensure_pool()
+            pool_future: PoolFuture = pool.submit(_execute_one, cell, deadline)
+            wrapped = asyncio.wrap_future(pool_future, loop=loop)
+            try:
+                if deadline is not None:
+                    return await asyncio.wait_for(
+                        wrapped, timeout=deadline + DEADLINE_GRACE
+                    )
+                return await wrapped
+            except asyncio.TimeoutError:
+                # The worker failed to enforce its own budget (wedged in
+                # a C call); answer the client now.  The stray worker is
+                # the health loop's problem.
+                pool_future.cancel()
+                raise CellTimeoutError(
+                    f"cell {cell.describe()} missed its {deadline:.6g}s "
+                    "deadline (worker unresponsive)"
+                ) from None
+            except BrokenProcessPool:
+                await self._note_pool_broken(pool)
+                attempt += 1
+                if attempt > self.config.max_retries:
+                    raise
+                delay = self._retry_policy.retry_delay(fingerprint, attempt)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            except asyncio.CancelledError:
+                # Last waiter gone: reclaim the slot if the cell has not
+                # started; otherwise let it finish on the worker.
+                pool_future.cancel()
+                raise

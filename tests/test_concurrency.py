@@ -1,0 +1,274 @@
+"""Concurrent writers against the cache and the checkpoint journal.
+
+The campaign server (:mod:`repro.serve`) multiplexes many sessions over
+one process and one cache directory, so the durability layer has to
+survive contention it never saw under single-campaign CLI use:
+
+* N threads and N processes putting/getting the *same* cache
+  fingerprint must never corrupt an entry or observe a partial file —
+  the tmp+``os.replace`` protocol under contention, plus the
+  ``.json.corrupt`` quarantine staying silent when nothing is corrupt;
+* concurrent journal appenders (distinct :class:`CheckpointJournal`
+  instances on one path, threads and processes) must never interleave
+  bytes within a record, and a ``compact()`` racing the appenders must
+  never drop an acknowledged record;
+* the opt-in ``exclusive=True`` owner lock must keep two live sessions
+  out of one journal, break locks left by dead owners, and release on
+  :meth:`~CheckpointJournal.close`.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.config import ScaledArrayConfig
+from repro.errors import ConfigError
+from repro.exec import (
+    CellCache,
+    CheckpointJournal,
+    attack_cell,
+    cell_fingerprint,
+    decode_result,
+    encode_result,
+    run_cells,
+)
+
+SCALED = ScaledArrayConfig(n_pages=64, endurance_mean=768.0)
+
+
+def _cell(seed: int = 11):
+    return attack_cell("nowl", "scan", scaled=SCALED, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One real result, encoded so it crosses the spawn boundary."""
+    result = run_cells([_cell()], jobs=1)[0]
+    kind, record = encode_result(result)
+    return kind, record
+
+
+def _cache_contend(directory: str, kind: str, record: dict, rounds: int) -> int:
+    """Worker body: hammer one fingerprint; returns corrupt count."""
+    cache = CellCache(directory)
+    cell = _cell()
+    result = decode_result(kind, record)
+    for _ in range(rounds):
+        cache.put(cell, result)
+        got = cache.get(cell)
+        # A reader can never see a partial file: os.replace is atomic,
+        # so every get() decodes a complete entry (identical bytes here,
+        # since every writer writes the same result).
+        assert got == result
+    return cache.corrupt
+
+
+def _journal_append(path: str, kind: str, record: dict, seeds: list) -> None:
+    """Worker body: append one done-record per seed via a fresh journal."""
+    journal = CheckpointJournal(path, compact_bytes=None)
+    result = decode_result(kind, record)
+    for seed in seeds:
+        cell = _cell(seed)
+        journal.record_done(cell, cell_fingerprint(cell), result)
+
+
+class TestCacheContention:
+    """Satellite: concurrent CellCache writers on one fingerprint."""
+
+    def test_threads_same_fingerprint(self, tmp_path, payload):
+        kind, record = payload
+        directory = str(tmp_path / "cache")
+        corrupt = []
+        errors = []
+
+        def work():
+            try:
+                corrupt.append(_cache_contend(directory, kind, record, rounds=50))
+            except BaseException as error:  # noqa: B036 - recorded for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert sum(corrupt) == 0
+        # Exactly one entry, decodable, and no orphaned temp files.
+        cache = CellCache(directory)
+        assert len(cache) == 1
+        assert cache.get(_cell()) == decode_result(kind, record)
+        leftovers = [n for n in os.listdir(directory) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_processes_same_fingerprint(self, tmp_path, payload):
+        kind, record = payload
+        directory = str(tmp_path / "cache")
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            corrupt = list(
+                pool.map(
+                    _cache_contend,
+                    [directory] * 4,
+                    [kind] * 4,
+                    [record] * 4,
+                    [20] * 4,
+                )
+            )
+        assert sum(corrupt) == 0
+        cache = CellCache(directory)
+        assert len(cache) == 1
+        assert cache.get(_cell()) == decode_result(kind, record)
+        assert cache.corrupt == 0
+
+    def test_quarantine_still_works_under_contention(self, tmp_path, payload):
+        """A genuinely corrupt entry is quarantined exactly as before —
+        contention hardening must not mask real corruption."""
+        kind, record = payload
+        cache = CellCache(str(tmp_path))
+        cell = _cell()
+        result = decode_result(kind, record)
+        cache.put(cell, result)
+        path = cache.path_for(cell_fingerprint(cell))
+        with open(path, "wb") as handle:
+            handle.write(b"\x00not json\x00")
+        assert cache.get(cell) is None
+        assert cache.corrupt == 1
+        assert os.path.exists(f"{path}.corrupt")
+        cache.put(cell, result)
+        assert cache.get(cell) == result
+
+
+class TestJournalConcurrentSessions:
+    """Satellite: many sessions sharing one journal never lose records."""
+
+    def test_threads_append_with_racing_compact(self, tmp_path, payload):
+        kind, record = payload
+        path = str(tmp_path / "journal.jsonl")
+        stop = threading.Event()
+        errors = []
+
+        def compact_loop():
+            journal = CheckpointJournal(path, compact_bytes=None)
+            while not stop.is_set():
+                try:
+                    journal.compact()
+                except BaseException as error:  # noqa: B036 - recorded
+                    errors.append(error)
+                    return
+
+        def append(seeds):
+            try:
+                _journal_append(path, kind, record, seeds)
+            except BaseException as error:  # noqa: B036 - recorded
+                errors.append(error)
+
+        seed_groups = [list(range(base, base + 12)) for base in (100, 200, 300, 400)]
+        compactor = threading.Thread(target=compact_loop)
+        writers = [threading.Thread(target=append, args=(g,)) for g in seed_groups]
+        compactor.start()
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join()
+        stop.set()
+        compactor.join()
+        assert not errors, errors
+        # Every acknowledged record survived the racing compactions.
+        journal = CheckpointJournal(path, compact_bytes=None)
+        expected = decode_result(kind, record)
+        for group in seed_groups:
+            for seed in group:
+                fingerprint = cell_fingerprint(_cell(seed))
+                assert journal.result_for(fingerprint) == expected, seed
+
+    def test_processes_append_concurrently(self, tmp_path, payload):
+        kind, record = payload
+        path = str(tmp_path / "journal.jsonl")
+        seed_groups = [list(range(base, base + 8)) for base in (10, 30, 50, 70)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            list(
+                pool.map(
+                    _journal_append,
+                    [path] * 4,
+                    [kind] * 4,
+                    [record] * 4,
+                    seed_groups,
+                )
+            )
+        journal = CheckpointJournal(path, compact_bytes=None)
+        expected = decode_result(kind, record)
+        for group in seed_groups:
+            for seed in group:
+                assert journal.result_for(cell_fingerprint(_cell(seed))) == expected
+        # No record interleaved into garbage: loading skipped nothing.
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == sum(len(g) for g in seed_groups)
+
+    def test_compact_preserves_concurrent_append(self, tmp_path, payload):
+        """The flock makes compact's read→rename atomic against
+        appenders; simulate the historical torn window by hand and show
+        the locked protocol closes it."""
+        kind, record = payload
+        path = str(tmp_path / "journal.jsonl")
+        # A failed line per seed, each later superseded by a done line:
+        # compact has exactly five superseded records to drop.
+        scratch = CheckpointJournal(path, compact_bytes=None)
+        for seed in range(5):
+            scratch.record_failed(_cell(seed), cell_fingerprint(_cell(seed)), "boom")
+        _journal_append(path, kind, record, list(range(5)))
+        journal = CheckpointJournal(path, compact_bytes=None)
+        dropped = journal.compact()
+        assert dropped == 5
+        reloaded = CheckpointJournal(path, compact_bytes=None)
+        for seed in range(5):
+            assert reloaded.result_for(cell_fingerprint(_cell(seed))) is not None
+
+
+class TestExclusiveOwnerLock:
+    """Satellite: ``exclusive=True`` keeps two live sessions apart."""
+
+    def test_second_exclusive_open_fails_while_owned(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path, exclusive=True) as journal:
+            assert journal._owns_exclusive
+            with pytest.raises(ConfigError, match="exclusively owned"):
+                CheckpointJournal(path, exclusive=True)
+        # close() (via the context manager) released the lock.
+        CheckpointJournal(path, exclusive=True).close()
+
+    def test_non_exclusive_open_is_unaffected(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path, exclusive=True):
+            # Read-side consumers (status queries) stay welcome.
+            CheckpointJournal(path)
+
+    def test_stale_lock_from_dead_owner_is_broken(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        with open(f"{path}.owner", "w") as handle:
+            handle.write(f"{proc.pid}\n")
+        journal = CheckpointJournal(path, exclusive=True)
+        assert journal._owns_exclusive
+        journal.close()
+        assert not os.path.exists(f"{path}.owner")
+
+    def test_garbage_owner_file_is_broken(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(f"{path}.owner", "w") as handle:
+            handle.write("not-a-pid\n")
+        journal = CheckpointJournal(path, exclusive=True)
+        assert journal._owns_exclusive
+        journal.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = CheckpointJournal(path, exclusive=True)
+        journal.close()
+        journal.close()
+        CheckpointJournal(path, exclusive=True).close()

@@ -564,10 +564,41 @@ class TestCLIResilienceFlags:
 
 
 class TestTimeoutOutsideMainThread:
-    """SIGALRM handlers are main-thread-only: elsewhere the per-cell
-    timeout degrades to unenforced with a warning instead of crashing."""
+    """Satellite: the portable deadline enforces on *any* thread.
 
-    def test_degrades_with_warning_and_same_result(self):
+    The SIGALRM-era timeout silently degraded to warn-and-run off the
+    main thread — exactly where the campaign server drives cells.  The
+    :class:`repro.exec.deadline.CellDeadline` watchdog replaces it:
+    off-main-thread cells are now genuinely budgeted, and in-budget
+    cells finish warning-free with the same result.
+    """
+
+    def test_enforces_off_main_thread(self, monkeypatch, tmp_path):
+        import threading
+
+        from repro.exec.executor import _execute_one
+
+        cell = attack_cell("nowl", "scan", scaled=SCALED, seed=11)
+        _arm(monkeypatch, tmp_path, mode="hang", rate=1.0, times=1, hang_seconds=20.0)
+        outcome = {}
+
+        def work():
+            try:
+                outcome["result"] = _execute_one(cell, timeout=0.3)
+            except BaseException as error:  # noqa: B036 - recording for assert
+                outcome["error"] = error
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        # Well under hang_seconds: the budget, not the hang, ends the cell.
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "timeout was not enforced off the main thread"
+        error = outcome.get("error")
+        assert isinstance(error, CellTimeoutError), outcome
+        assert cell.describe() in str(error)
+        assert "timed out" in str(error)
+
+    def test_off_main_thread_in_budget_is_warning_free(self):
         import threading
         import warnings
 
@@ -587,11 +618,13 @@ class TestTimeoutOutsideMainThread:
         thread.start()
         thread.join()
         assert outcome["result"] == expected
-        assert any(
+        # The old degrade path warned "not enforceable" here; the
+        # portable deadline enforces silently instead.
+        assert not any(
             "not enforceable" in message for message in outcome["messages"]
         ), outcome["messages"]
 
-    def test_main_thread_timeout_still_arms(self):
+    def test_main_thread_leaves_signals_untouched(self):
         import signal
 
         from repro.exec.executor import _execute_one
@@ -599,9 +632,33 @@ class TestTimeoutOutsideMainThread:
         cell = attack_cell("nowl", "scan", scaled=SCALED, seed=11)
         before = signal.getsignal(signal.SIGALRM)
         _execute_one(cell, timeout=30.0)
-        # Handler restored after the cell, and no alarm left pending.
+        # The deadline is signal-free: no handler swap, no pending
+        # itimer — safe to nest under code that owns SIGALRM itself.
         assert signal.getsignal(signal.SIGALRM) == before
         assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_deadline_fires_and_never_leaks_past_disarm(self):
+        """An expired deadline surfaces exactly once, and disarm
+        neutralizes any still-pending injection — later code on the
+        same thread must never see a stray ``DeadlineReached``."""
+        import time as _time
+
+        from repro.exec.deadline import CellDeadline, DeadlineReached
+
+        deadline = CellDeadline(0.05)
+        fired_in_block = False
+        try:
+            with deadline:
+                # One long C sleep: the watchdog fires mid-sleep and the
+                # injection lands at the first bytecode after it returns.
+                _time.sleep(0.3)
+        except DeadlineReached:
+            fired_in_block = True
+        assert deadline.fired
+        assert fired_in_block
+        # No second delivery: plenty of bytecode boundaries follow.
+        for _ in range(100000):
+            pass
 
 
 class TestJournalCompaction:
