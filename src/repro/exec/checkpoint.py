@@ -37,8 +37,9 @@ Concurrency model (the campaign server runs many sessions at once):
   is per-open-file-description, so it excludes both threads and
   processes.
 * A journal opened with ``exclusive=True`` additionally takes an
-  ``O_EXCL`` **owner lock** (``<path>.owner``, holding the owner's
-  pid): a second exclusive open fails fast with
+  **owner lock** (``<path>.owner``): an atomic ``os.link`` of a
+  pid-bearing temp file, so the lock file carries its owner's pid from
+  the instant it exists.  A second exclusive open fails fast with
   :class:`~repro.errors.ConfigError` instead of silently sharing the
   session.  A lock whose recorded pid is dead is stale (the owner
   crashed without :meth:`close`) and is broken automatically.  The
@@ -164,38 +165,51 @@ class CheckpointJournal:
             os.close(handle)
 
     def _acquire_owner_lock(self) -> None:
-        """Take the ``O_EXCL`` per-session owner lock, breaking stale ones.
+        """Take the per-session owner lock, breaking stale ones.
 
-        The owner file holds the owning pid; a pid that no longer exists
-        marks a crashed owner, whose lock is removed and re-contended
-        (the remove+retry is itself racy only against *other* breakers,
-        and ``O_EXCL`` re-arbitrates that race safely).
+        The lock is taken by ``os.link``-ing a pid-bearing temp file to
+        the owner path: link is atomic *with its content*, so a
+        contender can never observe a live owner's lock file before its
+        pid lands in it (the old ``O_EXCL``-create-then-write protocol
+        had exactly that window, and the contender would break the
+        "empty garbage" lock out from under a live owner).  A lock file
+        that *is* unreadable therefore never belongs to a live owner: it
+        is removed and re-contended, and the link re-arbitrates the
+        remove+retry race against other breakers safely.
         """
-        for _ in range(2):
-            try:
-                handle = os.open(
-                    self._owner_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
-                )
-            except FileExistsError:
-                owner_pid = self._read_owner_pid()
-                if owner_pid is not None and _pid_alive(owner_pid):
-                    raise ConfigError(
-                        f"checkpoint journal {self.path!r} is exclusively "
-                        f"owned by live session pid {owner_pid}"
-                    ) from None
-                # Stale (crashed owner, or unreadable garbage): break it
-                # and let O_EXCL arbitrate the retry.
-                with contextlib.suppress(OSError):
-                    os.unlink(self._owner_path)
-                continue
-            os.write(handle, f"{os.getpid()}\n".encode())
-            os.close(handle)
-            self._owns_exclusive = True
-            return
-        raise ConfigError(
-            f"checkpoint journal {self.path!r}: could not acquire "
-            "exclusive owner lock (contended)"
-        )
+        # Unique per journal instance, not just per pid: two threads in
+        # one process contending for the same path must not share (and
+        # unlink) each other's temp file.
+        tmp = f"{self._owner_path}.{os.getpid()}.{id(self):x}.tmp"
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(f"{os.getpid()}\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            for _ in range(2):
+                try:
+                    os.link(tmp, self._owner_path)
+                except FileExistsError:
+                    owner_pid = self._read_owner_pid()
+                    if owner_pid is not None and _pid_alive(owner_pid):
+                        raise ConfigError(
+                            f"checkpoint journal {self.path!r} is exclusively "
+                            f"owned by live session pid {owner_pid}"
+                        ) from None
+                    # Stale (crashed owner, or garbage no live owner
+                    # could have produced): break it and retry.
+                    with contextlib.suppress(OSError):
+                        os.unlink(self._owner_path)
+                    continue
+                self._owns_exclusive = True
+                return
+            raise ConfigError(
+                f"checkpoint journal {self.path!r}: could not acquire "
+                "exclusive owner lock (contended)"
+            )
+        finally:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
 
     def _read_owner_pid(self) -> Optional[int]:
         try:

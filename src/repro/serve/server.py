@@ -14,7 +14,10 @@ every robustness mechanism the executor stack already has:
   the worker as the :func:`~repro.exec.executor._execute_one` timeout
   (the portable :class:`~repro.exec.deadline.CellDeadline`), with a
   parent-side ``asyncio.wait_for`` backstop slightly beyond it for the
-  case of a worker too wedged to enforce its own budget.
+  case of a worker too wedged to enforce its own budget.  A
+  worker-count gate keeps queued cells out of the pool, so the
+  deadline starts when the cell starts — queue wait behind a saturated
+  pool is never charged against it.
 * **Worker-loss retry, pool rebuild, graceful degradation.**  A
   ``BrokenProcessPool`` triggers a deterministic-backoff retry
   (:meth:`FailurePolicy.retry_delay`, keyed by cell fingerprint) on a
@@ -43,11 +46,12 @@ every robustness mechanism the executor stack already has:
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import multiprocessing
 import os
 import time
 from concurrent.futures import Future as PoolFuture
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Optional, Set
@@ -187,6 +191,16 @@ def _probe() -> int:
     return os.getpid()
 
 
+class _ExecutionCancelled(ReproError):
+    """An admitted execution was cancelled out from under its waiters.
+
+    Raised to a *live* waiter whose shielded execution future was
+    cancelled externally (pool rebuild with ``cancel_futures=True``, or
+    shutdown past ``drain_grace``) so the request still gets a
+    structured error frame instead of a silent hang.
+    """
+
+
 def encode_result_payload(result: CellResult) -> Dict[str, Any]:
     """``{"kind": ..., "payload": ...}`` via the shared result codec."""
     from ..exec.cache import encode_result
@@ -233,6 +247,12 @@ class CampaignServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._health_task: Optional[asyncio.Task] = None
         self._pool_lock: Optional[asyncio.Lock] = None
+        #: Submission gate sized to the worker count: the pool never
+        #: buffers more cells than it can execute (see :meth:`_execute`).
+        self._pool_gate: Optional[asyncio.Semaphore] = None
+        #: Single-thread executor for journal/cache I/O: off the event
+        #: loop (flock + fsync block), single so appends stay ordered.
+        self._io: Optional[ThreadPoolExecutor] = None
         self.stats: Dict[str, int] = {
             "submitted": 0,
             "completed": 0,
@@ -271,6 +291,10 @@ class CampaignServer:
         """Bind the socket and start the pool + health loop."""
         self._pool_lock = asyncio.Lock()
         self._pool = self._make_pool()
+        self._pool_gate = asyncio.Semaphore(self._pool_workers)
+        self._io = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="twl-serve-io"
+        )
         limit = MAX_FRAME_BYTES + 1024
         if self.config.unix_path is not None:
             self._server = await asyncio.start_unix_server(
@@ -338,6 +362,15 @@ class CampaignServer:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        io = self._io
+        if io is not None:
+            # Flush pending journal/cache writes before releasing the
+            # owner locks; clear the handle first so a late request
+            # degrades to inline I/O instead of a scheduling error.
+            self._io = None
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: io.shutdown(wait=True)
+            )
         self._sessions.close()
 
     # ------------------------------------------------------------------
@@ -348,6 +381,7 @@ class CampaignServer:
         async with self._pool_lock:
             if self._pool is None:
                 self._pool = self._make_pool()
+                self._pool_gate = asyncio.Semaphore(self._pool_workers)
             return self._pool
 
     async def _note_pool_broken(self, broken: ProcessPoolExecutor) -> None:
@@ -368,21 +402,62 @@ class CampaignServer:
                 self._pool_workers = max(1, self._pool_workers // 2)
                 self.degraded = True
             self._pool = self._make_pool()
+            # A fresh gate sized to the (possibly degraded) pool; cells
+            # still blocked on the old gate drain as its holders finish.
+            self._pool_gate = asyncio.Semaphore(self._pool_workers)
+
+    @staticmethod
+    def _pool_looks_alive(pool: ProcessPoolExecutor) -> bool:
+        """Best-effort liveness check on the pool's worker processes.
+
+        Inspects the executor's (private) process table; an empty or
+        missing table means workers haven't spawned yet — not evidence
+        of death — so the benefit of the doubt goes to the pool.  Only
+        a table whose every process is dead reads as broken.
+        """
+        processes = getattr(pool, "_processes", None)
+        if not processes:
+            return True
+        return any(proc.is_alive() for proc in processes.values())
 
     async def _health_loop(self) -> None:
-        """Detect silently dead pools between requests and rebuild."""
+        """Detect silently dead pools between requests and rebuild.
+
+        The probe only decides "broken" on hard evidence: a
+        ``BrokenProcessPool``/``RuntimeError`` from submission, or a
+        probe timeout on a pool whose worker processes are all dead.  A
+        timeout alone proves nothing — with every worker busy on long
+        cells the probe just sits in the queue — so a loaded-but-alive
+        pool is never torn down (which would cancel queued admitted
+        cells and burn the degradation budget on phantom failures).
+        Probes are skipped outright while cells are in flight: busy
+        traffic will surface a genuinely broken pool on its own.
+        """
         while not self._draining:
             await asyncio.sleep(self.config.health_interval)
             pool = self._pool
             if pool is None:
                 continue
+            if self._active > 0:
+                continue
             loop = asyncio.get_running_loop()
             try:
+                probe_future: PoolFuture = pool.submit(_probe)
+            except (BrokenProcessPool, RuntimeError):
+                await self._note_pool_broken(pool)
+                continue
+            try:
                 await asyncio.wait_for(
-                    loop.run_in_executor(pool, _probe),
+                    asyncio.wrap_future(probe_future, loop=loop),
                     timeout=max(self.config.health_interval, 1.0),
                 )
-            except (BrokenProcessPool, asyncio.TimeoutError, RuntimeError):
+            except asyncio.TimeoutError:
+                # Inconclusive: a submission may have raced in ahead of
+                # the probe.  Rebuild only if the workers are truly dead.
+                probe_future.cancel()
+                if not self._pool_looks_alive(pool):
+                    await self._note_pool_broken(pool)
+            except (BrokenProcessPool, RuntimeError):
                 await self._note_pool_broken(pool)
 
     # ------------------------------------------------------------------
@@ -571,7 +646,9 @@ class CampaignServer:
 
         # 1. The session journal: a restarted server resumes here.
         try:
-            journal = self._sessions.journal_for(request.session)
+            journal = await self._run_io(
+                self._sessions.journal_for, request.session
+            )
         except ConfigError as error:
             self.stats["failed"] += 1
             return error_response(
@@ -583,10 +660,12 @@ class CampaignServer:
             return done(resumed, "journal")
         # 2. The shared content-addressed cache.
         if self._cache is not None:
-            hit = self._cache.get(request.cell)
+            hit = await self._run_io(self._cache.get, request.cell)
             if hit is not None:
                 self.stats["cache_hits"] += 1
-                self._persist(journal, request.cell, fingerprint, hit, cache=False)
+                await self._persist(
+                    journal, request.cell, fingerprint, hit, cache=False
+                )
                 return done(hit, "cache")
         # 3. Coalesce onto an in-flight duplicate.
         entry = self._inflight.get(fingerprint)
@@ -614,12 +693,22 @@ class CampaignServer:
             return error_response(
                 request_id, ERROR_DEADLINE, str(error), degraded=self.degraded
             )
+        except _ExecutionCancelled as error:
+            if self._draining:
+                self.stats["rejected_shutdown"] += 1
+                code = ERROR_SHUTDOWN
+            else:
+                self.stats["failed"] += 1
+                code = ERROR_FAILED
+            return error_response(
+                request_id, code, str(error), degraded=self.degraded
+            )
         except ReproError as error:
             self.stats["failed"] += 1
             return error_response(
                 request_id, ERROR_FAILED, str(error), degraded=self.degraded
             )
-        self._persist(
+        await self._persist(
             journal, request.cell, fingerprint, result, cache=(source == "run")
         )
         return done(result, source)
@@ -660,12 +749,28 @@ class CampaignServer:
         future is reclaimed immediately; a cell already on a worker
         runs to completion there and lands in the cache, so the work is
         banked, not wasted).
+
+        A ``CancelledError`` out of the shield is ambiguous: either
+        *this waiter's task* is being cancelled (client gone, server
+        stopping the handler — propagate, the connection is dying
+        anyway) or the *execution future itself* was cancelled out from
+        under a perfectly live waiter (pool rebuild with
+        ``cancel_futures=True``, shutdown past ``drain_grace``).  The
+        second case must become a structured error frame — re-raising
+        would kill the handler task without ever answering the client,
+        which accepted-and-admitted work must never do.
         """
         entry.waiters += 1
         cancelled = False
         try:
             return await asyncio.shield(entry.future)
         except asyncio.CancelledError:
+            task = asyncio.current_task()
+            if entry.future.cancelled() and (task is None or not task.cancelling()):
+                raise _ExecutionCancelled(
+                    "execution cancelled before completion "
+                    "(pool rebuild or server shutdown); resubmit"
+                ) from None
             cancelled = True
             raise
         finally:
@@ -673,7 +778,29 @@ class CampaignServer:
             if cancelled and entry.waiters <= 0 and not entry.future.done():
                 entry.future.cancel()
 
-    def _persist(
+    async def _run_io(self, func: Callable[..., Any], *args: Any) -> Any:
+        """Run blocking journal/cache I/O off the event-loop thread.
+
+        A dedicated single-thread executor keeps per-session append
+        ordering while never stalling the loop on a journal's flock +
+        fsync (or a first-open load/compact) — another process holding
+        a ``.lock`` sidecar would otherwise freeze every connection.
+        In the shutdown tail, after the executor has been drained, the
+        call degrades to inline execution: the loop is about to stop,
+        and dropping the final persist would be worse than blocking.
+        """
+        io = self._io
+        if io is None:
+            return func(*args)
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(io, func, *args)
+        except RuntimeError:
+            if self._io is not None:
+                raise
+            return func(*args)
+
+    async def _persist(
         self,
         journal: Any,
         cell: ExperimentCell,
@@ -682,9 +809,35 @@ class CampaignServer:
         cache: bool,
     ) -> None:
         """Bank a result durably (journal always; cache for fresh runs)."""
-        journal.record_done(cell, fingerprint, result)
-        if cache and self._cache is not None:
-            self._cache.put(cell, result)
+
+        def write() -> None:
+            journal.record_done(cell, fingerprint, result)
+            if cache and self._cache is not None:
+                self._cache.put(cell, result)
+
+        await self._run_io(write)
+
+    def _bank_abandoned(self, pool_future: PoolFuture, cell: ExperimentCell) -> None:
+        """Bank the eventual result of a pool future nobody awaits.
+
+        An abandoned cell already running on a worker completes there
+        regardless (``Future.cancel`` cannot reach it); without this,
+        its result would evaporate.  The done callback runs on the
+        executor's management thread — off the event loop — and puts
+        the result in the shared content-addressed cache, so the next
+        submission of the same cell is a cache hit instead of a re-run.
+        """
+        if self._cache is None:
+            return
+        cache = self._cache
+
+        def bank(future: PoolFuture) -> None:
+            if future.cancelled() or future.exception() is not None:
+                return
+            with contextlib.suppress(Exception):
+                cache.put(cell, future.result())
+
+        pool_future.add_done_callback(bank)
 
     async def _execute(
         self,
@@ -692,38 +845,65 @@ class CampaignServer:
         fingerprint: str,
         deadline: Optional[float],
     ) -> CellResult:
-        """Run one cell on the pool, retrying across worker loss."""
+        """Run one cell on the pool, retrying across worker loss.
+
+        Submission is throttled by ``_pool_gate``, a semaphore sized to
+        the worker count: the pool never holds more cells than it can
+        actually execute, so queueing happens here in asyncio-land —
+        uncharged against the deadline, and instantly reclaimed on
+        cancellation.  (``ProcessPoolExecutor`` marks a future running
+        once it enters its bounded call queue, *before* a worker picks
+        it up, so an ungated pool cannot tell "queued behind a slow
+        cell" from "executing" — and the parent-side backstop would
+        misfire on merely-queued cells.)  Past the gate, a cell is on a
+        worker at once: the worker-side :class:`CellDeadline` and the
+        parent-side ``deadline + grace`` backstop start together, and a
+        backstop expiry is hard evidence of a wedged worker — the pool
+        is rebuilt on the spot to reclaim it.
+        """
         loop = asyncio.get_running_loop()
         attempt = 0
         while True:
             pool = await self._ensure_pool()
-            pool_future: PoolFuture = pool.submit(_execute_one, cell, deadline)
-            wrapped = asyncio.wrap_future(pool_future, loop=loop)
-            try:
-                if deadline is not None:
-                    return await asyncio.wait_for(
-                        wrapped, timeout=deadline + DEADLINE_GRACE
-                    )
-                return await wrapped
-            except asyncio.TimeoutError:
-                # The worker failed to enforce its own budget (wedged in
-                # a C call); answer the client now.  The stray worker is
-                # the health loop's problem.
-                pool_future.cancel()
-                raise CellTimeoutError(
-                    f"cell {cell.describe()} missed its {deadline:.6g}s "
-                    "deadline (worker unresponsive)"
-                ) from None
-            except BrokenProcessPool:
-                await self._note_pool_broken(pool)
-                attempt += 1
-                if attempt > self.config.max_retries:
+            gate = self._pool_gate
+            assert gate is not None
+            async with gate:
+                pool_future: PoolFuture = pool.submit(
+                    _execute_one, cell, deadline
+                )
+                wrapped = asyncio.wrap_future(pool_future, loop=loop)
+                try:
+                    if deadline is not None:
+                        return await asyncio.wait_for(
+                            wrapped, timeout=deadline + DEADLINE_GRACE
+                        )
+                    return await wrapped
+                except asyncio.TimeoutError:
+                    # The worker failed to enforce its own budget
+                    # (wedged in a C call); answer the client now,
+                    # rebuild the pool to reclaim the wedged worker,
+                    # and bank the result if the cell ever finishes.
+                    pool_future.cancel()
+                    self._bank_abandoned(pool_future, cell)
+                    await self._note_pool_broken(pool)
+                    raise CellTimeoutError(
+                        f"cell {cell.describe()} missed its {deadline:.6g}s "
+                        "deadline (worker unresponsive)"
+                    ) from None
+                except BrokenProcessPool:
+                    await self._note_pool_broken(pool)
+                    attempt += 1
+                    if attempt > self.config.max_retries:
+                        raise
+                except asyncio.CancelledError:
+                    # Last waiter gone: the cell is already on a worker
+                    # (the gate saw to that), so it finishes there and
+                    # its result is banked in the cache.
+                    pool_future.cancel()
+                    self._bank_abandoned(pool_future, cell)
                     raise
-                delay = self._retry_policy.retry_delay(fingerprint, attempt)
-                if delay > 0:
-                    await asyncio.sleep(delay)
-            except asyncio.CancelledError:
-                # Last waiter gone: reclaim the slot if the cell has not
-                # started; otherwise let it finish on the worker.
-                pool_future.cancel()
-                raise
+            # Worker-loss retry: back off outside the gate (the slot
+            # belongs to the rebuilt pool's fresh gate).
+            delay = self._retry_policy.retry_delay(fingerprint, attempt)
+            if delay > 0:
+                await asyncio.sleep(delay)

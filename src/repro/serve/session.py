@@ -45,9 +45,10 @@ def valid_session_name(name: str) -> bool:
 class SessionStore:
     """Lazily-opened, exclusively-owned per-session journals.
 
-    Thread-safe: the server's asyncio loop opens sessions from the
-    event-loop thread, but journal writes happen in executor callbacks;
-    a plain lock guards the open-once map.
+    Thread-safe: the server opens sessions and appends records on its
+    dedicated journal-I/O thread (blocking flock/fsync must not stall
+    the event loop), while stats queries read from the loop thread; a
+    plain lock guards the open-once map.
     """
 
     def __init__(self, root: str) -> None:

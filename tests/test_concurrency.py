@@ -272,3 +272,50 @@ class TestExclusiveOwnerLock:
         journal.close()
         journal.close()
         CheckpointJournal(path, exclusive=True).close()
+
+    def test_live_owner_lock_always_carries_its_pid(self, tmp_path):
+        """The lock file is linked into place *with* its pid.
+
+        The old O_EXCL-create-then-write protocol had a window where a
+        live owner's lock existed but was still empty — a contender
+        reading it then judged it garbage and broke it, leaving two
+        exclusive owners on one journal.  The link protocol makes that
+        state unrepresentable: the moment the path exists it names its
+        owner, and no stray temp files are left behind.
+        """
+        path = str(tmp_path / "journal.jsonl")
+        with CheckpointJournal(path, exclusive=True):
+            with open(f"{path}.owner") as handle:
+                assert int(handle.read().strip()) == os.getpid()
+            leftovers = [
+                name for name in os.listdir(tmp_path)
+                if name.endswith(".tmp")
+            ]
+            assert leftovers == []
+
+    def test_contended_acquisition_yields_exactly_one_owner(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        winners, losers, errors = [], [], []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            try:
+                journal = CheckpointJournal(path, exclusive=True)
+            except ConfigError:
+                losers.append(1)
+            except Exception as error:  # noqa: BLE001 - must be visible
+                errors.append(error)
+            else:
+                winners.append(journal)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(winners) == 1
+        assert len(losers) == 7
+        winners[0].close()
+        assert not os.path.exists(f"{path}.owner")

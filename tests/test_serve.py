@@ -23,6 +23,8 @@ same mechanisms where a debugger can reach them.
 
 import asyncio
 import json
+import os
+import signal
 
 import pytest
 
@@ -485,6 +487,272 @@ class TestWorkerLossAndDegradation:
         active_after, response = asyncio.run(scenario())
         assert active_after == 0
         assert response["ok"] is True
+
+
+class TestServerRobustnessRegressions:
+    """Review fixes: busy != dead pools, cancelled executions answer,
+    journal I/O off the loop, queue wait not charged to deadlines."""
+
+    def test_health_probe_spares_a_busy_pool(self, monkeypatch, tmp_path):
+        """All workers occupied is load, not death.
+
+        With probes firing far faster than the in-flight cell and a
+        single busy worker, the old health loop queued a probe, timed
+        out, and tore the pool down — cancelling the admitted cell and
+        burning the degradation budget.  A busy pool must be left
+        alone.
+        """
+        _arm(
+            monkeypatch, tmp_path,
+            mode="hang", rate=1.0, times=1, hang_seconds=2.0,
+        )
+
+        async def scenario():
+            server = CampaignServer(
+                _config(
+                    tmp_path, workers=1, health_interval=0.05, drain_grace=0.2
+                )
+            )
+            await server.start()
+            try:
+                reader, writer = await open_connection(_tcp(server))
+                response = await submit_cell(
+                    reader, writer, _cell(seed=61), "busy"
+                )
+                await _closed(writer)
+            finally:
+                await server.shutdown()
+            return server, response
+
+        server, response = asyncio.run(scenario())
+        assert response["ok"] is True
+        assert server.stats["pool_rebuilds"] == 0
+        assert server.degraded is False
+
+    def test_health_probe_still_rebuilds_a_dead_idle_pool(self, tmp_path):
+        async def scenario():
+            server = CampaignServer(
+                _config(
+                    tmp_path, workers=1, health_interval=0.05, drain_grace=0.2
+                )
+            )
+            await server.start()
+            try:
+                reader, writer = await open_connection(_tcp(server))
+                first = await submit_cell(reader, writer, _cell(seed=62), "warm")
+                # Kill every worker behind the pool's back; the idle
+                # health probe must notice and rebuild.
+                for proc in list(server._pool._processes.values()):
+                    os.kill(proc.pid, signal.SIGKILL)
+                for _ in range(300):
+                    await asyncio.sleep(0.02)
+                    if server.stats["pool_rebuilds"] >= 1:
+                        break
+                second = await submit_cell(
+                    reader, writer, _cell(seed=63), "after"
+                )
+                await _closed(writer)
+            finally:
+                await server.shutdown()
+            return server, first, second
+
+        server, first, second = asyncio.run(scenario())
+        assert first["ok"] is True
+        assert second["ok"] is True
+        assert server.stats["pool_rebuilds"] >= 1
+
+    def test_cancelled_execution_answers_with_a_frame(
+        self, monkeypatch, tmp_path
+    ):
+        """A live waiter whose execution is cancelled must get a frame.
+
+        Cancelling the execution future out from under its waiters is
+        exactly what a pool rebuild with ``cancel_futures=True`` (or a
+        shutdown past ``drain_grace``) does; the old shield re-raised
+        ``CancelledError``, the handler task died, and the client hung
+        with no response at all.
+        """
+        _arm(
+            monkeypatch, tmp_path,
+            mode="hang", rate=1.0, times=1, hang_seconds=10.0,
+        )
+        hanging = _cell(seed=64)
+        fingerprint = cell_fingerprint(hanging)
+
+        async def scenario():
+            server = CampaignServer(
+                _config(tmp_path, workers=1, drain_grace=0.2)
+            )
+            await server.start()
+            try:
+                reader, writer = await open_connection(_tcp(server))
+                frame = {
+                    "op": "submit",
+                    "id": "doomed",
+                    "deadline": 2.0,
+                    "cell": encode_cell(hanging),
+                }
+                writer.write((json.dumps(frame) + "\n").encode())
+                await writer.drain()
+                for _ in range(200):
+                    await asyncio.sleep(0.02)
+                    if fingerprint in server._inflight:
+                        break
+                server._inflight[fingerprint].future.cancel()
+                response = json.loads(
+                    await asyncio.wait_for(reader.readline(), timeout=5.0)
+                )
+                await _closed(writer)
+            finally:
+                await server.shutdown()
+            return server, response
+
+        server, response = asyncio.run(scenario())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "failed"
+        assert "cancelled" in response["error"]["message"]
+        assert server.stats["failed"] == 1
+
+    def test_journal_io_does_not_stall_the_event_loop(self, tmp_path):
+        """A held journal lock must not freeze unrelated connections.
+
+        Journal appends flock + fsync; run on the event-loop thread (as
+        they used to be) a foreign process holding the ``.lock``
+        sidecar froze *every* connection.  Parked on the I/O thread,
+        the loop keeps answering pings and the blocked submit completes
+        once the lock is released.
+        """
+        fcntl = pytest.importorskip("fcntl")
+        cell_a, cell_b = _cell(seed=65), _cell(seed=66)
+
+        async def scenario():
+            server = CampaignServer(_config(tmp_path, drain_grace=0.2))
+            await server.start()
+            try:
+                reader, writer = await open_connection(_tcp(server))
+                await submit_cell(
+                    reader, writer, cell_a, "warm", session="locked"
+                )
+                lock_path = server._sessions.journal_path("locked") + ".lock"
+                handle = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                try:
+                    frame = {
+                        "op": "submit",
+                        "id": "blocked",
+                        "session": "locked",
+                        "cell": encode_cell(cell_b),
+                    }
+                    writer.write((json.dumps(frame) + "\n").encode())
+                    await writer.drain()
+                    # Let the cell execute and its persist park on the
+                    # foreign flock (settled = admission released, but
+                    # no response written yet).
+                    for _ in range(500):
+                        await asyncio.sleep(0.02)
+                        if (
+                            server.stats["submitted"] >= 2
+                            and server._active == 0
+                        ):
+                            break
+                    await asyncio.sleep(0.1)
+                    r2, w2 = await open_connection(_tcp(server))
+                    w2.write(b'{"op": "ping", "id": "alive"}\n')
+                    await w2.drain()
+                    pong = json.loads(
+                        await asyncio.wait_for(r2.readline(), timeout=2.0)
+                    )
+                    await _closed(w2)
+                finally:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+                    os.close(handle)
+                blocked = json.loads(
+                    await asyncio.wait_for(reader.readline(), timeout=30.0)
+                )
+                await _closed(writer)
+            finally:
+                await server.shutdown()
+            return pong, blocked
+
+        pong, blocked = asyncio.run(scenario())
+        assert pong["status"] == "pong"
+        assert blocked["ok"] is True
+
+    def test_queue_wait_is_not_charged_against_the_deadline(
+        self, monkeypatch, tmp_path
+    ):
+        """A queued cell's deadline starts when it starts, not at submit.
+
+        With one worker hogged for longer than deadline + grace, the
+        old parent-side backstop expired the *queued* cell as "worker
+        unresponsive" before it ever reached a worker.
+        """
+        _arm(
+            monkeypatch, tmp_path,
+            mode="hang", rate=1.0, times=1, max_total=1, hang_seconds=4.0,
+        )
+        hog = _cell(seed=68)
+        queued = _cell(seed=69)
+
+        async def scenario():
+            server = CampaignServer(
+                _config(tmp_path, workers=1, queue_limit=4, drain_grace=0.2)
+            )
+            await server.start()
+            try:
+                r1, w1 = await open_connection(_tcp(server))
+                first = asyncio.ensure_future(
+                    submit_cell(r1, w1, hog, "hog")
+                )
+                for _ in range(100):
+                    await asyncio.sleep(0.02)
+                    if server._active >= 1:
+                        break
+                r2, w2 = await open_connection(_tcp(server))
+                second = await submit_cell(
+                    r2, w2, queued, "queued", deadline=1.0
+                )
+                hogged = await first
+                await _closed(w1)
+                await _closed(w2)
+            finally:
+                await server.shutdown()
+            return hogged, second
+
+        hogged, second = asyncio.run(scenario())
+        assert hogged["ok"] is True
+        assert second["ok"] is True, second
+        assert second["source"] == "run"
+
+    def test_abandoned_results_are_banked_in_the_cache(self, tmp_path):
+        from concurrent.futures import Future
+
+        cell = _cell(seed=67)
+        result = run_cells([cell], jobs=1)[0]
+
+        async def scenario():
+            server = CampaignServer(_config(tmp_path, drain_grace=0.2))
+            await server.start()
+            try:
+                # A future nobody awaits completes: its result lands in
+                # the shared cache (the done callback fires inline here).
+                abandoned = Future()
+                server._bank_abandoned(abandoned, cell)
+                abandoned.set_result(result)
+                # Cancelled / failed futures bank nothing.
+                cancelled = Future()
+                server._bank_abandoned(cancelled, cell)
+                cancelled.cancel()
+                reader, writer = await open_connection(_tcp(server))
+                response = await submit_cell(reader, writer, cell, "hit")
+                await _closed(writer)
+            finally:
+                await server.shutdown()
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["ok"] is True
+        assert response["source"] == "cache"
 
 
 class TestSessionResume:
